@@ -1,0 +1,131 @@
+//! Simulator benchmarks: event-engine throughput, churn-schedule
+//! generation, latency-matrix synthesis, and gossip-round processing —
+//! what bounds how fast the paper's 1024-node, 2-hour evaluation runs.
+
+use bench::bench_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use membership::{GossipConfig, GossipSim};
+use simnet::{ChurnSchedule, Engine, LatencyMatrix, LifetimeDistribution, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_engine");
+    for events in [1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(events as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_and_run", events), &events, |b, &n| {
+            b.iter(|| {
+                let mut engine: Engine<u64> = Engine::new();
+                let mut world = 0u64;
+                for i in 0..n {
+                    engine.schedule_at(SimTime((i as u64 * 7919) % 1_000_000), |w, _| *w += 1);
+                }
+                engine.run(&mut world);
+                black_box(world)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn");
+    let horizon = SimTime::from_secs(7200 + 3600);
+    for n in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("generate_schedule", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = bench_rng();
+                black_box(ChurnSchedule::generate(
+                    n,
+                    &LifetimeDistribution::PAPER_DEFAULT,
+                    &LifetimeDistribution::PAPER_DEFAULT,
+                    horizon,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    let mut rng = bench_rng();
+    let sched = ChurnSchedule::generate(
+        1024,
+        &LifetimeDistribution::PAPER_DEFAULT,
+        &LifetimeDistribution::PAPER_DEFAULT,
+        horizon,
+        &mut rng,
+    );
+    g.bench_function("is_up_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(sched.is_up(simnet::NodeId(i % 1024), SimTime::from_secs((i as u64 * 13) % 7200)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    c.bench_function("latency_matrix_synthetic_1024", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            black_box(LatencyMatrix::synthetic(1024, 152.0, &mut rng))
+        })
+    });
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("advance_10min", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = bench_rng();
+                let horizon = SimTime::from_secs(600);
+                let sched = ChurnSchedule::generate(
+                    n,
+                    &LifetimeDistribution::PAPER_DEFAULT,
+                    &LifetimeDistribution::PAPER_DEFAULT,
+                    horizon,
+                    &mut rng,
+                );
+                let mut gossip = GossipSim::new(n, GossipConfig::default(), &mut rng);
+                gossip.advance(&sched, horizon, &mut rng);
+                black_box(gossip.messages_sent())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mix_choice(c: &mut Criterion) {
+    use anon_core::mix::{choose_disjoint_paths, MixStrategy};
+    use membership::NodeCache;
+    use simnet::NodeId;
+
+    let mut g = c.benchmark_group("mix_choice");
+    let now = SimTime::from_secs(1000);
+    let mut cache = NodeCache::new();
+    for i in 0..1024u32 {
+        cache.hear_indirect(
+            NodeId(i),
+            membership::LivenessInfo::alive(
+                SimDuration::from_secs(1 + (i as u64 * 37) % 7200),
+                SimDuration::from_secs((i as u64 * 13) % 600),
+            ),
+            now,
+        );
+    }
+    for strategy in [MixStrategy::Random, MixStrategy::Biased] {
+        g.bench_function(format!("k4_l3_{}_1024cache", strategy.label()), |b| {
+            let mut rng = bench_rng();
+            b.iter(|| {
+                black_box(
+                    choose_disjoint_paths(&cache, 4, 3, &[NodeId(0)], strategy, now, &mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_churn, bench_latency, bench_gossip, bench_mix_choice);
+criterion_main!(benches);

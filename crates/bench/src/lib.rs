@@ -1,0 +1,35 @@
+//! Benchmark crate: Criterion targets covering
+//!
+//! * every paper artifact (`paper_artifacts` bench: fig1–fig5, tab1–tab4,
+//!   eq4 at quick scale),
+//! * the substrates (`substrates`: GF(256), Reed–Solomon, SHA-256,
+//!   ChaCha20, X25519, sealed boxes),
+//! * the protocol hot paths (`onion`: construction/payload onions vs L),
+//! * the simulator (`simulator`: event engine, churn generation, gossip),
+//! * design-choice ablations called out in DESIGN.md (`ablations`).
+//!
+//! Run with `cargo bench --workspace`. This library only hosts shared
+//! helpers; the targets live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for benches.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xbe9c)
+}
+
+/// Deterministic pseudo-random payload of `len` bytes.
+pub fn payload(len: usize) -> Vec<u8> {
+    let mut state = 0x12345678u32;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            (state & 0xff) as u8
+        })
+        .collect()
+}

@@ -1,0 +1,187 @@
+//! Initiator-anonymity analysis (§5, Equation 4).
+//!
+//! With `N` nodes, a colluding fraction `f`, and fixed path length `L`
+//! known to the attacker, the probability that the attacker correctly
+//! identifies the initiator decomposes into:
+//!
+//! * **Case 1** — the *first* relay is malicious: it knows its predecessor
+//!   is the initiator with probability 1.
+//! * **Case 2** — otherwise the attacker can only guess uniformly among
+//!   the `N(1−f)` honest nodes.
+//!
+//! The paper prints `P(Case 1) = (1/L) Σ_{i=1}^{L} i f^i (1−f)^{L−i}`,
+//! which omits the binomial coefficient `C(L, i)`; including it, the sum
+//! telescopes to `E[#malicious]/L = f` — which is also what first
+//! principles give (each relay position is malicious independently with
+//! probability `f`). This module implements **both**: the printed formula
+//! ([`p_case1_as_printed`]) for faithfulness, and the exact value
+//! ([`p_case1_exact`]) that the Monte-Carlo simulation reproduces. The
+//! `eq4` experiment reports the two side by side; they agree at `L = 1`
+//! and differ by the missing coefficients for `L > 1`.
+
+use rand::Rng;
+
+/// `P(Case 1)` exactly as printed in the paper (no binomial coefficient):
+/// `(1/L) Σ_{i=1}^{L} i f^i (1−f)^{L−i}`.
+pub fn p_case1_as_printed(f: f64, l: usize) -> f64 {
+    assert!((0.0..1.0).contains(&f), "f must be in [0, 1)");
+    assert!(l >= 1);
+    (1..=l)
+        .map(|i| (i as f64 / l as f64) * f.powi(i as i32) * (1.0 - f).powi((l - i) as i32))
+        .sum()
+}
+
+/// `P(Case 1)` from first principles: with i.i.d. compromise the first
+/// relay is malicious with probability exactly `f` (equivalently the
+/// printed sum with `C(L, i)` restored: `Σ (i/L) C(L,i) f^i (1−f)^{L−i}
+/// = E[i]/L = f`).
+pub fn p_case1_exact(f: f64, l: usize) -> f64 {
+    assert!((0.0..1.0).contains(&f), "f must be in [0, 1)");
+    assert!(l >= 1);
+    f
+}
+
+/// Equation 4 with a pluggable Case-1 probability.
+fn eq4(n: usize, f: f64, c1: f64) -> f64 {
+    let honest = n as f64 * (1.0 - f);
+    c1 + (1.0 - c1) / honest
+}
+
+/// Equation 4 exactly as printed in the paper.
+pub fn p_initiator_identified_as_printed(n: usize, f: f64, l: usize) -> f64 {
+    eq4(n, f, p_case1_as_printed(f, l))
+}
+
+/// Equation 4 with the exact Case-1 probability (`f`): what the
+/// Monte-Carlo attack simulation converges to.
+pub fn p_initiator_identified(n: usize, f: f64, l: usize) -> f64 {
+    eq4(n, f, p_case1_exact(f, l))
+}
+
+/// Monte-Carlo attack: each relay of an `L`-hop path is malicious
+/// independently with probability `f`. If the first relay is malicious the
+/// attacker names the predecessor (always right); otherwise it guesses
+/// uniformly among honest nodes. Returns the empirical identification
+/// probability.
+pub fn simulate_identification<R: Rng>(
+    n: usize,
+    f: f64,
+    l: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(l >= 1);
+    let honest = n as f64 * (1.0 - f);
+    let mut p_sum = 0.0;
+    for _ in 0..trials {
+        let first_malicious = rng.gen::<f64>() < f;
+        // Sample the other relays too (they do not change the outcome but
+        // keep the experiment an honest path simulation).
+        for _ in 1..l {
+            let _ = rng.gen::<f64>() < f;
+        }
+        if first_malicious {
+            p_sum += 1.0;
+        } else {
+            p_sum += 1.0 / honest;
+        }
+    }
+    p_sum / trials as f64
+}
+
+/// Anonymity degree: effective size of the anonymity set, `1 / P(x = I)`.
+pub fn anonymity_set_size(n: usize, f: f64, l: usize) -> f64 {
+    1.0 / p_initiator_identified(n, f, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_attacker_gives_uniform_guess() {
+        let n = 1024;
+        for p in [
+            p_initiator_identified(n, 0.0, 3),
+            p_initiator_identified_as_printed(n, 0.0, 3),
+        ] {
+            assert!((p - 1.0 / n as f64).abs() < 1e-12);
+        }
+        assert!((anonymity_set_size(n, 0.0, 3) - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn printed_and_exact_agree_at_l_1() {
+        for f in [0.05, 0.2, 0.5, 0.8] {
+            assert!((p_case1_as_printed(f, 1) - p_case1_exact(f, 1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn printed_formula_underestimates_for_longer_paths() {
+        // Without the binomial coefficients the printed sum is strictly
+        // below f for L > 1 — the discrepancy EXPERIMENTS.md documents.
+        for f in [0.1, 0.3, 0.5] {
+            for l in [2usize, 3, 5] {
+                assert!(p_case1_as_printed(f, l) < p_case1_exact(f, l));
+            }
+        }
+    }
+
+    #[test]
+    fn identification_grows_with_f() {
+        let n = 1024;
+        let l = 3;
+        let mut prev = 0.0;
+        for f10 in 0..9 {
+            let f = f10 as f64 / 10.0;
+            let p = p_initiator_identified(n, f, l);
+            assert!(p > prev, "P must grow with f (f = {f})");
+            assert!(p <= 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn case1_known_values_as_printed() {
+        // L = 1: P(Case1) = f.
+        for f in [0.1, 0.3, 0.7] {
+            assert!((p_case1_as_printed(f, 1) - f).abs() < 1e-12);
+        }
+        // L = 2: (1/2) f (1-f) + f^2.
+        let f: f64 = 0.3;
+        let expect = 0.5 * f * (1.0 - f) + f * f;
+        assert!((p_case1_as_printed(f, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_form() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(f, l) in &[(0.1f64, 3usize), (0.3, 3), (0.5, 5)] {
+            let n = 1024;
+            let analytic = p_initiator_identified(n, f, l);
+            let mc = simulate_identification(n, f, l, 400_000, &mut rng);
+            assert!(
+                (analytic - mc).abs() < 0.005,
+                "f={f}, L={l}: analytic {analytic:.4} vs MC {mc:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn anonymity_set_shrinks_with_f() {
+        let n = 1024;
+        let a0 = anonymity_set_size(n, 0.05, 3);
+        let a1 = anonymity_set_size(n, 0.30, 3);
+        assert!(a0 > a1);
+        assert!(a1 > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be in")]
+    fn rejects_f_of_one() {
+        let _ = p_case1_as_printed(1.0, 3);
+    }
+}

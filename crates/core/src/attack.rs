@@ -1,0 +1,269 @@
+//! Adversary simulation: empirical initiator-anonymity measurement over
+//! actual path constructions (validating §5 against the real mix-choice
+//! machinery), including the paper's §7 concern that *"the attacker may
+//! attempt to stay longer in the system with the hope of being relay
+//! nodes of many paths"* under biased mix choice.
+//!
+//! The attacker controls a fraction `f` of nodes; compromised relays
+//! collude. The attacker wins a construction outright when it holds the
+//! first relay slot (it sees the initiator); holding *all* relay slots of
+//! a path additionally links initiator to responder.
+
+use crate::mix::MixStrategy;
+use crate::sim::{World, WorldConfig};
+use rand::seq::SliceRandom;
+use simnet::{NodeId, SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Adversary parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackConfig {
+    /// Fraction of nodes the attacker controls.
+    pub f: f64,
+    /// §7's strategy: compromised nodes never churn (maximum uptime, so
+    /// biased mix choice favours them).
+    pub adversary_stays: bool,
+}
+
+/// Empirical attack outcomes over many constructions.
+#[derive(Clone, Debug, Default)]
+pub struct AttackResult {
+    /// Successful path constructions observed.
+    pub constructions: u64,
+    /// Paths whose *first* relay was compromised (initiator exposed).
+    pub first_relay_compromised: u64,
+    /// Paths with at least one compromised relay.
+    pub any_relay_compromised: u64,
+    /// Paths with every relay compromised (full linkage).
+    pub fully_compromised: u64,
+    /// Compromised-relay slots over all slots (occupancy rate).
+    pub slots_compromised: u64,
+    /// All relay slots observed.
+    pub slots_total: u64,
+}
+
+impl AttackResult {
+    /// Empirical `P(first relay compromised)` — compare with `f` (the
+    /// §5 exact Case-1 probability under uniform choice).
+    pub fn first_relay_rate(&self) -> f64 {
+        if self.constructions == 0 {
+            0.0
+        } else {
+            self.first_relay_compromised as f64 / self.constructions as f64
+        }
+    }
+
+    /// Empirical full-path compromise rate (~`f^L` under uniform choice).
+    pub fn full_path_rate(&self) -> f64 {
+        if self.constructions == 0 {
+            0.0
+        } else {
+            self.fully_compromised as f64 / self.constructions as f64
+        }
+    }
+
+    /// Fraction of relay slots held by the adversary.
+    pub fn occupancy(&self) -> f64 {
+        if self.slots_total == 0 {
+            0.0
+        } else {
+            self.slots_compromised as f64 / self.slots_total as f64
+        }
+    }
+}
+
+/// Run the attack measurement: `events` constructions by random live
+/// initiators under the given mix strategy, against an attacker holding a
+/// random `f` fraction of nodes.
+pub fn run_attack_experiment(
+    world_cfg: WorldConfig,
+    strategy: MixStrategy,
+    k: usize,
+    attack: AttackConfig,
+    events: usize,
+    warmup: SimTime,
+) -> AttackResult {
+    let mut world = World::new(world_cfg.clone());
+
+    // Pick the compromised set deterministically from the world's RNG.
+    let mut ids: Vec<NodeId> = (0..world_cfg.n).map(NodeId::from).collect();
+    ids.shuffle(&mut world.rng);
+    let num_bad = ((world_cfg.n as f64) * attack.f).round() as usize;
+    let compromised: HashSet<NodeId> = ids.into_iter().take(num_bad).collect();
+    if attack.adversary_stays {
+        let bad: Vec<NodeId> = compromised.iter().copied().collect();
+        world.pin_up(&bad);
+    }
+
+    let mut result = AttackResult::default();
+    let mut t = warmup;
+    let step = SimDuration::from_secs_f64(
+        (world_cfg.horizon - warmup).as_secs_f64() / events as f64,
+    );
+    for _ in 0..events {
+        t += step;
+        if t >= world_cfg.horizon {
+            break;
+        }
+        world.advance_gossip(t);
+        let Some(initiator) = world.random_live_node(&[], t) else { continue };
+        let Some(responder) = world.random_live_node(&[initiator], t) else { continue };
+        let Ok(paths) = world.pick_paths(initiator, responder, k, strategy, t) else {
+            continue;
+        };
+        for relays in &paths {
+            // Only formed paths carry traffic the attacker can observe.
+            let outcome = world.construct_path(initiator, relays, responder, t);
+            if !outcome.success {
+                if let Some(h) = outcome.failed_hop {
+                    world.report_failure(initiator, relays, responder, h, t);
+                }
+                continue;
+            }
+            result.constructions += 1;
+            result.slots_total += relays.len() as u64;
+            let bad = relays.iter().filter(|r| compromised.contains(r)).count();
+            result.slots_compromised += bad as u64;
+            if compromised.contains(&relays[0]) {
+                result.first_relay_compromised += 1;
+            }
+            if bad > 0 {
+                result.any_relay_compromised += 1;
+            }
+            if bad == relays.len() {
+                result.fully_compromised += 1;
+            }
+        }
+    }
+    result
+}
+
+/// The §7 comparison in one call: the same attack with churning vs
+/// always-online adversaries, returning `(churning, staying)` results.
+pub fn staying_adversary_advantage(
+    world_cfg: WorldConfig,
+    strategy: MixStrategy,
+    k: usize,
+    f: f64,
+    events: usize,
+    warmup: SimTime,
+) -> (AttackResult, AttackResult) {
+    let churning = run_attack_experiment(
+        world_cfg.clone(),
+        strategy,
+        k,
+        AttackConfig { f, adversary_stays: false },
+        events,
+        warmup,
+    );
+    let staying = run_attack_experiment(
+        world_cfg,
+        strategy,
+        k,
+        AttackConfig { f, adversary_stays: true },
+        events,
+        warmup,
+    );
+    (churning, staying)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(seed: u64) -> WorldConfig {
+        WorldConfig {
+            n: 160,
+            horizon: SimTime::from_secs(3600),
+            ..WorldConfig::paper_default(seed)
+        }
+    }
+
+    #[test]
+    fn no_attacker_no_compromise() {
+        let res = run_attack_experiment(
+            small_cfg(1),
+            MixStrategy::Random,
+            1,
+            AttackConfig { f: 0.0, adversary_stays: false },
+            100,
+            SimTime::from_secs(900),
+        );
+        assert!(res.constructions > 0);
+        assert_eq!(res.first_relay_compromised, 0);
+        assert_eq!(res.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn random_choice_matches_eq4_case1() {
+        // Under uniform choice the empirical first-relay compromise rate
+        // should approximate the *cache-weighted* f. Compromised nodes
+        // churn like everyone else, so among live picks their share is
+        // ~f (availability cancels). Wide tolerance: finite sample.
+        let f = 0.3;
+        let res = run_attack_experiment(
+            small_cfg(2),
+            MixStrategy::Random,
+            2,
+            AttackConfig { f, adversary_stays: false },
+            400,
+            SimTime::from_secs(900),
+        );
+        assert!(res.constructions > 100);
+        let rate = res.first_relay_rate();
+        assert!(
+            (rate - f).abs() < 0.12,
+            "empirical first-relay rate {rate:.3} should approximate f = {f}"
+        );
+        // Full-path compromise is much rarer (~f^3).
+        assert!(res.full_path_rate() < rate);
+    }
+
+    #[test]
+    fn staying_adversary_gains_under_biased_choice() {
+        // The §7 risk: against BIASED choice, an always-online adversary
+        // accumulates uptime and is picked far more often than its f.
+        let f = 0.2;
+        let (churning, staying) = staying_adversary_advantage(
+            small_cfg(3),
+            MixStrategy::Biased,
+            2,
+            f,
+            300,
+            SimTime::from_secs(900),
+        );
+        assert!(churning.constructions > 50 && staying.constructions > 50);
+        // At this horizon many honest nodes share the adversary's uptime
+        // (everyone joined at t = 0), so the gain is real but bounded; it
+        // grows with simulation length as honest old-timers churn out.
+        assert!(
+            staying.occupancy() > churning.occupancy() * 1.15,
+            "staying occupancy {:.3} should exceed churning {:.3}",
+            staying.occupancy(),
+            churning.occupancy()
+        );
+        assert!(
+            staying.occupancy() > f,
+            "staying adversary should be over-represented vs f = {f} (got {:.3})",
+            staying.occupancy()
+        );
+    }
+
+    #[test]
+    fn staying_adversary_gains_little_under_random_choice() {
+        // Random choice ignores uptime: staying online raises the
+        // adversary's share only via availability, not via ranking.
+        let f = 0.2;
+        let (churning, staying) = staying_adversary_advantage(
+            small_cfg(4),
+            MixStrategy::Random,
+            2,
+            f,
+            300,
+            SimTime::from_secs(900),
+        );
+        // Some gain is expected (they're up for 100% of picks' liveness
+        // checks), but far below the biased-case blowup.
+        assert!(staying.occupancy() < churning.occupancy() * 2.5 + 0.05);
+    }
+}

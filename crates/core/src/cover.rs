@@ -1,0 +1,162 @@
+//! Cover traffic (§4.6).
+//!
+//! Every node, at all times, emits cover messages over `k` paths of random
+//! nodes towards a random destination, so a passive observer cannot tell
+//! real segment flows from noise. `k` need not be system-wide: each node
+//! picks a value matching its bandwidth budget. Real and cover messages
+//! must be *indistinguishable on the wire*, which the tests verify: both
+//! are payload onions of identical sizes for equal segment lengths.
+
+use crate::ids::MessageId;
+use crate::onion::{build_payload_onion, PathPlan};
+use erasure::Segment;
+use rand::{CryptoRng, Rng};
+use sim_crypto::SymmetricKey;
+use simnet::{NodeId, SimDuration};
+
+/// Per-node cover traffic policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CoverConfig {
+    /// Paths carrying cover traffic (node-local choice).
+    pub k: usize,
+    /// Mean interval between cover emissions (exponentially distributed).
+    pub mean_interval: SimDuration,
+    /// Size of each cover segment, matched to real segment sizes.
+    pub segment_bytes: usize,
+}
+
+impl Default for CoverConfig {
+    fn default() -> Self {
+        CoverConfig {
+            k: 2,
+            mean_interval: SimDuration::from_secs(10),
+            segment_bytes: 512,
+        }
+    }
+}
+
+/// A generated cover message: looks exactly like a real payload onion.
+pub struct CoverMessage {
+    /// First-hop node.
+    pub to: NodeId,
+    /// The onion blob (indistinguishable from real traffic).
+    pub blob: Vec<u8>,
+}
+
+/// Sample the next cover emission delay (exponential with the configured
+/// mean).
+pub fn next_emission_delay<R: Rng>(cfg: &CoverConfig, rng: &mut R) -> SimDuration {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    SimDuration::from_secs_f64(-cfg.mean_interval.as_secs_f64() * u.ln())
+}
+
+/// Build one cover message along `plan`: random bytes of the configured
+/// segment size, a random message id, delivered to the plan's (random)
+/// destination. Only the destination could tell it is cover — and it
+/// discards it.
+pub fn build_cover_message<R: Rng + CryptoRng>(
+    plan: &PathPlan,
+    cfg: &CoverConfig,
+    rng: &mut R,
+) -> CoverMessage {
+    let mut junk = vec![0u8; cfg.segment_bytes];
+    rng.fill_bytes(&mut junk);
+    let seg = Segment::new(rng.gen_range(0..cfg.k.max(1)), junk);
+    let mid = MessageId::generate(rng);
+    let (blob, _) = build_payload_onion(plan, mid, &seg, None, rng);
+    CoverMessage { to: plan.first_hop(), blob }
+}
+
+/// Expected cover bandwidth for one node in bytes/second: `k` paths ×
+/// segment size × (L+1 links) / mean interval.
+pub fn expected_cover_bandwidth(cfg: &CoverConfig, l: usize) -> f64 {
+    cfg.k as f64 * cfg.segment_bytes as f64 * (l as f64 + 1.0)
+        / cfg.mean_interval.as_secs_f64()
+}
+
+/// Build a `PathPlan` of random relays with fresh keys for cover traffic.
+/// ("The k paths used for cover traffics consist of random nodes.")
+pub fn random_cover_plan<R: Rng + CryptoRng>(
+    relays: &[NodeId],
+    destination: NodeId,
+    rng: &mut R,
+) -> PathPlan {
+    let mut hops: Vec<NodeId> = relays.to_vec();
+    hops.push(destination);
+    let session_keys = hops.iter().map(|_| SymmetricKey::generate(rng)).collect();
+    PathPlan { hops, session_keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion::build_construction_onion;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sim_crypto::KeyPair;
+
+    fn plan(rng: &mut StdRng, l: usize) -> PathPlan {
+        let hops: Vec<_> = (0..=l)
+            .map(|i| (NodeId(i as u32), KeyPair::generate(rng).public))
+            .collect();
+        build_construction_onion(&hops, rng).0
+    }
+
+    #[test]
+    fn cover_indistinguishable_from_real_by_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = plan(&mut rng, 3);
+        let cfg = CoverConfig { segment_bytes: 256, ..Default::default() };
+
+        let cover = build_cover_message(&p, &cfg, &mut rng);
+        // A real message with the same segment size.
+        let real_seg = Segment::new(0, vec![0x42; 256]);
+        let (real_blob, _) =
+            build_payload_onion(&p, MessageId(7), &real_seg, None, &mut rng);
+        assert_eq!(cover.blob.len(), real_blob.len(), "wire sizes must match");
+        assert_ne!(cover.blob, real_blob, "contents are of course different");
+    }
+
+    #[test]
+    fn cover_messages_vary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = plan(&mut rng, 2);
+        let cfg = CoverConfig::default();
+        let a = build_cover_message(&p, &cfg, &mut rng);
+        let b = build_cover_message(&p, &cfg, &mut rng);
+        assert_ne!(a.blob, b.blob);
+        assert_eq!(a.to, p.first_hop());
+    }
+
+    #[test]
+    fn emission_delays_have_configured_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = CoverConfig { mean_interval: SimDuration::from_secs(10), ..Default::default() };
+        let mean: f64 = (0..50_000)
+            .map(|_| next_emission_delay(&cfg, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / 50_000.0;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn bandwidth_model() {
+        let cfg = CoverConfig {
+            k: 2,
+            mean_interval: SimDuration::from_secs(10),
+            segment_bytes: 500,
+        };
+        // 2 paths * 500 B * 4 links / 10 s = 400 B/s.
+        assert!((expected_cover_bandwidth(&cfg, 3) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_cover_plan_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let relays = [NodeId(1), NodeId(2), NodeId(3)];
+        let p = random_cover_plan(&relays, NodeId(9), &mut rng);
+        assert_eq!(p.num_relays(), 3);
+        assert_eq!(p.responder(), NodeId(9));
+        assert_eq!(p.session_keys.len(), 4);
+    }
+}

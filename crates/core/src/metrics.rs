@@ -1,0 +1,222 @@
+//! The four-metric evaluation framework of §6.1.
+//!
+//! * **Latency** — time until the responder can reconstruct the message
+//!   (for SimEra that is the arrival of the `m`-th segment; for
+//!   CurMix/SimRep the first full copy).
+//! * **Bandwidth cost** — total bytes × links carried for a delivery,
+//!   including partial traversal by failed paths.
+//! * **Path setup success rate** — CurMix: the single path formed;
+//!   SimRep: ≥ 1 of `k` formed; SimEra: ≥ `k/r` of `k` formed.
+//! * **Path durability** — how long the path set keeps delivering:
+//!   CurMix dies with any relay; SimRep when all `k` paths died; SimEra
+//!   when more than `k(1 − 1/r)` died.
+
+use simnet::trace::Summary;
+use simnet::SimDuration;
+
+/// Identifies which success criterion a protocol uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuccessRule {
+    /// Single path must form / survive (CurMix).
+    Single,
+    /// At least one of `k` (SimRep).
+    AnyOf {
+        /// Total paths.
+        k: usize,
+    },
+    /// At least `k/r` of `k` (SimEra).
+    Quorum {
+        /// Total paths.
+        k: usize,
+        /// Replication factor; `k` must be a multiple.
+        r: usize,
+    },
+}
+
+impl SuccessRule {
+    /// Number of paths this rule spans.
+    pub fn paths(&self) -> usize {
+        match *self {
+            SuccessRule::Single => 1,
+            SuccessRule::AnyOf { k } | SuccessRule::Quorum { k, .. } => k,
+        }
+    }
+
+    /// Minimum surviving/formed paths for success.
+    pub fn needed(&self) -> usize {
+        match *self {
+            SuccessRule::Single => 1,
+            SuccessRule::AnyOf { .. } => 1,
+            SuccessRule::Quorum { k, r } => {
+                debug_assert!(k % r == 0, "k must be a multiple of r");
+                k / r
+            }
+        }
+    }
+
+    /// Whether `alive` surviving paths satisfy the rule.
+    pub fn satisfied(&self, alive: usize) -> bool {
+        alive >= self.needed()
+    }
+
+    /// Maximum tolerable path failures (`k(1 − 1/r)` for SimEra).
+    pub fn tolerable_failures(&self) -> usize {
+        self.paths() - self.needed()
+    }
+}
+
+/// Accumulated metrics for one protocol/strategy combination.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolMetrics {
+    /// Successful-delivery latency (milliseconds).
+    pub latency_ms: Summary,
+    /// Bandwidth per delivered message (kilobytes).
+    pub bandwidth_kb: Summary,
+    /// Path-set durability (seconds).
+    pub durability_secs: Summary,
+    /// Path constructions attempted.
+    pub construction_attempts: u64,
+    /// Path constructions that satisfied the success rule.
+    pub construction_successes: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages the responder reconstructed.
+    pub messages_delivered: u64,
+}
+
+impl ProtocolMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of one construction attempt (of a full path set).
+    pub fn record_construction(&mut self, success: bool) {
+        self.construction_attempts += 1;
+        if success {
+            self.construction_successes += 1;
+        }
+    }
+
+    /// Record a message-delivery outcome.
+    pub fn record_message(&mut self, delivered: bool, latency: Option<SimDuration>, bytes: f64) {
+        self.messages_sent += 1;
+        if delivered {
+            self.messages_delivered += 1;
+            if let Some(lat) = latency {
+                self.latency_ms.record(lat.as_millis_f64());
+            }
+            self.bandwidth_kb.record(bytes / 1024.0);
+        }
+    }
+
+    /// Record how long a path set survived.
+    pub fn record_durability(&mut self, lifetime: SimDuration) {
+        self.durability_secs.record(lifetime.as_secs_f64());
+    }
+
+    /// Path-setup success rate in `[0, 1]`.
+    pub fn setup_success_rate(&self) -> f64 {
+        if self.construction_attempts == 0 {
+            0.0
+        } else {
+            self.construction_successes as f64 / self.construction_attempts as f64
+        }
+    }
+
+    /// Message delivery rate in `[0, 1]`.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Merge metrics from another run (e.g. a different seed).
+    pub fn merge(&mut self, other: &ProtocolMetrics) {
+        self.latency_ms.merge(&other.latency_ms);
+        self.bandwidth_kb.merge(&other.bandwidth_kb);
+        self.durability_secs.merge(&other.durability_secs);
+        self.construction_attempts += other.construction_attempts;
+        self.construction_successes += other.construction_successes;
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rules_match_paper_definitions() {
+        let curmix = SuccessRule::Single;
+        assert_eq!(curmix.paths(), 1);
+        assert_eq!(curmix.needed(), 1);
+        assert_eq!(curmix.tolerable_failures(), 0);
+
+        let simrep = SuccessRule::AnyOf { k: 4 };
+        assert_eq!(simrep.needed(), 1);
+        assert_eq!(simrep.tolerable_failures(), 3);
+        assert!(simrep.satisfied(1));
+        assert!(!simrep.satisfied(0));
+
+        // SimEra(k=4, r=4): tolerate k(1 - 1/r) = 3 failures.
+        let simera = SuccessRule::Quorum { k: 4, r: 4 };
+        assert_eq!(simera.needed(), 1);
+        assert_eq!(simera.tolerable_failures(), 3);
+
+        // SimEra(k=6, r=2): need 3, tolerate 3.
+        let simera62 = SuccessRule::Quorum { k: 6, r: 2 };
+        assert_eq!(simera62.needed(), 3);
+        assert_eq!(simera62.tolerable_failures(), 3);
+        assert!(simera62.satisfied(3));
+        assert!(!simera62.satisfied(2));
+    }
+
+    #[test]
+    fn construction_bookkeeping() {
+        let mut m = ProtocolMetrics::new();
+        for i in 0..10 {
+            m.record_construction(i % 4 == 0);
+        }
+        assert_eq!(m.construction_attempts, 10);
+        assert_eq!(m.construction_successes, 3);
+        assert!((m.setup_success_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_bookkeeping() {
+        let mut m = ProtocolMetrics::new();
+        m.record_message(true, Some(SimDuration::from_millis(200)), 4096.0);
+        m.record_message(false, None, 1000.0);
+        m.record_message(true, Some(SimDuration::from_millis(400)), 8192.0);
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.messages_delivered, 2);
+        assert!((m.delivery_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.latency_ms.mean() - 300.0).abs() < 1e-9);
+        assert!((m.bandwidth_kb.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = ProtocolMetrics::new();
+        a.record_construction(true);
+        a.record_durability(SimDuration::from_secs(100));
+        let mut b = ProtocolMetrics::new();
+        b.record_construction(false);
+        b.record_durability(SimDuration::from_secs(300));
+        a.merge(&b);
+        assert_eq!(a.construction_attempts, 2);
+        assert_eq!(a.construction_successes, 1);
+        assert!((a.durability_secs.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let m = ProtocolMetrics::new();
+        assert_eq!(m.setup_success_rate(), 0.0);
+        assert_eq!(m.delivery_rate(), 0.0);
+    }
+}

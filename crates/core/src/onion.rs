@@ -1,0 +1,585 @@
+//! Onion encodings: the §4.1 construction onion and §4.2/§4.4 payload
+//! onions, using real layered encryption from `sim-crypto`.
+//!
+//! # Construction onion (§4.1)
+//!
+//! ```text
+//! Path_i = ⊥                                      i = L + 1  (responder)
+//! Path_i = < P_{i+1}, R_i, Path_{i+1} >_{PubKey_{P_i}}   1 <= i <= L
+//! ```
+//!
+//! Every hop (including the responder, which receives the terminal layer
+//! carrying its session key) peels one sealed-box layer, learning only its
+//! predecessor, its successor, and its own session key `R_i`.
+//!
+//! Layer plaintext wire format (before sealing):
+//!
+//! ```text
+//! relay:    0x01 | next_hop u32 BE | R_i (32) | inner_len u32 BE | inner
+//! terminal: 0x02 | R_i (32)
+//! ```
+//!
+//! # Payload onion (§4.2, §4.4)
+//!
+//! Payloads are nested authenticated symmetric encryptions under the
+//! session keys planted at construction. Layer plaintexts:
+//!
+//! ```text
+//! forward:          0x01 | inner (ciphertext for the next hop)
+//! deliver:          0x02 | MID u64 BE | seg_index u32 BE | seg bytes
+//! redirect:         0x03 | new_dest u32 BE | inner       (path reuse, §4.4)
+//! deliver-with-key: 0x04 | sealed_len u32 BE | sealed R | inner
+//! ```
+//!
+//! `redirect` appears only in the layer addressed to the *last* relay and
+//! tells it to forward `inner` to a different responder than the one the
+//! path was built for; `deliver-with-key` carries the new responder's
+//! session key sealed to its public key (it never met our construction
+//! onion).
+
+use crate::ids::MessageId;
+use crate::AnonError;
+use erasure::Segment;
+use rand::{CryptoRng, Rng};
+use sim_crypto::{seal, sym_decrypt, sym_encrypt, PublicKey, SecretKey, SymmetricKey};
+use simnet::NodeId;
+
+const TAG_RELAY: u8 = 0x01;
+const TAG_TERMINAL: u8 = 0x02;
+
+const TAG_FORWARD: u8 = 0x01;
+const TAG_DELIVER: u8 = 0x02;
+const TAG_REDIRECT: u8 = 0x03;
+const TAG_DELIVER_WITH_KEY: u8 = 0x04;
+
+/// The initiator's private plan for one path: hop identities and the
+/// session keys planted at each hop. `hops[L]` is the responder.
+#[derive(Clone, Debug)]
+pub struct PathPlan {
+    /// Relay nodes followed by the responder (length `L + 1`).
+    pub hops: Vec<NodeId>,
+    /// Session key `R_i` for each hop, aligned with `hops`.
+    pub session_keys: Vec<SymmetricKey>,
+}
+
+impl PathPlan {
+    /// Number of relays (`L`); the responder is not a relay.
+    pub fn num_relays(&self) -> usize {
+        self.hops.len() - 1
+    }
+
+    /// The responder node.
+    pub fn responder(&self) -> NodeId {
+        *self.hops.last().expect("plans have at least the responder")
+    }
+
+    /// The first relay (where the initiator sends everything).
+    pub fn first_hop(&self) -> NodeId {
+        self.hops[0]
+    }
+}
+
+/// One peeled construction layer.
+#[derive(Debug)]
+pub enum ConstructionLayer {
+    /// This hop is a relay: forward `inner` to `next_hop`.
+    Relay {
+        /// The successor node.
+        next_hop: NodeId,
+        /// This hop's session key.
+        session_key: SymmetricKey,
+        /// Sealed onion for the successor.
+        inner: Vec<u8>,
+    },
+    /// This hop is the responder (end of path).
+    Terminal {
+        /// This hop's session key.
+        session_key: SymmetricKey,
+    },
+}
+
+/// Build the construction onion for a path.
+///
+/// `hop_keys` lists `(node, public_key)` for every hop *including the
+/// responder* (so `hop_keys.len() = L + 1`). Returns the initiator-side
+/// [`PathPlan`] (fresh session keys) and the outermost sealed blob to send
+/// to the first relay.
+pub fn build_construction_onion<R: Rng + CryptoRng>(
+    hop_keys: &[(NodeId, PublicKey)],
+    rng: &mut R,
+) -> (PathPlan, Vec<u8>) {
+    assert!(!hop_keys.is_empty(), "a path needs at least the responder hop");
+    let session_keys: Vec<SymmetricKey> =
+        hop_keys.iter().map(|_| SymmetricKey::generate(rng)).collect();
+
+    // Innermost (responder) layer first.
+    let last = hop_keys.len() - 1;
+    let mut plaintext = Vec::with_capacity(33);
+    plaintext.push(TAG_TERMINAL);
+    plaintext.extend_from_slice(&session_keys[last].to_bytes());
+    let mut blob = seal(&hop_keys[last].1, &plaintext, rng);
+
+    // Wrap outwards: hop i learns hop i+1.
+    for i in (0..last).rev() {
+        let mut layer = Vec::with_capacity(41 + blob.len());
+        layer.push(TAG_RELAY);
+        layer.extend_from_slice(&hop_keys[i + 1].0 .0.to_be_bytes());
+        layer.extend_from_slice(&session_keys[i].to_bytes());
+        layer.extend_from_slice(&(blob.len() as u32).to_be_bytes());
+        layer.extend_from_slice(&blob);
+        blob = seal(&hop_keys[i].1, &layer, rng);
+    }
+
+    let plan = PathPlan { hops: hop_keys.iter().map(|&(n, _)| n).collect(), session_keys };
+    (plan, blob)
+}
+
+/// Peel one construction layer with the hop's secret key.
+pub fn peel_construction_layer(
+    secret: &SecretKey,
+    blob: &[u8],
+) -> Result<ConstructionLayer, AnonError> {
+    let plaintext = sim_crypto::unseal(secret, blob)?;
+    match plaintext.first() {
+        Some(&TAG_RELAY) => {
+            if plaintext.len() < 1 + 4 + 32 + 4 {
+                return Err(AnonError::Malformed("short relay construction layer"));
+            }
+            let next_hop = NodeId(u32::from_be_bytes(plaintext[1..5].try_into().unwrap()));
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&plaintext[5..37]);
+            let inner_len =
+                u32::from_be_bytes(plaintext[37..41].try_into().unwrap()) as usize;
+            if plaintext.len() != 41 + inner_len {
+                return Err(AnonError::Malformed("construction layer length mismatch"));
+            }
+            Ok(ConstructionLayer::Relay {
+                next_hop,
+                session_key: SymmetricKey::from_bytes(key),
+                inner: plaintext[41..].to_vec(),
+            })
+        }
+        Some(&TAG_TERMINAL) => {
+            if plaintext.len() != 33 {
+                return Err(AnonError::Malformed("bad terminal construction layer"));
+            }
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&plaintext[1..33]);
+            Ok(ConstructionLayer::Terminal { session_key: SymmetricKey::from_bytes(key) })
+        }
+        _ => Err(AnonError::Malformed("unknown construction layer tag")),
+    }
+}
+
+/// One peeled payload layer.
+#[derive(Debug)]
+pub enum PayloadLayer {
+    /// Relay: pass `inner` to the cached next hop.
+    Forward {
+        /// Ciphertext for the next hop.
+        inner: Vec<u8>,
+    },
+    /// Responder: a coded segment of message `mid`.
+    Deliver {
+        /// Message id correlating segments across paths.
+        mid: MessageId,
+        /// The coded segment.
+        segment: Segment,
+    },
+    /// Last relay, path reuse: forward `inner` to `new_dest` instead of the
+    /// path's original responder.
+    Redirect {
+        /// Overriding destination.
+        new_dest: NodeId,
+        /// Ciphertext for the new destination.
+        inner: Vec<u8>,
+    },
+    /// New responder (path reuse): session key sealed to its public key
+    /// plus ciphertext under that key.
+    DeliverWithKey {
+        /// Sealed-box containing the 32-byte session key.
+        sealed_key: Vec<u8>,
+        /// Ciphertext of a `Deliver` plaintext under the sealed key.
+        inner: Vec<u8>,
+    },
+}
+
+fn deliver_plaintext(mid: MessageId, segment: &Segment) -> Vec<u8> {
+    let mut p = Vec::with_capacity(13 + segment.data.len());
+    p.push(TAG_DELIVER);
+    p.extend_from_slice(&mid.to_bytes());
+    p.extend_from_slice(&(segment.index as u32).to_be_bytes());
+    p.extend_from_slice(&segment.data);
+    p
+}
+
+/// Build a payload onion along `plan` carrying one coded segment.
+///
+/// With `redirect = None` the segment is delivered to the path's own
+/// responder under the construction-time session key. With
+/// `redirect = Some((d, d_pub))` the path is *reused* (§4.4): the last
+/// relay is told to forward to `d`, and the segment travels with a fresh
+/// session key sealed to `d_pub`. Returns the blob for the first relay and,
+/// for redirects, the fresh responder key (for decrypting replies).
+pub fn build_payload_onion<R: Rng + CryptoRng>(
+    plan: &PathPlan,
+    mid: MessageId,
+    segment: &Segment,
+    redirect: Option<(NodeId, PublicKey)>,
+    rng: &mut R,
+) -> (Vec<u8>, Option<SymmetricKey>) {
+    let num_relays = plan.num_relays();
+    let (mut blob, reuse_key) = match redirect {
+        None => {
+            // Innermost: Deliver under the responder's session key.
+            let inner = deliver_plaintext(mid, segment);
+            (sym_encrypt(&plan.session_keys[num_relays], &inner, rng), None)
+        }
+        Some((new_dest, new_dest_pub)) => {
+            // Fresh key for the new responder, sealed to its public key.
+            let fresh = SymmetricKey::generate(rng);
+            let sealed_key = seal(&new_dest_pub, &fresh.to_bytes(), rng);
+            let deliver_ct = sym_encrypt(&fresh, &deliver_plaintext(mid, segment), rng);
+            let mut dwk = Vec::with_capacity(5 + sealed_key.len() + deliver_ct.len());
+            dwk.push(TAG_DELIVER_WITH_KEY);
+            dwk.extend_from_slice(&(sealed_key.len() as u32).to_be_bytes());
+            dwk.extend_from_slice(&sealed_key);
+            dwk.extend_from_slice(&deliver_ct);
+            // Redirect layer for the last relay.
+            let mut redirect_layer = Vec::with_capacity(5 + dwk.len());
+            redirect_layer.push(TAG_REDIRECT);
+            redirect_layer.extend_from_slice(&new_dest.0.to_be_bytes());
+            redirect_layer.extend_from_slice(&dwk);
+            (
+                sym_encrypt(&plan.session_keys[num_relays - 1], &redirect_layer, rng),
+                Some(fresh),
+            )
+        }
+    };
+
+    // Wrap Forward layers for the remaining relays, inner to outer. With a
+    // redirect the last relay's layer is already built, so start one hop
+    // earlier.
+    let outer_relays = if redirect.is_some() { num_relays - 1 } else { num_relays };
+    for i in (0..outer_relays).rev() {
+        let mut layer = Vec::with_capacity(1 + blob.len());
+        layer.push(TAG_FORWARD);
+        layer.extend_from_slice(&blob);
+        blob = sym_encrypt(&plan.session_keys[i], &layer, rng);
+    }
+    (blob, reuse_key)
+}
+
+/// Peel one payload layer with a hop's session key.
+pub fn peel_payload_layer(
+    key: &SymmetricKey,
+    blob: &[u8],
+) -> Result<PayloadLayer, AnonError> {
+    let plaintext = sym_decrypt(key, blob)?;
+    parse_payload_plaintext(&plaintext)
+}
+
+/// Parse an already-decrypted payload plaintext (used by the new responder
+/// after unsealing a `DeliverWithKey`).
+pub fn parse_payload_plaintext(plaintext: &[u8]) -> Result<PayloadLayer, AnonError> {
+    match plaintext.first() {
+        Some(&TAG_FORWARD) => Ok(PayloadLayer::Forward { inner: plaintext[1..].to_vec() }),
+        Some(&TAG_DELIVER) => {
+            if plaintext.len() < 13 {
+                return Err(AnonError::Malformed("short deliver layer"));
+            }
+            let mid = MessageId::from_bytes(plaintext[1..9].try_into().unwrap());
+            let index = u32::from_be_bytes(plaintext[9..13].try_into().unwrap()) as usize;
+            Ok(PayloadLayer::Deliver {
+                mid,
+                segment: Segment::new(index, plaintext[13..].to_vec()),
+            })
+        }
+        Some(&TAG_REDIRECT) => {
+            if plaintext.len() < 5 {
+                return Err(AnonError::Malformed("short redirect layer"));
+            }
+            let new_dest = NodeId(u32::from_be_bytes(plaintext[1..5].try_into().unwrap()));
+            Ok(PayloadLayer::Redirect { new_dest, inner: plaintext[5..].to_vec() })
+        }
+        Some(&TAG_DELIVER_WITH_KEY) => {
+            if plaintext.len() < 5 {
+                return Err(AnonError::Malformed("short deliver-with-key layer"));
+            }
+            let sealed_len = u32::from_be_bytes(plaintext[1..5].try_into().unwrap()) as usize;
+            if plaintext.len() < 5 + sealed_len {
+                return Err(AnonError::Malformed("deliver-with-key length mismatch"));
+            }
+            Ok(PayloadLayer::DeliverWithKey {
+                sealed_key: plaintext[5..5 + sealed_len].to_vec(),
+                inner: plaintext[5 + sealed_len..].to_vec(),
+            })
+        }
+        _ => Err(AnonError::Malformed("unknown payload layer tag")),
+    }
+}
+
+/// Responder side: encrypt a reply segment under its session key (the
+/// innermost reverse layer).
+pub fn build_reverse_payload<R: Rng + CryptoRng>(
+    responder_key: &SymmetricKey,
+    mid: MessageId,
+    segment: &Segment,
+    rng: &mut R,
+) -> Vec<u8> {
+    sym_encrypt(responder_key, &deliver_plaintext(mid, segment), rng)
+}
+
+/// Relay side on the reverse path: add one layer with the cached session
+/// key ("the payload is encrypted by the cached symmetric key at each hop",
+/// §4.2).
+pub fn wrap_reverse_layer<R: Rng + CryptoRng>(
+    key: &SymmetricKey,
+    blob: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    sym_encrypt(key, blob, rng)
+}
+
+/// Initiator side: strip all `L + 1` reverse layers and recover the reply
+/// segment. `responder_key_override` replaces the plan's responder key for
+/// reused paths (where a fresh key was generated per message).
+pub fn peel_reverse_payload(
+    plan: &PathPlan,
+    blob: &[u8],
+    responder_key_override: Option<&SymmetricKey>,
+) -> Result<(MessageId, Segment), AnonError> {
+    let mut current = blob.to_vec();
+    // Relay layers were added in traversal order P_L .. P_1, so the
+    // outermost is P_1's.
+    for i in 0..plan.num_relays() {
+        current = sym_decrypt(&plan.session_keys[i], &current)?;
+    }
+    let responder_key =
+        responder_key_override.unwrap_or(&plan.session_keys[plan.num_relays()]);
+    let plaintext = sym_decrypt(responder_key, &current)?;
+    match parse_payload_plaintext(&plaintext)? {
+        PayloadLayer::Deliver { mid, segment } => Ok((mid, segment)),
+        _ => Err(AnonError::Malformed("reverse payload must be a deliver layer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sim_crypto::KeyPair;
+
+    fn make_hops(rng: &mut StdRng, n: usize) -> (Vec<(NodeId, PublicKey)>, Vec<KeyPair>) {
+        let keypairs: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(rng)).collect();
+        let hops = keypairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| (NodeId(i as u32), kp.public))
+            .collect();
+        (hops, keypairs)
+    }
+
+    #[test]
+    fn construction_onion_peels_hop_by_hop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = 3;
+        let (hops, keypairs) = make_hops(&mut rng, l + 1);
+        let (plan, mut blob) = build_construction_onion(&hops, &mut rng);
+        assert_eq!(plan.num_relays(), l);
+        assert_eq!(plan.responder(), NodeId(l as u32));
+        assert_eq!(plan.first_hop(), NodeId(0));
+
+        for i in 0..l {
+            match peel_construction_layer(&keypairs[i].secret, &blob).unwrap() {
+                ConstructionLayer::Relay { next_hop, session_key, inner } => {
+                    assert_eq!(next_hop, NodeId(i as u32 + 1));
+                    assert_eq!(session_key, plan.session_keys[i]);
+                    blob = inner;
+                }
+                other => panic!("hop {i}: expected relay layer, got {other:?}"),
+            }
+        }
+        match peel_construction_layer(&keypairs[l].secret, &blob).unwrap() {
+            ConstructionLayer::Terminal { session_key } => {
+                assert_eq!(session_key, plan.session_keys[l]);
+            }
+            other => panic!("expected terminal layer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construction_layer_rejects_wrong_key() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (hops, keypairs) = make_hops(&mut rng, 3);
+        let (_, blob) = build_construction_onion(&hops, &mut rng);
+        // Second hop's key cannot open the first layer.
+        assert!(peel_construction_layer(&keypairs[1].secret, &blob).is_err());
+    }
+
+    #[test]
+    fn single_hop_path_is_just_the_responder() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (hops, keypairs) = make_hops(&mut rng, 1);
+        let (plan, blob) = build_construction_onion(&hops, &mut rng);
+        assert_eq!(plan.num_relays(), 0);
+        assert!(matches!(
+            peel_construction_layer(&keypairs[0].secret, &blob).unwrap(),
+            ConstructionLayer::Terminal { .. }
+        ));
+    }
+
+    #[test]
+    fn payload_onion_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (hops, _) = make_hops(&mut rng, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let mid = MessageId(77);
+        let seg = Segment::new(5, b"erasure coded bytes".to_vec());
+        let (mut blob, reuse) = build_payload_onion(&plan, mid, &seg, None, &mut rng);
+        assert!(reuse.is_none());
+
+        for i in 0..plan.num_relays() {
+            match peel_payload_layer(&plan.session_keys[i], &blob).unwrap() {
+                PayloadLayer::Forward { inner } => blob = inner,
+                other => panic!("hop {i}: expected forward, got {other:?}"),
+            }
+        }
+        match peel_payload_layer(&plan.session_keys[3], &blob).unwrap() {
+            PayloadLayer::Deliver { mid: got_mid, segment } => {
+                assert_eq!(got_mid, mid);
+                assert_eq!(segment, seg);
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_onion_layers_shrink_monotonically() {
+        // Each relay strips exactly one symmetric layer: sizes decrease by
+        // the symmetric overhead + 1 tag byte.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (hops, _) = make_hops(&mut rng, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let seg = Segment::new(0, vec![0u8; 256]);
+        let (mut blob, _) = build_payload_onion(&plan, MessageId(1), &seg, None, &mut rng);
+        let mut prev = blob.len();
+        for i in 0..plan.num_relays() {
+            let PayloadLayer::Forward { inner } =
+                peel_payload_layer(&plan.session_keys[i], &blob).unwrap()
+            else {
+                panic!("expected forward");
+            };
+            blob = inner;
+            assert!(blob.len() < prev);
+            prev = blob.len();
+        }
+    }
+
+    #[test]
+    fn redirect_path_reuse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (hops, _) = make_hops(&mut rng, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        // A brand-new responder that was not on the original path.
+        let new_responder = KeyPair::generate(&mut rng);
+        let new_dest = NodeId(99);
+        let mid = MessageId(123);
+        let seg = Segment::new(2, b"reused path payload".to_vec());
+        let (mut blob, fresh_key) = build_payload_onion(
+            &plan,
+            mid,
+            &seg,
+            Some((new_dest, new_responder.public)),
+            &mut rng,
+        );
+        let fresh_key = fresh_key.expect("redirect must mint a key");
+
+        // Relays 0..L-1 see plain forwards.
+        for i in 0..plan.num_relays() - 1 {
+            match peel_payload_layer(&plan.session_keys[i], &blob).unwrap() {
+                PayloadLayer::Forward { inner } => blob = inner,
+                other => panic!("hop {i}: expected forward, got {other:?}"),
+            }
+        }
+        // The last relay sees the redirect.
+        let last = plan.num_relays() - 1;
+        let dwk = match peel_payload_layer(&plan.session_keys[last], &blob).unwrap() {
+            PayloadLayer::Redirect { new_dest: nd, inner } => {
+                assert_eq!(nd, new_dest);
+                inner
+            }
+            other => panic!("expected redirect, got {other:?}"),
+        };
+        // The new responder parses deliver-with-key.
+        let layer = parse_payload_plaintext(&dwk).unwrap();
+        let PayloadLayer::DeliverWithKey { sealed_key, inner } = layer else {
+            panic!("expected deliver-with-key");
+        };
+        let key_bytes = sim_crypto::unseal(&new_responder.secret, &sealed_key).unwrap();
+        let recovered = SymmetricKey::from_bytes(key_bytes.try_into().unwrap());
+        assert_eq!(recovered, fresh_key);
+        match peel_payload_layer(&recovered, &inner).unwrap() {
+            PayloadLayer::Deliver { mid: got, segment } => {
+                assert_eq!(got, mid);
+                assert_eq!(segment, seg);
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_payload_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (hops, _) = make_hops(&mut rng, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let mid = MessageId(55);
+        let seg = Segment::new(1, b"the reply".to_vec());
+        // Responder encrypts innermost.
+        let mut blob =
+            build_reverse_payload(&plan.session_keys[3], mid, &seg, &mut rng);
+        // Relays wrap on the way back: P3, P2, P1.
+        for i in (0..plan.num_relays()).rev() {
+            blob = wrap_reverse_layer(&plan.session_keys[i], &blob, &mut rng);
+        }
+        let (got_mid, got_seg) = peel_reverse_payload(&plan, &blob, None).unwrap();
+        assert_eq!(got_mid, mid);
+        assert_eq!(got_seg, seg);
+    }
+
+    #[test]
+    fn reverse_payload_with_override_key() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (hops, _) = make_hops(&mut rng, 3);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let fresh = SymmetricKey::generate(&mut rng);
+        let seg = Segment::new(0, b"reply on reused path".to_vec());
+        let mut blob = build_reverse_payload(&fresh, MessageId(9), &seg, &mut rng);
+        for i in (0..plan.num_relays()).rev() {
+            blob = wrap_reverse_layer(&plan.session_keys[i], &blob, &mut rng);
+        }
+        assert!(peel_reverse_payload(&plan, &blob, None).is_err());
+        let (_, got) = peel_reverse_payload(&plan, &blob, Some(&fresh)).unwrap();
+        assert_eq!(got, seg);
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (hops, _) = make_hops(&mut rng, 3);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let (mut blob, _) = build_payload_onion(
+            &plan,
+            MessageId(1),
+            &Segment::new(0, vec![1, 2, 3]),
+            None,
+            &mut rng,
+        );
+        blob[10] ^= 0xff;
+        assert!(matches!(
+            peel_payload_layer(&plan.session_keys[0], &blob),
+            Err(AnonError::Crypto(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced by erasure-coding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErasureError {
+    /// Coding parameters are outside the representable range
+    /// (`1 <= m <= n <= 255` is required for GF(2^8) codes).
+    InvalidParameters {
+        /// Segments required for reconstruction.
+        m: usize,
+        /// Total coded segments.
+        n: usize,
+    },
+    /// Fewer than `m` distinct segments were supplied to the decoder.
+    NotEnoughSegments {
+        /// Distinct segments supplied.
+        have: usize,
+        /// Segments required.
+        need: usize,
+    },
+    /// Supplied segments do not all have the same length.
+    LengthMismatch,
+    /// A segment index is out of range for the code (`index >= n`).
+    BadIndex(usize),
+    /// Two supplied segments carry the same index.
+    DuplicateIndex(usize),
+    /// The decode matrix was singular (cannot happen for distinct valid
+    /// indices of a Vandermonde-derived code; indicates corrupted input).
+    SingularMatrix,
+    /// The reconstructed prefix does not contain a valid length frame.
+    BadFrame,
+}
+
+impl fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErasureError::InvalidParameters { m, n } => {
+                write!(f, "invalid erasure parameters m={m}, n={n} (need 1 <= m <= n <= 255)")
+            }
+            ErasureError::NotEnoughSegments { have, need } => {
+                write!(f, "not enough segments to reconstruct: have {have}, need {need}")
+            }
+            ErasureError::LengthMismatch => write!(f, "segments have differing lengths"),
+            ErasureError::BadIndex(i) => write!(f, "segment index {i} out of range"),
+            ErasureError::DuplicateIndex(i) => write!(f, "duplicate segment index {i}"),
+            ErasureError::SingularMatrix => write!(f, "decode matrix is singular"),
+            ErasureError::BadFrame => write!(f, "reconstructed message has a corrupt length frame"),
+        }
+    }
+}
+
+impl std::error::Error for ErasureError {}

@@ -1,0 +1,55 @@
+//! Systematic Reed–Solomon erasure coding over GF(2^8), plus a replication
+//! codec, implementing the message-redundancy substrate of
+//! *Making Peer-to-Peer Anonymous Routing Resilient to Failures*
+//! (Zhu & Hu, IPPS 2007).
+//!
+//! The paper uses Rabin's Information Dispersal Algorithm abstractly: a
+//! message `M` is split into `n` coded segments of size `|M|/m` such that any
+//! `m` segments reconstruct `M`; the *replication factor* is `r = n/m`.
+//! This crate provides exactly that contract:
+//!
+//! * [`gf256`] — constant-time-table arithmetic over GF(2^8) with the AES
+//!   field polynomial replaced by the conventional Rijndael-independent
+//!   `0x11d` (x^8 + x^4 + x^3 + x^2 + 1), generator 2.
+//! * [`matrix`] — dense matrices over GF(2^8) with Gauss–Jordan inversion,
+//!   Vandermonde and Cauchy constructions.
+//! * [`rs`] — a systematic Reed–Solomon encoder/decoder built from an
+//!   extended-Vandermonde generator matrix (first `m` rows are the identity,
+//!   so data segments pass through unmodified).
+//! * [`codec`] — the message-level API used by the anonymity protocols:
+//!   length-framing, padding, segment indexing, and the [`codec::Codec`]
+//!   trait shared by erasure coding ([`codec::ErasureCodec`]) and replication
+//!   ([`replication::ReplicationCodec`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use erasure::codec::{Codec, ErasureCodec};
+//!
+//! // r = n/m = 12/4 = 3: tolerate loss of any 8 of the 12 segments.
+//! let codec = ErasureCodec::new(4, 12).unwrap();
+//! let message = b"the quick brown fox jumps over the lazy dog".to_vec();
+//! let segments = codec.encode(&message);
+//! assert_eq!(segments.len(), 12);
+//!
+//! // Drop all but 4 arbitrary segments and reconstruct.
+//! let survivors: Vec<_> = segments.into_iter().skip(7).take(4).collect();
+//! let recovered = codec.decode(&survivors).unwrap();
+//! assert_eq!(recovered, message);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod gf256;
+pub mod matrix;
+pub mod replication;
+pub mod rs;
+
+mod error;
+
+pub use codec::{Codec, ErasureCodec, Segment};
+pub use error::ErasureError;
+pub use replication::ReplicationCodec;
+pub use rs::ReedSolomon;

@@ -1,0 +1,286 @@
+//! Dense matrices over GF(2^8).
+//!
+//! Row-major storage. Everything here is sized by the code parameters
+//! (`n, m <= 255`), so all operations are tiny; clarity beats cleverness.
+
+use crate::gf256;
+use crate::ErasureError;
+
+/// A dense `rows x cols` matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:02x?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Build from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Build from nested row slices (test convenience).
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| u8::from(r == c))
+    }
+
+    /// Vandermonde matrix: `V[r][c] = r^c` (element `r` of the field raised
+    /// to the column power). Any `cols` distinct rows of the full 256-row
+    /// Vandermonde are linearly independent, which is what makes the derived
+    /// Reed–Solomon code MDS.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= gf256::FIELD_SIZE, "too many Vandermonde rows for GF(2^8)");
+        Matrix::from_fn(rows, cols, |r, c| gf256::pow(r as u8, c))
+    }
+
+    /// Cauchy matrix over disjoint index sets `x` (rows) and `y` (cols):
+    /// `C[i][j] = 1 / (x_i + y_j)`. Every square submatrix of a Cauchy
+    /// matrix is invertible. Provided as an alternative generator
+    /// construction; the default codec uses the Vandermonde route.
+    pub fn cauchy(x: &[u8], y: &[u8]) -> Self {
+        for xi in x {
+            assert!(!y.contains(xi), "Cauchy index sets must be disjoint");
+        }
+        Matrix::from_fn(x.len(), y.len(), |r, c| gf256::inv(gf256::add(x[r], y[c])))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow a row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                let dst_base = r * out.cols;
+                let src = rhs.row(k);
+                gf256::mul_acc_slice(&mut out.data[dst_base..dst_base + rhs.cols], src, a);
+            }
+        }
+        out
+    }
+
+    /// Extract the submatrix formed by the given row indices (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index out of range");
+            let d = dst * self.cols;
+            out.data[d..d + self.cols].copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion. Returns [`ErasureError::SingularMatrix`] if
+    /// the matrix has no inverse.
+    pub fn inverse(&self) -> Result<Matrix, ErasureError> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != 0)
+                .ok_or(ErasureError::SingularMatrix)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale the pivot row so the diagonal is 1.
+            let p = a.get(col, col);
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                a.scale_row(col, pinv);
+                inv.scale_row(col, pinv);
+            }
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor != 0 {
+                    a.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        let (lo, hi) = (r1.min(r2), r1.max(r2));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    fn scale_row(&mut self, r: usize, c: u8) {
+        let base = r * self.cols;
+        for v in &mut self.data[base..base + self.cols] {
+            *v = gf256::mul(*v, c);
+        }
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u8) {
+        debug_assert_ne!(dst, src);
+        let cols = self.cols;
+        let (dst_slice, src_slice) = if dst < src {
+            let (head, tail) = self.data.split_at_mut(src * cols);
+            (&mut head[dst * cols..(dst + 1) * cols], &tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(dst * cols);
+            (&mut tail[..cols], &head[src * cols..(src + 1) * cols])
+        };
+        gf256::mul_acc_slice(dst_slice, src_slice, factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_op() {
+        let m = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let i = Matrix::identity(3);
+        assert_eq!(i.mul(&m), m);
+        assert_eq!(m.mul(&i), m);
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = Matrix::identity(5);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn inverse_roundtrip_vandermonde_square() {
+        for n in 1..=8usize {
+            let v = Matrix::vandermonde(n, n);
+            let vinv = v.inverse().expect("square Vandermonde over distinct points inverts");
+            assert_eq!(v.mul(&vinv), Matrix::identity(n));
+            assert_eq!(vinv.mul(&v), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let m = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
+        assert_eq!(m.inverse(), Err(ErasureError::SingularMatrix));
+        let z = Matrix::zero(3, 3);
+        assert_eq!(z.inverse(), Err(ErasureError::SingularMatrix));
+    }
+
+    #[test]
+    fn cauchy_square_always_invertible() {
+        let x = [0u8, 1, 2, 3];
+        let y = [4u8, 5, 6, 7];
+        let c = Matrix::cauchy(&x, &y);
+        let cinv = c.inverse().unwrap();
+        assert_eq!(c.mul(&cinv), Matrix::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn cauchy_rejects_overlapping_sets() {
+        let _ = Matrix::cauchy(&[1, 2], &[2, 3]);
+    }
+
+    #[test]
+    fn select_rows_orders_output() {
+        let v = Matrix::vandermonde(6, 3);
+        let s = v.select_rows(&[5, 0, 2]);
+        assert_eq!(s.row(0), v.row(5));
+        assert_eq!(s.row(1), v.row(0));
+        assert_eq!(s.row(2), v.row(2));
+    }
+
+    #[test]
+    fn mul_known_small_case() {
+        // [[1,1],[0,1]] * [[2],[3]] = [[2^3],[3]] with ^ the field add.
+        let a = Matrix::from_rows(&[&[1, 1], &[0, 1]]);
+        let b = Matrix::from_rows(&[&[2], &[3]]);
+        let c = a.mul(&b);
+        assert_eq!(c.get(0, 0), 1); // 2 XOR 3
+        assert_eq!(c.get(1, 0), 3);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading zero forces a row swap in Gauss-Jordan.
+        let m = Matrix::from_rows(&[&[0, 1], &[1, 0]]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.mul(&inv), Matrix::identity(2));
+    }
+}

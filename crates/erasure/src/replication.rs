@@ -1,0 +1,100 @@
+//! Replication codec: the paper's SimRep substrate.
+//!
+//! "Replication can be thought of as a special case of erasure coding where
+//! `m = 1`" (§4): every segment is a full copy of the message, any single
+//! copy reconstructs it, and the replication factor is `r = n = k` copies.
+
+use crate::codec::{Codec, Segment};
+use crate::ErasureError;
+
+/// Full-copy replication over `copies` paths (`m = 1`, `n = copies`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationCodec {
+    copies: usize,
+}
+
+impl ReplicationCodec {
+    /// Create a codec producing `copies >= 1` identical segments.
+    pub fn new(copies: usize) -> Result<Self, ErasureError> {
+        if copies == 0 {
+            return Err(ErasureError::InvalidParameters { m: 1, n: 0 });
+        }
+        Ok(ReplicationCodec { copies })
+    }
+}
+
+impl Codec for ReplicationCodec {
+    fn required(&self) -> usize {
+        1
+    }
+
+    fn total(&self) -> usize {
+        self.copies
+    }
+
+    fn encode(&self, message: &[u8]) -> Vec<Segment> {
+        (0..self.copies).map(|i| Segment::new(i, message.to_vec())).collect()
+    }
+
+    fn decode(&self, segments: &[Segment]) -> Result<Vec<u8>, ErasureError> {
+        let seg = segments
+            .first()
+            .ok_or(ErasureError::NotEnoughSegments { have: 0, need: 1 })?;
+        if seg.index >= self.copies {
+            return Err(ErasureError::BadIndex(seg.index));
+        }
+        Ok(seg.data.clone())
+    }
+
+    fn segment_len(&self, msg_len: usize) -> usize {
+        msg_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_copies_rejected() {
+        assert!(ReplicationCodec::new(0).is_err());
+    }
+
+    #[test]
+    fn every_copy_is_the_message() {
+        let codec = ReplicationCodec::new(4);
+        let codec = codec.unwrap();
+        let msg = b"copy me".to_vec();
+        let segs = codec.encode(&msg);
+        assert_eq!(segs.len(), 4);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.data, msg);
+            assert_eq!(codec.decode(std::slice::from_ref(s)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_empty_fails() {
+        let codec = ReplicationCodec::new(2).unwrap();
+        assert!(matches!(
+            codec.decode(&[]),
+            Err(ErasureError::NotEnoughSegments { have: 0, need: 1 })
+        ));
+    }
+
+    #[test]
+    fn decode_out_of_range_index_fails() {
+        let codec = ReplicationCodec::new(2).unwrap();
+        let seg = Segment::new(5, vec![1, 2, 3]);
+        assert_eq!(codec.decode(&[seg]), Err(ErasureError::BadIndex(5)));
+    }
+
+    #[test]
+    fn bandwidth_model_full_copies() {
+        // SimRep sends |M| bytes per path — r times the erasure per-path cost.
+        let codec = ReplicationCodec::new(8).unwrap();
+        assert_eq!(codec.segment_len(1024), 1024);
+        assert!((codec.replication_factor() - 8.0).abs() < 1e-12);
+    }
+}

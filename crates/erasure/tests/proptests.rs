@@ -1,0 +1,136 @@
+//! Property-based tests for the erasure crate: MDS property, framing
+//! round-trips, and field-law invariants under randomized inputs.
+
+use erasure::codec::{Codec, ErasureCodec, Segment};
+use erasure::gf256;
+use erasure::matrix::Matrix;
+use erasure::replication::ReplicationCodec;
+use erasure::rs::ReedSolomon;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Field laws hold for arbitrary triples.
+    #[test]
+    fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        if b != 0 {
+            prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+        }
+    }
+
+    /// Every random square matrix either inverts correctly or reports
+    /// singularity (and singularity is consistent with a zero determinant
+    /// witness: M * candidate != I never occurs).
+    #[test]
+    fn matrix_inverse_total_correctness(
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xff) as u8
+        };
+        let m = Matrix::from_fn(n, n, |_, _| next());
+        if let Ok(inv) = m.inverse() {
+            prop_assert_eq!(m.mul(&inv), Matrix::identity(n));
+            prop_assert_eq!(inv.mul(&m), Matrix::identity(n));
+        }
+    }
+
+    /// MDS: any m-subset of coded shards reconstructs the data, for random
+    /// parameters, shard content and survivor subsets.
+    #[test]
+    fn rs_any_m_subset_reconstructs(
+        m in 1usize..8,
+        extra in 0usize..8,
+        len in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let rs = ReedSolomon::new(m, n).unwrap();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let data: Vec<Vec<u8>> = (0..m).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let coded = rs.encode(&data).unwrap();
+
+        // Random survivor subset of size m, derived from the seed.
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() as usize) % (i + 1);
+            indices.swap(i, j);
+        }
+        let survivors: Vec<(usize, &[u8])> =
+            indices[..m].iter().map(|&i| (i, coded[i].as_slice())).collect();
+        prop_assert_eq!(rs.reconstruct(&survivors).unwrap(), data);
+    }
+
+    /// Message-level round trip through the erasure codec for arbitrary
+    /// messages and random m-subsets.
+    #[test]
+    fn erasure_codec_roundtrip(
+        m in 1usize..6,
+        r in 1usize..5,
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+    ) {
+        let codec = ErasureCodec::from_replication_factor(m, r).unwrap();
+        let segs = codec.encode(&msg);
+        prop_assert_eq!(segs.len(), m * r);
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let n = segs.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = next() % (i + 1);
+            indices.swap(i, j);
+        }
+        let survivors: Vec<Segment> = indices[..m].iter().map(|&i| segs[i].clone()).collect();
+        prop_assert_eq!(codec.decode(&survivors).unwrap(), msg);
+    }
+
+    /// Replication round trip from any single copy.
+    #[test]
+    fn replication_roundtrip(
+        copies in 1usize..10,
+        which in any::<prop::sample::Index>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let codec = ReplicationCodec::new(copies).unwrap();
+        let segs = codec.encode(&msg);
+        let pick = which.index(copies);
+        prop_assert_eq!(codec.decode(&[segs[pick].clone()]).unwrap(), msg);
+    }
+
+    /// Bandwidth model: total coded bytes are r * (|M| + frame) within
+    /// per-shard ceiling slack.
+    #[test]
+    fn erasure_total_bytes_tracks_replication_factor(
+        m in 1usize..8,
+        r in 1usize..5,
+        len in 1usize..2048,
+    ) {
+        let codec = ErasureCodec::from_replication_factor(m, r).unwrap();
+        let total: usize = codec.encode(&vec![0xab; len]).iter().map(Segment::len).sum();
+        let ideal = r * (len + 4);
+        // Padding slack: at most r * (m - 1) bytes above ideal.
+        prop_assert!(total >= ideal);
+        prop_assert!(total < ideal + r * m);
+    }
+}

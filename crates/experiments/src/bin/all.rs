@@ -1,0 +1,24 @@
+//! Run every table/figure reproduction in sequence (same binaries the
+//! individual targets expose). `EXPERIMENT_QUICK=1` shrinks everything to
+//! smoke-test scale.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1", "fig2", "fig3", "fig4", "tab1", "fig5", "tab2", "tab3", "tab4", "eq4",
+        "validate", "extensions", "membership_ablation", "attack",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================================================================");
+        println!("running {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nall experiments completed; CSVs in results/");
+}

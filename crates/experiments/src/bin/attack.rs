@@ -1,0 +1,76 @@
+//! Adversary measurement: empirical §5 anonymity over real path
+//! constructions, plus the §7 "adversary stays online" risk analysis
+//! under biased mix choice.
+
+use anon_core::anonymity;
+use anon_core::attack::{run_attack_experiment, staying_adversary_advantage, AttackConfig};
+use anon_core::mix::MixStrategy;
+use anon_core::sim::WorldConfig;
+use experiments::experiments::Scale;
+use experiments::{default_threads, par_map, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n, events) = match scale {
+        Scale::Full => (1024usize, 2000usize),
+        Scale::Quick => (192, 300),
+    };
+    let world = WorldConfig { n, ..scale.world(31) };
+    let warmup = scale.warmup();
+    println!("adversary measurement — n = {n}, {events} constructions per point\n");
+
+    // ---- Part 1: empirical Eq. 4 (random choice, churning adversary) ----
+    let fs = [0.1f64, 0.2, 0.3, 0.4, 0.5];
+    let rows = par_map(fs.to_vec(), default_threads(), |f| {
+        let res = run_attack_experiment(
+            world.clone(),
+            MixStrategy::Random,
+            2,
+            AttackConfig { f, adversary_stays: false },
+            events,
+            warmup,
+        );
+        (f, res)
+    });
+    let mut table = Table::new(
+        "empirical first-relay compromise vs Eq. 4 (random choice)",
+        &["f", "empirical", "Eq.4 exact (f)", "Eq.4 as printed", "full-path rate", "~f^L"],
+    );
+    for (f, res) in &rows {
+        table.row(&[
+            format!("{f:.1}"),
+            format!("{:.3}", res.first_relay_rate()),
+            format!("{:.3}", anonymity::p_case1_exact(*f, 3)),
+            format!("{:.3}", anonymity::p_case1_as_printed(*f, 3)),
+            format!("{:.4}", res.full_path_rate()),
+            format!("{:.4}", f.powi(3)),
+        ]);
+    }
+    table.print();
+    table.save_csv("attack_eq4").expect("write csv");
+
+    // ---- Part 2: §7 staying-adversary advantage -------------------------
+    println!("\n§7: adversary occupancy of relay slots, churning vs always-online\n");
+    let mut table = Table::new(
+        "adversary slot occupancy (f = 0.2)",
+        &["mix choice", "churning adversary", "staying adversary", "advantage"],
+    );
+    for strategy in [MixStrategy::Random, MixStrategy::Biased] {
+        let (churn, stay) =
+            staying_adversary_advantage(world.clone(), strategy, 2, 0.2, events, warmup);
+        table.row(&[
+            strategy.label().to_string(),
+            format!("{:.3}", churn.occupancy()),
+            format!("{:.3}", stay.occupancy()),
+            format!("{:.2}x", stay.occupancy() / churn.occupancy().max(1e-9)),
+        ]);
+    }
+    table.print();
+    table.save_csv("attack_staying").expect("write csv");
+
+    println!("\npaper §7: \"the attacker may attempt to stay longer in the system with");
+    println!("the hope of being relay nodes of many paths\" — the biased row quantifies");
+    println!("that incentive; the paper's counterargument (honest nodes gain the same");
+    println!("incentive, shrinking the attacker's relative edge) is visible in how the");
+    println!("advantage stays bounded while honest long-livers populate the top ranks.");
+}

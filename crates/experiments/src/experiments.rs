@@ -1,0 +1,594 @@
+//! Data-producing functions for every table and figure.
+//!
+//! Each function returns plain data; the binaries format it (and the
+//! benches time it). All functions take explicit seeds/trial counts so
+//! runs are reproducible; "quick" variants shrink the workload for smoke
+//! tests and Criterion.
+
+use crate::par_map;
+use anon_core::allocation::{self, BandwidthModel};
+use anon_core::anonymity;
+use anon_core::metrics::ProtocolMetrics;
+use anon_core::mix::MixStrategy;
+use anon_core::protocols::runner::{
+    run_performance_experiment, run_setup_experiment, PerfConfig, SetupConfig,
+};
+use anon_core::protocols::ProtocolKind;
+use anon_core::sim::WorldConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::trace::Samples;
+use simnet::{LifetimeDistribution, SimTime};
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-faithful: 1024 nodes, 2-hour horizon, 10 seeds.
+    Full,
+    /// Smoke-test scale: 192 nodes, 1-hour horizon, 2 seeds.
+    Quick,
+}
+
+impl Scale {
+    /// From the environment (`EXPERIMENT_QUICK=1`).
+    pub fn from_env() -> Self {
+        if crate::quick_mode() {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// World config at this scale.
+    pub fn world(self, seed: u64) -> WorldConfig {
+        match self {
+            Scale::Full => WorldConfig::paper_default(seed),
+            Scale::Quick => WorldConfig {
+                n: 192,
+                horizon: SimTime::from_secs(3600),
+                ..WorldConfig::paper_default(seed)
+            },
+        }
+    }
+
+    /// Warm-up before measurement (paper: first hour).
+    pub fn warmup(self) -> SimTime {
+        match self {
+            Scale::Full => SimTime::from_secs(3600),
+            Scale::Quick => SimTime::from_secs(1800),
+        }
+    }
+
+    /// Seeds for multi-seed experiments (paper: 10 runs).
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Full => (1..=10).collect(),
+            Scale::Quick => vec![1, 2],
+        }
+    }
+
+    /// Monte-Carlo trial count for the analytic validations.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Full => 200_000,
+            Scale::Quick => 20_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// One point of the Figure-1 CDF comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1Point {
+    /// Lifetime (seconds).
+    pub t_secs: f64,
+    /// Empirical CDF of the synthesized "measured" trace.
+    pub measured_cdf: f64,
+    /// Analytic Pareto(α = 0.83, β = 1560 s) CDF.
+    pub pareto_cdf: f64,
+}
+
+/// Figure 1: measured Gnutella lifetime CDF vs the Pareto fit.
+///
+/// The original Saroiu et al. trace is not redistributable; we synthesize
+/// the "measured" curve by sampling the Pareto fit with ±10% multiplicative
+/// noise per sample (see DESIGN.md substitutions) and compare its empirical
+/// CDF with the analytic distribution over the paper's 0–70 000 s range.
+pub fn fig1_data(samples: usize, seed: u64) -> Vec<Fig1Point> {
+    let dist = LifetimeDistribution::GNUTELLA_FIT;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Samples::new();
+    for _ in 0..samples {
+        let noise = 0.9 + 0.2 * rng.gen::<f64>();
+        trace.record(dist.sample(&mut rng).as_secs_f64() * noise);
+    }
+    (1..=14)
+        .map(|i| {
+            let t = i as f64 * 5_000.0;
+            Fig1Point {
+                t_secs: t,
+                measured_cdf: trace.cdf(t),
+                pareto_cdf: dist.cdf(t),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ Figures 2–3
+
+/// One `P(k)` point: closed form and Monte-Carlo estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct PkPoint {
+    /// Number of paths.
+    pub k: usize,
+    /// Closed-form `P(k)`.
+    pub analytic: f64,
+    /// Monte-Carlo estimate.
+    pub simulated: f64,
+}
+
+fn pk_series(pa: f64, r: usize, l: usize, trials: usize, rng: &mut StdRng) -> Vec<PkPoint> {
+    let p = allocation::path_success_probability(pa, l);
+    (1..=20 / r)
+        .map(|mult| {
+            let k = mult * r;
+            PkPoint {
+                k,
+                analytic: allocation::p_of_k(k, r, p),
+                simulated: allocation::simulate_p_of_k(k, r, pa, l, trials, rng),
+            }
+        })
+        .collect()
+}
+
+/// Figure 2: validation of the three observations. `r = 2`, `L = 3`,
+/// node availabilities 0.70 / 0.86 / 0.95 (Observations 3 / 2 / 1).
+pub fn fig2_data(trials: usize, seed: u64) -> Vec<(f64, Vec<PkPoint>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    [0.70, 0.86, 0.95]
+        .into_iter()
+        .map(|pa| (pa, pk_series(pa, 2, 3, trials, &mut rng)))
+        .collect()
+}
+
+/// Figure 3: `P(k)` for replication factors 2/3/4 at `pa = 0.70`, `L = 3`.
+pub fn fig3_data(trials: usize, seed: u64) -> Vec<(usize, Vec<PkPoint>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    [2usize, 3, 4]
+        .into_iter()
+        .map(|r| (r, pk_series(0.70, r, 3, trials, &mut rng)))
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// One bandwidth point: expected vs simulated total cost in KB.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthPoint {
+    /// Number of paths.
+    pub k: usize,
+    /// Analytic expectation (KB).
+    pub analytic_kb: f64,
+    /// Monte-Carlo measurement (KB).
+    pub simulated_kb: f64,
+}
+
+/// Figure 4: total bandwidth for a 1 KB message over `k` paths with
+/// `r ∈ {2, 3, 4}`, `pa = 0.70`, `L = 3`, counting partial traversal of
+/// failed paths.
+pub fn fig4_data(trials: usize, seed: u64) -> Vec<(usize, Vec<BandwidthPoint>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = BandwidthModel { msg_bytes: 1024, l: 3, pa: 0.70 };
+    [2usize, 3, 4]
+        .into_iter()
+        .map(|r| {
+            let series = (1..=20 / r)
+                .map(|mult| {
+                    let k = mult * r;
+                    let per_path = model.per_path_bytes(k, r);
+                    // Monte Carlo: sum links traversed across k paths.
+                    let mut total = 0f64;
+                    for _ in 0..trials {
+                        for _ in 0..k {
+                            let mut links = 1usize; // first link always paid
+                            for _ in 0..model.l {
+                                if rng.gen::<f64>() < model.pa {
+                                    links += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            total += links as f64 * per_path;
+                        }
+                    }
+                    BandwidthPoint {
+                        k,
+                        analytic_kb: model.simera_expected_bytes(k, r) / 1024.0,
+                        simulated_kb: total / trials as f64 / 1024.0,
+                    }
+                })
+                .collect();
+            (r, series)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ Table 1
+
+/// One Table-1 row: setup success rates (percent) per mix choice.
+#[derive(Clone, Debug)]
+pub struct SetupRow {
+    /// Protocol label.
+    pub protocol: String,
+    /// Success rate with random mix choice (%).
+    pub random_pct: f64,
+    /// Success rate with biased mix choice (%).
+    pub biased_pct: f64,
+    /// Construction events measured (random run).
+    pub events: u64,
+}
+
+/// Table 1: path-setup success for CurMix, SimRep(r=2), SimEra(k=2, r=2)
+/// under random and biased mix choice.
+pub fn tab1_data(scale: Scale, threads: usize) -> Vec<SetupRow> {
+    let protocols = [
+        ProtocolKind::CurMix,
+        ProtocolKind::SimRep { k: 2 },
+        ProtocolKind::SimEra { k: 2, r: 2 },
+    ];
+    let jobs: Vec<(ProtocolKind, MixStrategy)> = protocols
+        .iter()
+        .flat_map(|&p| [(p, MixStrategy::Random), (p, MixStrategy::Biased)])
+        .collect();
+    let results = par_map(jobs.clone(), threads, |(protocol, strategy)| {
+        let cfg = SetupConfig {
+            world: scale.world(42),
+            protocol,
+            strategy,
+            warmup: scale.warmup(),
+            mean_interarrival: simnet::SimDuration::from_secs(116),
+        };
+        run_setup_experiment(&cfg)
+    });
+    protocols
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let random = &results[i * 2];
+            let biased = &results[i * 2 + 1];
+            SetupRow {
+                protocol: p.label(),
+                random_pct: random.setup_success_rate() * 100.0,
+                biased_pct: biased.setup_success_rate() * 100.0,
+                events: random.construction_attempts,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Figure 5
+
+/// One Figure-5 point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Point {
+    /// Number of paths.
+    pub k: usize,
+    /// Replication factor.
+    pub r: usize,
+    /// Setup success rate (%).
+    pub success_pct: f64,
+}
+
+/// Figure 5: SimEra setup success vs `k` for `r ∈ {2, 3, 4}`, one series
+/// per mix strategy.
+pub fn fig5_data(strategy: MixStrategy, scale: Scale, threads: usize) -> Vec<Fig5Point> {
+    let mut jobs = Vec::new();
+    for r in [2usize, 3, 4] {
+        for mult in 1..=(20 / r) {
+            jobs.push((mult * r, r));
+        }
+    }
+    let results = par_map(jobs.clone(), threads, |(k, r)| {
+        let cfg = SetupConfig {
+            world: scale.world(7),
+            protocol: ProtocolKind::SimEra { k, r },
+            strategy,
+            warmup: scale.warmup(),
+            mean_interarrival: simnet::SimDuration::from_secs(116),
+        };
+        run_setup_experiment(&cfg).setup_success_rate() * 100.0
+    });
+    jobs.into_iter()
+        .zip(results)
+        .map(|((k, r), success_pct)| Fig5Point { k, r, success_pct })
+        .collect()
+}
+
+// ------------------------------------------------------------- Tables 2–4
+
+/// Aggregated performance numbers in the paper's `[random, biased]` shape.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Row label (protocol, lifetime, or distribution).
+    pub label: String,
+    /// Mean path durability in seconds, `[random, biased]`.
+    pub durability_secs: (f64, f64),
+    /// Mean construction attempts per episode, `[random, biased]`.
+    pub attempts: (f64, f64),
+    /// Mean delivery latency in ms, `[random, biased]`.
+    pub latency_ms: (f64, f64),
+    /// Mean bandwidth per message in KB, `[random, biased]`.
+    pub bandwidth_kb: (f64, f64),
+    /// Message delivery rate, `[random, biased]`.
+    pub delivery: (f64, f64),
+}
+
+/// `[random, biased]` pairs for durability, attempts, latency, bandwidth
+/// and delivery rate.
+type PerfPairs = ((f64, f64), (f64, f64), (f64, f64), (f64, f64), (f64, f64));
+
+fn perf_pair(
+    protocol: ProtocolKind,
+    base: &PerfConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> PerfPairs {
+    let jobs: Vec<(MixStrategy, u64)> = [MixStrategy::Random, MixStrategy::Biased]
+        .into_iter()
+        .flat_map(|s| seeds.iter().map(move |&seed| (s, seed)))
+        .collect();
+    let results = par_map(jobs.clone(), threads, |(strategy, seed)| {
+        let cfg = PerfConfig {
+            world: WorldConfig { seed, ..base.world.clone() },
+            protocol,
+            strategy,
+            ..base.clone()
+        };
+        let res = run_performance_experiment(&cfg);
+        (res.attempts_per_episode(), res.metrics)
+    });
+    let aggregate = |strategy_idx: usize| -> (ProtocolMetrics, f64) {
+        let slice = &results[strategy_idx * seeds.len()..(strategy_idx + 1) * seeds.len()];
+        let mut merged = ProtocolMetrics::new();
+        let mut attempts = 0.0;
+        let mut counted = 0usize;
+        for (a, m) in slice {
+            merged.merge(m);
+            if *a > 0.0 {
+                attempts += a;
+                counted += 1;
+            }
+        }
+        (merged, if counted == 0 { 0.0 } else { attempts / counted as f64 })
+    };
+    let (random, rand_attempts) = aggregate(0);
+    let (biased, bias_attempts) = aggregate(1);
+    (
+        (random.durability_secs.mean(), biased.durability_secs.mean()),
+        (rand_attempts, bias_attempts),
+        (random.latency_ms.mean(), biased.latency_ms.mean()),
+        (random.bandwidth_kb.mean(), biased.bandwidth_kb.mean()),
+        (random.delivery_rate(), biased.delivery_rate()),
+    )
+}
+
+fn perf_row(
+    label: String,
+    protocol: ProtocolKind,
+    base: &PerfConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> PerfRow {
+    let (durability_secs, attempts, latency_ms, bandwidth_kb, delivery) =
+        perf_pair(protocol, base, seeds, threads);
+    PerfRow { label, durability_secs, attempts, latency_ms, bandwidth_kb, delivery }
+}
+
+fn base_perf(scale: Scale) -> PerfConfig {
+    PerfConfig {
+        world: scale.world(0),
+        protocol: ProtocolKind::CurMix, // overridden per job
+        strategy: MixStrategy::Random,  // overridden per job
+        warmup: scale.warmup(),
+        msg_interval: simnet::SimDuration::from_secs(10),
+        msg_bytes: 1024,
+        durability_cap: simnet::SimDuration::from_secs(3600),
+        retry_interval: simnet::SimDuration::from_secs(1),
+        predict_threshold: None,
+    }
+}
+
+/// Table 2: CurMix vs SimRep(r=2) vs SimEra(k=4, r=4), `[random, biased]`.
+pub fn tab2_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
+    let base = base_perf(scale);
+    let seeds = scale.seeds();
+    [
+        ProtocolKind::CurMix,
+        ProtocolKind::SimRep { k: 2 },
+        ProtocolKind::SimEra { k: 4, r: 4 },
+    ]
+    .into_iter()
+    .map(|p| perf_row(p.label(), p, &base, &seeds, threads))
+    .collect()
+}
+
+/// Table 3: SimEra(k=4, r=4) with median node lifetime 20/30/60/80/120 min.
+pub fn tab3_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
+    let seeds = scale.seeds();
+    [20u64, 30, 60, 80, 120]
+        .into_iter()
+        .map(|minutes| {
+            let median_secs = minutes as f64 * 60.0;
+            let mut base = base_perf(scale);
+            base.world.lifetime = LifetimeDistribution::pareto_with_median(median_secs);
+            base.world.downtime = LifetimeDistribution::pareto_with_median(median_secs);
+            perf_row(
+                format!("{minutes} min"),
+                ProtocolKind::SimEra { k: 4, r: 4 },
+                &base,
+                &seeds,
+                threads,
+            )
+        })
+        .collect()
+}
+
+/// Table 4: SimEra(k=4, r=4) under Pareto / Uniform / Exponential node
+/// lifetimes (all with the same 1-hour central tendency).
+pub fn tab4_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
+    let seeds = scale.seeds();
+    [
+        ("Pareto", LifetimeDistribution::PAPER_DEFAULT),
+        ("Uniform", LifetimeDistribution::paper_uniform()),
+        ("Exponential", LifetimeDistribution::paper_exponential()),
+    ]
+    .into_iter()
+    .map(|(label, dist)| {
+        let mut base = base_perf(scale);
+        base.world.lifetime = dist;
+        base.world.downtime = dist;
+        perf_row(
+            label.to_string(),
+            ProtocolKind::SimEra { k: 4, r: 4 },
+            &base,
+            &seeds,
+            threads,
+        )
+    })
+    .collect()
+}
+
+// -------------------------------------------------------------------- Eq. 4
+
+/// One row of the §5 anonymity analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct Eq4Row {
+    /// Fraction of colluding nodes.
+    pub f: f64,
+    /// Eq. 4 exactly as printed (no binomial coefficients).
+    pub printed: f64,
+    /// Exact value (Case 1 = `f`).
+    pub exact: f64,
+    /// Monte-Carlo attack simulation.
+    pub simulated: f64,
+    /// Effective anonymity-set size (`1 / exact`).
+    pub set_size: f64,
+}
+
+/// §5: `P(x = I)` for `N = 1024`, `L = 3` over a sweep of `f`.
+pub fn eq4_data(n: usize, l: usize, trials: usize, seed: u64) -> Vec<Eq4Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..=9)
+        .map(|i| {
+            let f = i as f64 / 10.0;
+            Eq4Row {
+                f,
+                printed: anonymity::p_initiator_identified_as_printed(n, f, l),
+                exact: anonymity::p_initiator_identified(n, f, l),
+                simulated: anonymity::simulate_identification(n, f, l, trials, &mut rng),
+                set_size: anonymity::anonymity_set_size(n, f, l),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_measured_tracks_pareto() {
+        let points = fig1_data(50_000, 1);
+        assert_eq!(points.len(), 14);
+        for p in &points {
+            assert!(
+                (p.measured_cdf - p.pareto_cdf).abs() < 0.03,
+                "t={}: measured {} vs pareto {}",
+                p.t_secs,
+                p.measured_cdf,
+                p.pareto_cdf
+            );
+        }
+        // CDF is monotone.
+        for w in points.windows(2) {
+            assert!(w[1].measured_cdf >= w[0].measured_cdf);
+        }
+    }
+
+    #[test]
+    fn fig2_observations_hold_in_simulation() {
+        let data = fig2_data(30_000, 2);
+        assert_eq!(data.len(), 3);
+        // Observation 3 at pa = 0.70: P decreases in k.
+        let obs3 = &data[0].1;
+        assert!(obs3.first().unwrap().simulated > obs3.last().unwrap().simulated);
+        // Observation 1 at pa = 0.95: P increases in k.
+        let obs1 = &data[2].1;
+        assert!(obs1.last().unwrap().simulated > obs1.first().unwrap().simulated);
+        // MC close to analytic everywhere.
+        for (_, series) in &data {
+            for p in series {
+                assert!((p.analytic - p.simulated).abs() < 0.02);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_higher_r_wins() {
+        let data = fig3_data(20_000, 3);
+        let at_k12: Vec<f64> = data
+            .iter()
+            .map(|(r, series)| series.iter().find(|p| p.k == 12).unwrap_or_else(|| panic!("k=12 missing for r={r}")).analytic)
+            .collect();
+        assert!(at_k12[0] < at_k12[1] && at_k12[1] < at_k12[2]);
+    }
+
+    #[test]
+    fn fig4_bandwidth_scales_with_r_not_k() {
+        let data = fig4_data(5_000, 4);
+        for (r, series) in &data {
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            assert!(
+                (first.simulated_kb - last.simulated_kb).abs() < 0.4,
+                "r={r}: flat in k expected ({} vs {})",
+                first.simulated_kb,
+                last.simulated_kb
+            );
+            assert!((first.analytic_kb - first.simulated_kb).abs() < 0.3);
+        }
+        // Proportional to r.
+        let r2 = data[0].1[0].analytic_kb;
+        let r4 = data[2].1[0].analytic_kb;
+        assert!((r4 / r2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_rows_consistent() {
+        let rows = eq4_data(1024, 3, 50_000, 5);
+        for r in &rows {
+            assert!(r.printed <= r.exact + 1e-12);
+            assert!((r.exact - r.simulated).abs() < 0.02);
+            assert!(r.set_size >= 1.0);
+        }
+    }
+
+    #[test]
+    fn quick_tab1_has_paper_shape() {
+        let rows = tab1_data(Scale::Quick, 1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.biased_pct > row.random_pct,
+                "{}: biased {:.1}% must beat random {:.1}%",
+                row.protocol,
+                row.biased_pct,
+                row.random_pct
+            );
+            assert!(row.events > 50, "{} events measured", row.events);
+        }
+        // Redundancy helps the random rate.
+        assert!(rows[1].random_pct > rows[0].random_pct);
+    }
+}

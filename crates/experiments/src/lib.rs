@@ -1,0 +1,97 @@
+//! Experiment harness: reproduces every table and figure of the paper.
+//!
+//! One binary per artifact (`fig1`–`fig5`, `tab1`–`tab4`, `eq4`), each
+//! printing the same rows/series the paper reports, side by side with the
+//! paper's published values where applicable. Binaries also write CSV
+//! output under `results/`.
+//!
+//! The library half hosts the data-producing functions so the Criterion
+//! benches in `crates/bench` can run the identical workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;
+
+/// Map `f` over `items` in parallel with scoped threads, preserving order.
+///
+/// The sweeps are embarrassingly parallel (independent seeds / parameter
+/// points); on a single-core host this degrades gracefully to sequential
+/// execution.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                match item {
+                    Some((idx, value)) => {
+                        let r = f(value);
+                        results.lock()[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Number of worker threads to use: honours `EXPERIMENT_THREADS`, defaults
+/// to the available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("EXPERIMENT_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Quick mode (`EXPERIMENT_QUICK=1`): shrink trial counts / seeds so every
+/// binary finishes in seconds. Used by CI-style smoke runs and the benches.
+pub fn quick_mode() -> bool {
+    std::env::var("EXPERIMENT_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), 4, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! A membership layer that is either flat epidemic gossip or hierarchical
+//! OneHop dissemination, behind one API — so the protocol experiments can
+//! swap substrates and ablate membership freshness.
+
+use crate::cache::NodeCache;
+use crate::gossip::{GossipConfig, GossipSim};
+use crate::onehop::{OneHopConfig, OneHopSim};
+use rand::Rng;
+use simnet::{ChurnSchedule, NodeId, SimTime};
+
+/// Which membership protocol to run, with its parameters.
+#[derive(Clone, Copy, Debug)]
+pub enum MembershipConfig {
+    /// Flat epidemic gossip (§4.8's baseline description).
+    Gossip(GossipConfig),
+    /// Hierarchical OneHop dissemination (what the paper's evaluation ran
+    /// on).
+    OneHop(OneHopConfig),
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig::Gossip(GossipConfig::default())
+    }
+}
+
+impl MembershipConfig {
+    /// OneHop with default parameters.
+    pub fn onehop_default() -> Self {
+        MembershipConfig::OneHop(OneHopConfig::default())
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MembershipConfig::Gossip(_) => "gossip",
+            MembershipConfig::OneHop(_) => "onehop",
+        }
+    }
+}
+
+/// The running membership layer.
+pub enum MembershipLayer {
+    /// Flat gossip instance.
+    Gossip(GossipSim),
+    /// OneHop instance.
+    OneHop(OneHopSim),
+}
+
+impl MembershipLayer {
+    /// Instantiate for `n` nodes.
+    pub fn new<R: Rng>(n: usize, cfg: MembershipConfig, rng: &mut R) -> Self {
+        match cfg {
+            MembershipConfig::Gossip(g) => MembershipLayer::Gossip(GossipSim::new(n, g, rng)),
+            MembershipConfig::OneHop(o) => MembershipLayer::OneHop(OneHopSim::new(n, o)),
+        }
+    }
+
+    /// Process protocol activity up to `until` against the ground truth.
+    pub fn advance<R: Rng>(&mut self, schedule: &ChurnSchedule, until: SimTime, rng: &mut R) {
+        match self {
+            MembershipLayer::Gossip(g) => g.advance(schedule, until, rng),
+            MembershipLayer::OneHop(o) => o.advance(schedule, until, rng),
+        }
+    }
+
+    /// A node's membership cache.
+    pub fn cache(&self, node: NodeId) -> &NodeCache {
+        match self {
+            MembershipLayer::Gossip(g) => g.cache(node),
+            MembershipLayer::OneHop(o) => o.cache(node),
+        }
+    }
+
+    /// Mutable cache access (§4.5 failure detection feeds observations in).
+    pub fn cache_mut(&mut self, node: NodeId) -> &mut NodeCache {
+        match self {
+            MembershipLayer::Gossip(g) => g.cache_mut(node),
+            MembershipLayer::OneHop(o) => o.cache_mut(node),
+        }
+    }
+
+    /// Layer-local time (last processed activity).
+    pub fn now(&self) -> SimTime {
+        match self {
+            MembershipLayer::Gossip(g) => g.now(),
+            MembershipLayer::OneHop(o) => o.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simnet::LifetimeDistribution;
+
+    #[test]
+    fn both_layers_run_behind_the_same_api() {
+        let n = 32;
+        let horizon = SimTime::from_secs(600);
+        let dist = LifetimeDistribution::pareto_with_median(300.0);
+        for cfg in [MembershipConfig::default(), MembershipConfig::onehop_default()] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let schedule = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
+            let mut layer = MembershipLayer::new(n, cfg, &mut rng);
+            layer.advance(&schedule, horizon, &mut rng);
+            assert_eq!(layer.cache(NodeId(0)).len(), n - 1, "{}", cfg.label());
+            layer.cache_mut(NodeId(0)).record_death(NodeId(1), horizon);
+            assert_eq!(layer.cache(NodeId(0)).predictor(NodeId(1), horizon), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MembershipConfig::default().label(), "gossip");
+        assert_eq!(MembershipConfig::onehop_default().label(), "onehop");
+    }
+}

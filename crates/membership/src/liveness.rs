@@ -1,0 +1,187 @@
+//! The node-liveness predictor (paper §4.9, Equations 1–3).
+
+use simnet::{SimDuration, SimTime};
+
+/// Liveness information carried in gossip messages for one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LivenessInfo {
+    /// Δt_alive: how long the node had been up when last heard.
+    pub delta_alive: SimDuration,
+    /// Δt_since: time between when the node was last heard (by the
+    /// information's origin) and when this info was emitted. For a death
+    /// notice this is the age of the detection instead.
+    pub delta_since: SimDuration,
+    /// Death notice: the node was observed down (failed gossip delivery or
+    /// §4.5 timeout detection). OneHop-style membership-change
+    /// dissemination rides on the same freshness rule as liveness info.
+    pub dead: bool,
+}
+
+impl LivenessInfo {
+    /// A fresh alive observation.
+    pub fn alive(delta_alive: SimDuration, delta_since: SimDuration) -> Self {
+        LivenessInfo { delta_alive, delta_since, dead: false }
+    }
+
+    /// A death notice of the given age.
+    pub fn death(age: SimDuration) -> Self {
+        LivenessInfo { delta_alive: SimDuration::ZERO, delta_since: age, dead: true }
+    }
+}
+
+/// The liveness predictor `q = Δt_alive / (Δt_alive + Δt_since_effective)`.
+///
+/// `delta_since_effective` must already include the local staleness term
+/// `(t_now − t_last)` of Eq. 3. Returns a value in `[0, 1]`; a node heard
+/// right now (`Δt_since = 0`) with any uptime scores 1. A node with zero
+/// recorded uptime scores 0.
+pub fn predictor(delta_alive: SimDuration, delta_since_effective: SimDuration) -> f64 {
+    let alive = delta_alive.as_secs_f64();
+    let since = delta_since_effective.as_secs_f64();
+    if alive <= 0.0 {
+        return 0.0;
+    }
+    alive / (alive + since)
+}
+
+/// Conditional survival probability under a Pareto(α) lifetime
+/// distribution: `p = q^α` (Eq. 1–2).
+pub fn survival_probability(q: f64, alpha: f64) -> f64 {
+    q.clamp(0.0, 1.0).powf(alpha)
+}
+
+/// Exact conditional survival from ground truth: the probability that a
+/// node already alive `delta_alive` keeps living another `horizon`,
+/// `P = (Δt_alive / (Δt_alive + horizon))^α` — used to sanity-check the
+/// predictor in tests and the analytic experiments.
+pub fn pareto_conditional_survival(
+    delta_alive: SimDuration,
+    horizon: SimDuration,
+    alpha: f64,
+) -> f64 {
+    let a = delta_alive.as_secs_f64();
+    let h = horizon.as_secs_f64();
+    if a <= 0.0 {
+        return 0.0;
+    }
+    (a / (a + h)).powf(alpha)
+}
+
+/// Compose Eq. 3 from raw cache fields: effective Δt_since =
+/// stored Δt_since + (t_now − t_last).
+pub fn effective_delta_since(
+    stored_delta_since: SimDuration,
+    t_last: SimTime,
+    now: SimTime,
+) -> SimDuration {
+    stored_delta_since + now.since(t_last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_scores_one() {
+        let q = predictor(SimDuration::from_secs(100), SimDuration::ZERO);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn zero_uptime_scores_zero() {
+        assert_eq!(predictor(SimDuration::ZERO, SimDuration::from_secs(10)), 0.0);
+        assert_eq!(predictor(SimDuration::ZERO, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn equal_alive_and_since_is_half() {
+        let q = predictor(SimDuration::from_secs(60), SimDuration::from_secs(60));
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_uptime_scores_higher() {
+        let since = SimDuration::from_secs(30);
+        let q_old = predictor(SimDuration::from_secs(3600), since);
+        let q_new = predictor(SimDuration::from_secs(60), since);
+        assert!(q_old > q_new);
+    }
+
+    #[test]
+    fn survival_probability_is_q_to_alpha() {
+        assert!((survival_probability(0.25, 1.0) - 0.25).abs() < 1e-12);
+        assert!((survival_probability(0.25, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(survival_probability(1.5, 1.0), 1.0, "q clamps to [0,1]");
+        assert_eq!(survival_probability(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn survival_monotone_in_q() {
+        let alpha = 0.83;
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = survival_probability(i as f64 / 10.0, alpha);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn effective_since_adds_staleness() {
+        let eff = effective_delta_since(
+            SimDuration::from_secs(10),
+            SimTime::from_secs(100),
+            SimTime::from_secs(130),
+        );
+        assert_eq!(eff, SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn conditional_survival_matches_equation_1() {
+        // p = (Δt_alive / (Δt_alive + Δt_since))^α exactly.
+        let p = pareto_conditional_survival(
+            SimDuration::from_secs(1800),
+            SimDuration::from_secs(1800),
+            1.0,
+        );
+        assert!((p - 0.5).abs() < 1e-12);
+        let p = pareto_conditional_survival(
+            SimDuration::from_secs(900),
+            SimDuration::from_secs(2700),
+            0.83,
+        );
+        assert!((p - 0.25f64.powf(0.83)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_agrees_with_monte_carlo_survival() {
+        // Ground truth check: among Pareto(α=1, β) lifetimes exceeding
+        // `aged`, the fraction also exceeding `aged + extra` should match
+        // q^α with q = aged / (aged + extra).
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use simnet::LifetimeDistribution;
+
+        let dist = LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 100.0 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let aged = 500.0;
+        let extra = 500.0;
+        let (mut survived_aged, mut survived_both) = (0u32, 0u32);
+        for _ in 0..200_000 {
+            let t = dist.sample(&mut rng).as_secs_f64();
+            if t > aged {
+                survived_aged += 1;
+                if t > aged + extra {
+                    survived_both += 1;
+                }
+            }
+        }
+        let empirical = survived_both as f64 / survived_aged as f64;
+        let q = predictor(SimDuration::from_secs_f64(aged), SimDuration::from_secs_f64(extra));
+        let predicted = survival_probability(q, 1.0);
+        assert!(
+            (empirical - predicted).abs() < 0.02,
+            "empirical {empirical:.3} vs predicted {predicted:.3}"
+        );
+    }
+}

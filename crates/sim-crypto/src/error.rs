@@ -1,0 +1,21 @@
+use std::fmt;
+
+/// Errors from decryption/authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext too short to contain header + tag.
+    Truncated,
+    /// Authentication tag mismatch: wrong key or tampered ciphertext.
+    BadTag,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::Truncated => write!(f, "ciphertext truncated"),
+            CryptoError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

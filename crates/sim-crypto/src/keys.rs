@@ -1,0 +1,133 @@
+//! Key material: X25519 key pairs (the per-node PKI identity) and symmetric
+//! session keys (the per-hop `R_i` of the paper).
+
+use crate::x25519;
+use rand::{CryptoRng, Rng};
+
+/// An X25519 public key — what the PKI publishes for each node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// An X25519 secret scalar.
+#[derive(Clone)]
+pub struct SecretKey(pub(crate) [u8; 32]);
+
+/// A node's key pair.
+#[derive(Clone)]
+pub struct KeyPair {
+    /// Public half.
+    pub public: PublicKey,
+    /// Secret half.
+    pub secret: SecretKey,
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({:02x}{:02x}..{:02x})", self.0[0], self.0[1], self.0[31])
+    }
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print secret material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+impl SecretKey {
+    /// Generate a random secret scalar.
+    pub fn generate<R: Rng + CryptoRng>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        SecretKey(x25519::clamp_scalar(bytes))
+    }
+
+    /// Derive the matching public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(x25519::public_key(&self.0))
+    }
+
+    /// Raw Diffie–Hellman with a peer's public key.
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> [u8; 32] {
+        x25519::x25519(&self.0, &peer.0)
+    }
+}
+
+impl KeyPair {
+    /// Generate a fresh key pair.
+    pub fn generate<R: Rng + CryptoRng>(rng: &mut R) -> Self {
+        let secret = SecretKey::generate(rng);
+        let public = secret.public_key();
+        KeyPair { public, secret }
+    }
+}
+
+/// A 256-bit symmetric key: the per-hop session key `R_i` the initiator
+/// plants at each relay during path construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymmetricKey(pub [u8; 32]);
+
+impl std::fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SymmetricKey(..)")
+    }
+}
+
+impl SymmetricKey {
+    /// Generate a random symmetric key.
+    pub fn generate<R: Rng + CryptoRng>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        SymmetricKey(bytes)
+    }
+
+    /// Serialized form (for embedding in onion layers).
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SymmetricKey(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keypair_dh_agreement() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_eq!(a.secret.diffie_hellman(&b.public), b.secret.diffie_hellman(&a.public));
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let k1 = KeyPair::generate(&mut StdRng::seed_from_u64(7));
+        let k2 = KeyPair::generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(k1.public, k2.public);
+        let k3 = KeyPair::generate(&mut StdRng::seed_from_u64(8));
+        assert_ne!(k1.public, k3.public);
+    }
+
+    #[test]
+    fn debug_never_leaks_secrets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(&mut rng);
+        let s = format!("{:?} {:?}", kp.secret, SymmetricKey::generate(&mut rng));
+        assert_eq!(s, "SecretKey(..) SymmetricKey(..)");
+    }
+
+    #[test]
+    fn symmetric_key_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = SymmetricKey::generate(&mut rng);
+        assert_eq!(SymmetricKey::from_bytes(k.to_bytes()), k);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sealed boxes: anonymous hybrid public-key encryption.
+//!
+//! Used for the path-construction onion: each layer
+//! `<P_{i+1}, R_i, Path_{i+1}>_{PubKey_{P_i}}` must be decryptable only by
+//! relay `P_i`, without revealing the sender. Construction:
+//!
+//! 1. generate an ephemeral X25519 key pair,
+//! 2. `shared = X25519(eph_secret, recipient_public)`,
+//! 3. derive encryption and MAC keys with
+//!    `HKDF(salt = eph_public || recipient_public, ikm = shared)`,
+//! 4. ChaCha20-encrypt, HMAC-tag (encrypt-then-MAC, 16-byte tag).
+//!
+//! Wire layout: `eph_public (32) || ciphertext || tag (16)`.
+
+use crate::chacha20;
+use crate::hmac::{ct_eq, hkdf, hmac_sha256};
+use crate::keys::{PublicKey, SecretKey};
+use crate::CryptoError;
+use rand::{CryptoRng, Rng};
+
+/// Authentication tag length.
+pub const TAG_LEN: usize = 16;
+
+/// Ciphertext expansion of a sealed box: ephemeral key + tag.
+pub const OVERHEAD: usize = 32 + TAG_LEN;
+
+fn derive_keys(eph_pub: &[u8; 32], recipient: &PublicKey, shared: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    let mut salt = [0u8; 64];
+    salt[..32].copy_from_slice(eph_pub);
+    salt[32..].copy_from_slice(&recipient.0);
+    let okm: [u8; 64] = hkdf(&salt, shared, b"p2p-anon/sealed/v1");
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    enc.copy_from_slice(&okm[..32]);
+    mac.copy_from_slice(&okm[32..]);
+    (enc, mac)
+}
+
+/// Seal `plaintext` to `recipient`. Only the holder of the matching secret
+/// key can open it; nothing identifies the sender.
+///
+/// ```
+/// use sim_crypto::{seal, unseal, KeyPair};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let kp = KeyPair::generate(&mut rng);
+/// let boxed = seal(&kp.public, b"onion layer", &mut rng);
+/// assert_eq!(unseal(&kp.secret, &boxed).unwrap(), b"onion layer");
+/// ```
+pub fn seal<R: Rng + CryptoRng>(recipient: &PublicKey, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let eph = SecretKey::generate(rng);
+    let eph_pub = eph.public_key();
+    let shared = eph.diffie_hellman(recipient);
+    let (enc_key, mac_key) = derive_keys(&eph_pub.0, recipient, &shared);
+
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(&eph_pub.0);
+    out.extend_from_slice(plaintext);
+    // Nonce is all-zero: the key is unique per box (fresh ephemeral secret).
+    chacha20::xor_stream(&enc_key, 0, &[0u8; 12], &mut out[32..]);
+    let tag = hmac_sha256(&mac_key, &out);
+    out.extend_from_slice(&tag[..TAG_LEN]);
+    out
+}
+
+/// Open a sealed box with the recipient's secret key.
+pub fn unseal(secret: &SecretKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < OVERHEAD {
+        return Err(CryptoError::Truncated);
+    }
+    let mut eph_pub = [0u8; 32];
+    eph_pub.copy_from_slice(&sealed[..32]);
+    let recipient = secret.public_key();
+    let shared = secret.diffie_hellman(&PublicKey(eph_pub));
+    let (enc_key, mac_key) = derive_keys(&eph_pub, &recipient, &shared);
+
+    let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expected = hmac_sha256(&mac_key, body);
+    if !ct_eq(tag, &expected[..TAG_LEN]) {
+        return Err(CryptoError::BadTag);
+    }
+    let mut plaintext = body[32..].to_vec();
+    chacha20::xor_stream(&enc_key, 0, &[0u8; 12], &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let kp = KeyPair::generate(&mut rng);
+        for len in [0usize, 1, 31, 32, 33, 500] {
+            let msg = vec![0x5au8; len];
+            let boxed = seal(&kp.public, &msg, &mut rng);
+            assert_eq!(boxed.len(), len + OVERHEAD);
+            assert_eq!(unseal(&kp.secret, &boxed).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let kp1 = KeyPair::generate(&mut rng);
+        let kp2 = KeyPair::generate(&mut rng);
+        let boxed = seal(&kp1.public, b"for kp1 only", &mut rng);
+        assert_eq!(unseal(&kp2.secret, &boxed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp = KeyPair::generate(&mut rng);
+        let boxed = seal(&kp.public, b"onion layer", &mut rng);
+        for i in [0usize, 16, 31, 32, boxed.len() - 1] {
+            let mut bad = boxed.clone();
+            bad[i] ^= 0x80;
+            assert_eq!(unseal(&kp.secret, &bad), Err(CryptoError::BadTag), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn boxes_are_unlinkable() {
+        // Two boxes of the same message to the same recipient share no bytes
+        // of ephemeral key or ciphertext.
+        let mut rng = StdRng::seed_from_u64(13);
+        let kp = KeyPair::generate(&mut rng);
+        let a = seal(&kp.public, b"same plaintext", &mut rng);
+        let b = seal(&kp.public, b"same plaintext", &mut rng);
+        assert_ne!(a[..32], b[..32], "ephemeral keys must differ");
+        assert_ne!(a[32..], b[32..], "ciphertexts must differ");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let kp = KeyPair::generate(&mut rng);
+        let boxed = seal(&kp.public, b"", &mut rng);
+        assert_eq!(unseal(&kp.secret, &boxed[..OVERHEAD - 1]), Err(CryptoError::Truncated));
+    }
+}

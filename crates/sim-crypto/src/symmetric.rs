@@ -1,0 +1,127 @@
+//! Authenticated symmetric encryption with per-hop session keys.
+//!
+//! This is what relays use on the payload onion: `<PayLoad_{i+1}>_{R_i}` in
+//! the paper's notation. Construction: ChaCha20 under a random 12-byte nonce
+//! with an HMAC-SHA-256 tag over `nonce || ciphertext`, truncated to 16
+//! bytes (encrypt-then-MAC). Encryption and MAC keys are derived from the
+//! session key by HKDF so a single 32-byte `R_i` suffices.
+
+use crate::chacha20::{self, NONCE_LEN};
+use crate::hmac::{ct_eq, hkdf, hmac_sha256};
+use crate::keys::SymmetricKey;
+use crate::CryptoError;
+use rand::{CryptoRng, Rng};
+
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Ciphertext expansion: nonce + tag.
+pub const OVERHEAD: usize = NONCE_LEN + TAG_LEN;
+
+fn derive_keys(key: &SymmetricKey) -> ([u8; 32], [u8; 32]) {
+    let okm: [u8; 64] = hkdf(b"p2p-anon/sym/v1", &key.0, b"enc|mac");
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    enc.copy_from_slice(&okm[..32]);
+    mac.copy_from_slice(&okm[32..]);
+    (enc, mac)
+}
+
+/// Encrypt and authenticate `plaintext` under `key`.
+///
+/// Output layout: `nonce (12) || ciphertext || tag (16)`.
+pub fn sym_encrypt<R: Rng + CryptoRng>(
+    key: &SymmetricKey,
+    plaintext: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let (enc_key, mac_key) = derive_keys(key);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(plaintext);
+    chacha20::xor_stream(&enc_key, 0, &nonce, &mut out[NONCE_LEN..]);
+
+    let tag = hmac_sha256(&mac_key, &out);
+    out.extend_from_slice(&tag[..TAG_LEN]);
+    out
+}
+
+/// Verify and decrypt a ciphertext produced by [`sym_encrypt`].
+pub fn sym_decrypt(key: &SymmetricKey, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if ciphertext.len() < OVERHEAD {
+        return Err(CryptoError::Truncated);
+    }
+    let (enc_key, mac_key) = derive_keys(key);
+    let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+    let expected = hmac_sha256(&mac_key, body);
+    if !ct_eq(tag, &expected[..TAG_LEN]) {
+        return Err(CryptoError::BadTag);
+    }
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&body[..NONCE_LEN]);
+    let mut plaintext = body[NONCE_LEN..].to_vec();
+    chacha20::xor_stream(&enc_key, 0, &nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key_and_rng() -> (SymmetricKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        (SymmetricKey::generate(&mut rng), rng)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (key, mut rng) = key_and_rng();
+        for len in [0usize, 1, 15, 16, 17, 100, 1024] {
+            let msg = vec![0xabu8; len];
+            let ct = sym_encrypt(&key, &msg, &mut rng);
+            assert_eq!(ct.len(), len + OVERHEAD);
+            assert_eq!(sym_decrypt(&key, &ct).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (key, mut rng) = key_and_rng();
+        let other = SymmetricKey::generate(&mut rng);
+        let ct = sym_encrypt(&key, b"secret", &mut rng);
+        assert_eq!(sym_decrypt(&other, &ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampering_rejected_every_byte() {
+        let (key, mut rng) = key_and_rng();
+        let ct = sym_encrypt(&key, b"integrity matters", &mut rng);
+        for i in 0..ct.len() {
+            let mut bad = ct.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(sym_decrypt(&key, &bad), Err(CryptoError::BadTag), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (key, mut rng) = key_and_rng();
+        let ct = sym_encrypt(&key, b"", &mut rng);
+        assert_eq!(sym_decrypt(&key, &ct[..OVERHEAD - 1]), Err(CryptoError::Truncated));
+        assert_eq!(sym_decrypt(&key, &[]), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn nonce_randomisation_changes_ciphertext() {
+        let (key, mut rng) = key_and_rng();
+        let a = sym_encrypt(&key, b"same message", &mut rng);
+        let b = sym_encrypt(&key, b"same message", &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(sym_decrypt(&key, &a).unwrap(), sym_decrypt(&key, &b).unwrap());
+    }
+}

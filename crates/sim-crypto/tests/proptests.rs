@@ -1,0 +1,100 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_crypto::hmac::{hkdf, hmac_sha256};
+use sim_crypto::sha256::{sha256, Sha256};
+use sim_crypto::{chacha20, seal, sym_decrypt, sym_encrypt, unseal, CryptoError, KeyPair, SymmetricKey};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental hashing equals one-shot for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let cut = split.index(data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// ChaCha20 is an involution under the same (key, counter, nonce).
+    #[test]
+    fn chacha20_involution(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let ct = chacha20::encrypt(&key, counter, &nonce, &msg);
+        prop_assert_eq!(chacha20::encrypt(&key, counter, &nonce, &ct), msg);
+    }
+
+    /// Authenticated symmetric encryption round-trips and rejects any
+    /// single-bit corruption.
+    #[test]
+    fn symmetric_roundtrip_and_integrity(
+        key_bytes in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let key = SymmetricKey::from_bytes(key_bytes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = sym_encrypt(&key, &msg, &mut rng);
+        prop_assert_eq!(sym_decrypt(&key, &ct).unwrap(), msg);
+
+        let mut bad = ct.clone();
+        let i = flip.index(bad.len());
+        bad[i] ^= 1;
+        prop_assert_eq!(sym_decrypt(&key, &bad), Err(CryptoError::BadTag));
+    }
+
+    /// Sealed boxes open only with the right secret key.
+    #[test]
+    fn sealed_box_roundtrip(
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let right = KeyPair::generate(&mut rng);
+        let wrong = KeyPair::generate(&mut rng);
+        let boxed = seal(&right.public, &msg, &mut rng);
+        prop_assert_eq!(unseal(&right.secret, &boxed).unwrap(), msg);
+        prop_assert!(unseal(&wrong.secret, &boxed).is_err());
+    }
+
+    /// X25519 Diffie–Hellman agreement holds for arbitrary secrets.
+    #[test]
+    fn x25519_agreement(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use sim_crypto::x25519::{public_key, x25519};
+        let pa = public_key(&a);
+        let pb = public_key(&b);
+        prop_assert_eq!(x25519(&a, &pb), x25519(&b, &pa));
+    }
+
+    /// HMAC differs when the key or the message change (collision-freedom
+    /// smoke test) and HKDF output depends on all inputs.
+    #[test]
+    fn hmac_hkdf_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+
+        let okm1: [u8; 32] = hkdf(&key, &msg, b"a");
+        let okm2: [u8; 32] = hkdf(&key, &msg, b"b");
+        prop_assert_ne!(okm1, okm2);
+    }
+}

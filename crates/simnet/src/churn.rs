@@ -1,0 +1,452 @@
+//! Churn: node lifetime distributions and per-node session schedules.
+//!
+//! The paper models churn by letting every node alternate between being up
+//! (a *session* whose length is the node's lifetime) and down, with interval
+//! lengths drawn from a Pareto distribution (default α = 1, β = 1800 s,
+//! median session 1 hour). Table 4 additionally evaluates exponential and
+//! uniform lifetime distributions, which this module also provides.
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// A node-lifetime (session length) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LifetimeDistribution {
+    /// Heavy-tailed Pareto: `P(lifetime < t) = 1 - (β/t)^α` for `t >= β`.
+    ///
+    /// Fits measured Gnutella lifetimes with α = 0.83, β = 1560 s (Fig. 1);
+    /// the churn experiments use α = 1, β = 1800 s (median 1 h).
+    Pareto {
+        /// Shape parameter α.
+        alpha: f64,
+        /// Scale parameter β, in seconds (also the minimum lifetime).
+        beta_secs: f64,
+    },
+    /// Memoryless exponential with the given mean.
+    Exponential {
+        /// Mean lifetime in seconds.
+        mean_secs: f64,
+    },
+    /// Uniform on `[min, max]`. The paper's Table 4 uses 6 min – ~2 h with
+    /// mean 1 h; under this distribution old nodes are *more* likely to die
+    /// soon, the adversarial case for biased mix choice.
+    Uniform {
+        /// Minimum lifetime in seconds.
+        min_secs: f64,
+        /// Maximum lifetime in seconds.
+        max_secs: f64,
+    },
+}
+
+impl LifetimeDistribution {
+    /// The paper's default churn: Pareto α = 1, β = 1800 s (median 1 h).
+    pub const PAPER_DEFAULT: LifetimeDistribution =
+        LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 1800.0 };
+
+    /// The Gnutella fit from Figure 1: Pareto α = 0.83, β = 1560 s.
+    pub const GNUTELLA_FIT: LifetimeDistribution =
+        LifetimeDistribution::Pareto { alpha: 0.83, beta_secs: 1560.0 };
+
+    /// Pareto with α = 1 and the given median (β = median / 2): how Table 3
+    /// sweeps churn rates.
+    pub fn pareto_with_median(median_secs: f64) -> Self {
+        LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: median_secs / 2.0 }
+    }
+
+    /// Table 4's uniform distribution: 6 minutes to 114 minutes, mean 1 h.
+    pub fn paper_uniform() -> Self {
+        LifetimeDistribution::Uniform { min_secs: 360.0, max_secs: 6840.0 }
+    }
+
+    /// Table 4's exponential distribution: mean 1 h.
+    pub fn paper_exponential() -> Self {
+        LifetimeDistribution::Exponential { mean_secs: 3600.0 }
+    }
+
+    /// Draw one lifetime.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        let secs = match *self {
+            LifetimeDistribution::Pareto { alpha, beta_secs } => {
+                // Inverse CDF: t = β * U^(-1/α), with U in (0, 1].
+                let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                beta_secs * u.powf(-1.0 / alpha)
+            }
+            LifetimeDistribution::Exponential { mean_secs } => {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                -mean_secs * u.ln()
+            }
+            LifetimeDistribution::Uniform { min_secs, max_secs } => {
+                min_secs + (max_secs - min_secs) * rng.gen::<f64>()
+            }
+        };
+        // Cap at 10 years to keep arithmetic sane under extreme tails.
+        SimDuration::from_secs_f64(secs.min(315_360_000.0))
+    }
+
+    /// `P(lifetime < t)` for `t` in seconds.
+    pub fn cdf(&self, t_secs: f64) -> f64 {
+        match *self {
+            LifetimeDistribution::Pareto { alpha, beta_secs } => {
+                if t_secs <= beta_secs {
+                    0.0
+                } else {
+                    1.0 - (beta_secs / t_secs).powf(alpha)
+                }
+            }
+            LifetimeDistribution::Exponential { mean_secs } => {
+                if t_secs <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-t_secs / mean_secs).exp()
+                }
+            }
+            LifetimeDistribution::Uniform { min_secs, max_secs } => {
+                ((t_secs - min_secs) / (max_secs - min_secs)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Median lifetime in seconds.
+    pub fn median_secs(&self) -> f64 {
+        match *self {
+            LifetimeDistribution::Pareto { alpha, beta_secs } => {
+                beta_secs * 2f64.powf(1.0 / alpha)
+            }
+            LifetimeDistribution::Exponential { mean_secs } => mean_secs * std::f64::consts::LN_2,
+            LifetimeDistribution::Uniform { min_secs, max_secs } => (min_secs + max_secs) / 2.0,
+        }
+    }
+
+    /// Mean lifetime in seconds (`None` if infinite, as for Pareto α <= 1).
+    pub fn mean_secs(&self) -> Option<f64> {
+        match *self {
+            LifetimeDistribution::Pareto { alpha, beta_secs } => {
+                (alpha > 1.0).then(|| alpha * beta_secs / (alpha - 1.0))
+            }
+            LifetimeDistribution::Exponential { mean_secs } => Some(mean_secs),
+            LifetimeDistribution::Uniform { min_secs, max_secs } => {
+                Some((min_secs + max_secs) / 2.0)
+            }
+        }
+    }
+}
+
+/// One up-interval of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// Join time.
+    pub start: SimTime,
+    /// Leave/fail time.
+    pub end: SimTime,
+}
+
+impl Session {
+    /// Whether `t` falls inside the session (half-open `[start, end)`).
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Session length.
+    pub fn len(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Always false; sessions are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Ground-truth churn schedule: every node's up-intervals, pre-generated
+/// for the whole simulation horizon.
+#[derive(Clone)]
+pub struct ChurnSchedule {
+    sessions: Vec<Vec<Session>>,
+    horizon: SimTime,
+}
+
+impl ChurnSchedule {
+    /// Generate alternating up/down intervals for `n` nodes. All nodes join
+    /// at time 0 (the paper runs one warm-up hour before measuring, so the
+    /// synchronous start transient is discarded). Both up and down interval
+    /// lengths are drawn from `lifetimes` / `downtimes` respectively.
+    pub fn generate<R: Rng>(
+        n: usize,
+        lifetimes: &LifetimeDistribution,
+        downtimes: &LifetimeDistribution,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Self {
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut node_sessions = Vec::new();
+            let mut t = SimTime::ZERO;
+            while t < horizon {
+                let up = lifetimes.sample(rng);
+                let end = (t + up).min(horizon);
+                if end > t {
+                    node_sessions.push(Session { start: t, end });
+                }
+                let down = downtimes.sample(rng);
+                t = end + down;
+            }
+            sessions.push(node_sessions);
+        }
+        ChurnSchedule { sessions, horizon }
+    }
+
+    /// Every node up for the whole horizon (no churn).
+    pub fn always_up(n: usize, horizon: SimTime) -> Self {
+        let s = Session { start: SimTime::ZERO, end: horizon };
+        ChurnSchedule { sessions: vec![vec![s]; n], horizon }
+    }
+
+    /// Pin a node up for the whole run (paper's Table 2 pins the initiator
+    /// and responder). The session end is placed far beyond the horizon so
+    /// pinned nodes never register as failing.
+    pub fn pin_up(&mut self, node: NodeId) {
+        self.sessions[node.index()] =
+            vec![Session { start: SimTime::ZERO, end: SimTime(u64::MAX / 2) }];
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the schedule covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// All sessions of a node, in time order.
+    pub fn sessions(&self, node: NodeId) -> &[Session] {
+        &self.sessions[node.index()]
+    }
+
+    /// The session containing `t`, if the node is up at `t`.
+    pub fn session_at(&self, node: NodeId, t: SimTime) -> Option<&Session> {
+        let sessions = &self.sessions[node.index()];
+        // Sessions are sorted by start; binary search for the candidate.
+        let idx = sessions.partition_point(|s| s.start <= t);
+        idx.checked_sub(1).map(|i| &sessions[i]).filter(|s| s.contains(t))
+    }
+
+    /// Whether the node is up at `t`.
+    pub fn is_up(&self, node: NodeId, t: SimTime) -> bool {
+        self.session_at(node, t).is_some()
+    }
+
+    /// Whether the node stays up over the whole closed interval
+    /// `[from, to]` (i.e. one session covers it).
+    pub fn up_through(&self, node: NodeId, from: SimTime, to: SimTime) -> bool {
+        debug_assert!(from <= to);
+        self.session_at(node, from).is_some_and(|s| to < s.end)
+    }
+
+    /// How long the node has been up at `t` (`None` if down): the
+    /// ground-truth Δt_alive of the paper.
+    pub fn uptime_at(&self, node: NodeId, t: SimTime) -> Option<SimDuration> {
+        self.session_at(node, t).map(|s| t - s.start)
+    }
+
+    /// When the node's current session ends (`None` if down at `t`).
+    pub fn fails_at(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
+        self.session_at(node, t).map(|s| s.end)
+    }
+
+    /// Fraction of nodes up at `t`.
+    pub fn availability_at(&self, t: SimTime) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        let up = (0..self.sessions.len())
+            .filter(|&i| self.is_up(NodeId::from(i), t))
+            .count();
+        up as f64 / self.sessions.len() as f64
+    }
+
+    /// All (time, node, is_join) transitions in time order — what drives
+    /// gossip-layer join/leave processing.
+    pub fn transitions(&self) -> Vec<(SimTime, NodeId, bool)> {
+        let mut events = Vec::new();
+        for (i, sessions) in self.sessions.iter().enumerate() {
+            let node = NodeId::from(i);
+            for s in sessions {
+                events.push((s.start, node, true));
+                if s.end < self.horizon {
+                    events.push((s.end, node, false));
+                }
+            }
+        }
+        events.sort_by_key(|&(t, n, joined)| (t, n.0, joined));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_median_matches_paper() {
+        // α = 1, β = 1800 s must have a 1-hour median.
+        assert!((LifetimeDistribution::PAPER_DEFAULT.median_secs() - 3600.0).abs() < 1e-9);
+        assert_eq!(LifetimeDistribution::PAPER_DEFAULT.mean_secs(), None);
+        let d = LifetimeDistribution::pareto_with_median(1200.0);
+        assert!((d.median_secs() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_uniform_mean_one_hour() {
+        let d = LifetimeDistribution::paper_uniform();
+        assert_eq!(d.mean_secs(), Some(3600.0));
+        assert!((d.median_secs() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_match_cdf() {
+        // Empirical CDF at the median should be ~0.5 for all distributions.
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            LifetimeDistribution::PAPER_DEFAULT,
+            LifetimeDistribution::GNUTELLA_FIT,
+            LifetimeDistribution::paper_uniform(),
+            LifetimeDistribution::paper_exponential(),
+        ] {
+            let median = dist.median_secs();
+            let below = (0..20_000)
+                .filter(|_| dist.sample(&mut rng).as_secs_f64() < median)
+                .count();
+            let frac = below as f64 / 20_000.0;
+            assert!((frac - 0.5).abs() < 0.02, "{dist:?}: empirical median frac {frac}");
+        }
+    }
+
+    #[test]
+    fn pareto_minimum_is_beta() {
+        let dist = LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 100.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng).as_secs_f64() >= 100.0);
+        }
+        assert_eq!(dist.cdf(50.0), 0.0);
+        assert!((dist.cdf(200.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_cdf_properties() {
+        let d = LifetimeDistribution::paper_exponential();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(3600.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_sessions_alternate_and_cover_horizon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let horizon = SimTime::from_secs(7200);
+        let dist = LifetimeDistribution::PAPER_DEFAULT;
+        let sched = ChurnSchedule::generate(64, &dist, &dist, horizon, &mut rng);
+        assert_eq!(sched.len(), 64);
+        for i in 0..64usize {
+            let node = NodeId::from(i);
+            let sessions = sched.sessions(node);
+            assert!(!sessions.is_empty());
+            assert_eq!(sessions[0].start, SimTime::ZERO, "all nodes join at t=0");
+            for w in sessions.windows(2) {
+                assert!(w[0].end < w[1].start, "sessions must be separated by downtime");
+            }
+            for s in sessions {
+                assert!(s.end <= horizon);
+                assert!(s.start < s.end);
+            }
+        }
+    }
+
+    #[test]
+    fn is_up_and_uptime_consistent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let horizon = SimTime::from_secs(7200);
+        let dist = LifetimeDistribution::pareto_with_median(600.0);
+        let sched = ChurnSchedule::generate(16, &dist, &dist, horizon, &mut rng);
+        for i in 0..16usize {
+            let node = NodeId::from(i);
+            for secs in (0..7200).step_by(13) {
+                let t = SimTime::from_secs(secs);
+                match sched.session_at(node, t) {
+                    Some(s) => {
+                        assert!(sched.is_up(node, t));
+                        assert_eq!(sched.uptime_at(node, t), Some(t - s.start));
+                        assert_eq!(sched.fails_at(node, t), Some(s.end));
+                    }
+                    None => {
+                        assert!(!sched.is_up(node, t));
+                        assert_eq!(sched.uptime_at(node, t), None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_through_detects_mid_interval_failure() {
+        let mut sched = ChurnSchedule {
+            sessions: vec![vec![
+                Session { start: SimTime::ZERO, end: SimTime::from_secs(10) },
+                Session { start: SimTime::from_secs(20), end: SimTime::from_secs(30) },
+            ]],
+            horizon: SimTime::from_secs(40),
+        };
+        let n = NodeId(0);
+        assert!(sched.up_through(n, SimTime::from_secs(1), SimTime::from_secs(9)));
+        assert!(!sched.up_through(n, SimTime::from_secs(1), SimTime::from_secs(10)));
+        assert!(!sched.up_through(n, SimTime::from_secs(5), SimTime::from_secs(25)));
+        assert!(!sched.up_through(n, SimTime::from_secs(12), SimTime::from_secs(15)));
+        sched.pin_up(n);
+        assert!(sched.up_through(n, SimTime::from_secs(5), SimTime::from_secs(35)));
+    }
+
+    #[test]
+    fn always_up_has_full_availability() {
+        let sched = ChurnSchedule::always_up(10, SimTime::from_secs(100));
+        assert_eq!(sched.availability_at(SimTime::from_secs(50)), 1.0);
+    }
+
+    #[test]
+    fn transitions_are_ordered_and_paired() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = LifetimeDistribution::pareto_with_median(300.0);
+        let sched =
+            ChurnSchedule::generate(8, &dist, &dist, SimTime::from_secs(3600), &mut rng);
+        let events = sched.transitions();
+        for w in events.windows(2) {
+            assert!(w[0].0 <= w[1].0, "transitions must be time-ordered");
+        }
+        // Every node's first transition is a join at t=0.
+        for i in 0..8usize {
+            let first = events.iter().find(|&&(_, n, _)| n == NodeId::from(i)).unwrap();
+            assert_eq!((first.0, first.2), (SimTime::ZERO, true));
+        }
+    }
+
+    #[test]
+    fn availability_reflects_churn_steady_state() {
+        // Same up and down distribution => availability near 0.5 after
+        // warm-up (symmetric alternating renewal process; Pareto's infinite
+        // mean makes convergence slow, so allow wide slack).
+        let mut rng = StdRng::seed_from_u64(6);
+        let dist = LifetimeDistribution::paper_exponential();
+        let sched =
+            ChurnSchedule::generate(2000, &dist, &dist, SimTime::from_secs(40_000), &mut rng);
+        let a = sched.availability_at(SimTime::from_secs(30_000));
+        assert!((a - 0.5).abs() < 0.08, "steady-state availability {a}");
+    }
+}

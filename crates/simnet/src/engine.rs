@@ -1,0 +1,271 @@
+//! The discrete-event loop.
+//!
+//! An [`Engine`] owns a priority queue of `(time, seq, handler)` events over
+//! a caller-defined world type `W`. Handlers receive `&mut W` and
+//! `&mut Engine<W>` so they can mutate state and schedule follow-up events;
+//! ties break in scheduling order (FIFO at equal timestamps), which keeps
+//! runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    cancelled: Option<Rc<Cell<bool>>>,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event;
+        // seq breaks ties FIFO.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle for cancelling a scheduled event.
+#[derive(Clone)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Cancel the event; a no-op if it already fired.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// Discrete-event engine over a world `W`.
+///
+/// ```
+/// use simnet::{Engine, SimTime, SimDuration};
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// let mut log = Vec::new();
+/// engine.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u64>, e| {
+///     w.push(e.now().as_micros());
+///     e.schedule_in(SimDuration::from_secs(1), |w, e| w.push(e.now().as_micros()));
+/// });
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![2_000_000, 3_000_000]);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    processed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Fresh engine at time zero.
+    pub fn new() -> Self {
+        Engine { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `handler` at absolute time `at`. Scheduling in the past
+    /// (before `now`) fires the handler at `now` instead — the event queue
+    /// never travels backwards.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, cancelled: None, handler: Box::new(handler) });
+    }
+
+    /// Schedule `handler` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, handler);
+    }
+
+    /// Schedule with a cancellation handle.
+    pub fn schedule_cancellable(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventHandle {
+        let at = at.max(self.now);
+        let flag = Rc::new(Cell::new(false));
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            cancelled: Some(flag.clone()),
+            handler: Box::new(handler),
+        });
+        EventHandle { cancelled: flag }
+    }
+
+    /// Run events until the queue empties.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run events with timestamps `<= until`; events after the horizon stay
+    /// queued and `now` advances to exactly `until`.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Execute the next event, if any. Returns false when the queue is
+    /// empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else { return false };
+            if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.processed += 1;
+            (ev.handler)(world, self);
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        engine.schedule_at(SimTime::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        engine.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        engine.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        engine.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_secs(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        engine.run(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut world = Vec::new();
+        fn tick(w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>) {
+            w.push(e.now().as_micros());
+            if w.len() < 5 {
+                e.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        engine.schedule_at(SimTime::ZERO, tick);
+        engine.run(&mut world);
+        assert_eq!(world, vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        engine.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        engine.schedule_at(SimTime::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
+        engine.run_until(&mut world, SimTime::from_secs(5));
+        assert_eq!(world, vec![1]);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut world);
+        assert_eq!(world, vec![1, 10]);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        let h = engine.schedule_cancellable(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        engine.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        h.cancel();
+        assert!(h.is_cancelled());
+        engine.run(&mut world);
+        assert_eq!(world, vec![2]);
+        assert_eq!(engine.events_processed(), 1);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut world = Vec::new();
+        engine.schedule_at(SimTime::from_secs(5), |_, e: &mut Engine<Vec<u64>>| {
+            // "One second ago" must fire immediately, not corrupt the clock.
+            e.schedule_at(SimTime::from_secs(4), |w: &mut Vec<u64>, e| {
+                w.push(e.now().as_micros());
+            });
+        });
+        engine.run(&mut world);
+        assert_eq!(world, vec![5_000_000]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Pairwise latency model.
+//!
+//! The paper derives inter-node latencies from King measurements of 1024
+//! DNS servers (average RTT 152 ms). That dataset is not redistributable,
+//! so we synthesize a matrix with the same gross statistics: each node is
+//! placed in a 2-D virtual coordinate space, one-way delay is a base
+//! propagation term plus the Euclidean distance, and the whole matrix is
+//! rescaled so the mean RTT matches the requested target. This preserves
+//! the properties the experiments depend on — heterogeneous, roughly
+//! triangle-inequality-respecting delays of realistic magnitude.
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// The paper's average round-trip time for the simulated network.
+pub const PAPER_AVG_RTT_MS: f64 = 152.0;
+
+/// Dense `n x n` one-way-delay matrix (microseconds).
+#[derive(Clone)]
+pub struct LatencyMatrix {
+    n: usize,
+    owd_us: Vec<u32>,
+}
+
+impl LatencyMatrix {
+    /// Synthesize a matrix for `n` nodes with the given average RTT.
+    ///
+    /// Layout model: uniform points in a unit square, 10% base delay,
+    /// distance-proportional remainder, ±20% per-pair jitter, then global
+    /// rescale to hit the target mean exactly.
+    pub fn synthetic<R: Rng>(n: usize, avg_rtt_ms: f64, rng: &mut R) -> Self {
+        assert!(n >= 1, "need at least one node");
+        assert!(avg_rtt_ms > 0.0, "average RTT must be positive");
+        let coords: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+        let mut owd = vec![0f64; n * n];
+        let mut sum = 0f64;
+        let mut pairs = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue; // loopback set after scaling
+                }
+                let (xi, yi) = coords[i];
+                let (xj, yj) = coords[j];
+                let dist = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+                let d = (0.1 + dist) * jitter;
+                owd[i * n + j] = d;
+                sum += d;
+                pairs += 1;
+            }
+        }
+        // Mean one-way delay should be half the target RTT.
+        let target_owd_ms = avg_rtt_ms / 2.0;
+        let scale = if pairs == 0 { 1.0 } else { target_owd_ms / (sum / pairs as f64) };
+        let mut owd_us: Vec<u32> = owd
+            .iter()
+            .map(|&ms| ((ms * scale * 1000.0).round() as u32).max(1))
+            .collect();
+        for i in 0..n {
+            owd_us[i * n + i] = 50; // loopback: fixed 50 µs, unscaled
+        }
+        LatencyMatrix { n, owd_us }
+    }
+
+    /// Constant-delay matrix (testing and analytic experiments).
+    pub fn uniform(n: usize, owd: SimDuration) -> Self {
+        let us = u32::try_from(owd.as_micros()).expect("delay too large");
+        LatencyMatrix { n, owd_us: vec![us; n * n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (it never is; see [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// One-way delay from `a` to `b`.
+    #[inline]
+    pub fn owd(&self, a: NodeId, b: NodeId) -> SimDuration {
+        SimDuration(self.owd_us[a.index() * self.n + b.index()] as u64)
+    }
+
+    /// Round-trip time between `a` and `b`.
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.owd(a, b) + self.owd(b, a)
+    }
+
+    /// Mean RTT over all ordered pairs of distinct nodes, in milliseconds.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    sum += self.owd_us[i * self.n + j] as u64;
+                    count += 1;
+                }
+            }
+        }
+        // Mean RTT = 2 * mean OWD over ordered pairs.
+        2.0 * (sum as f64 / count as f64) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthetic_hits_target_mean_rtt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyMatrix::synthetic(128, PAPER_AVG_RTT_MS, &mut rng);
+        let mean = m.mean_rtt_ms();
+        assert!(
+            (mean - PAPER_AVG_RTT_MS).abs() < 2.0,
+            "mean RTT {mean:.2} ms not within 2 ms of target"
+        );
+    }
+
+    #[test]
+    fn delays_positive_and_loopback_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyMatrix::synthetic(32, 100.0, &mut rng);
+        for i in 0..32u32 {
+            assert!(m.owd(NodeId(i), NodeId(i)).as_micros() < 1000);
+            for j in 0..32u32 {
+                assert!(m.owd(NodeId(i), NodeId(j)).as_micros() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let m = LatencyMatrix::uniform(4, SimDuration::from_millis(10));
+        assert_eq!(m.owd(NodeId(0), NodeId(3)), SimDuration::from_millis(10));
+        assert_eq!(m.rtt(NodeId(1), NodeId(2)), SimDuration::from_millis(20));
+        assert_eq!(m.mean_rtt_ms(), 20.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = LatencyMatrix::synthetic(16, 152.0, &mut StdRng::seed_from_u64(7));
+        let b = LatencyMatrix::synthetic(16, 152.0, &mut StdRng::seed_from_u64(7));
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                assert_eq!(a.owd(NodeId(i), NodeId(j)), b.owd(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_matrix_is_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyMatrix::synthetic(1, 152.0, &mut rng);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mean_rtt_ms(), 0.0);
+    }
+}

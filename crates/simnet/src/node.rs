@@ -1,0 +1,59 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a simulated peer (dense indices `0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(n, NodeId(7));
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn oversized_index_panics() {
+        let _ = NodeId::from(usize::MAX);
+    }
+}

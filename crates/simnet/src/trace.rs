@@ -1,0 +1,241 @@
+//! Statistics accumulators for the evaluation framework.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 if fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample store with percentile and empirical-CDF queries (used by the
+/// Figure 1 reproduction and latency reporting).
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Empty sample store.
+    pub fn new() -> Self {
+        Samples { values: Vec::new(), sorted: true }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// `q`-quantile with linear interpolation, `q` in `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Empirical CDF at `x`: fraction of samples `< x`.
+    pub fn cdf(&mut self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.values.partition_point(|&v| v < x);
+        idx as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Summary::new();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            all.record(x);
+            if i % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_and_cdf() {
+        let mut s = Samples::new();
+        for i in (1..=100).rev() {
+            s.record(i as f64);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert!((s.quantile(0.5).unwrap() - 50.5).abs() < 1e-12);
+        assert!((s.cdf(51.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.cdf(0.5), 0.0);
+        assert_eq!(s.cdf(1000.0), 1.0);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_safe() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.cdf(1.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::trace::{Samples, Summary};
+use simnet::{ChurnSchedule, Engine, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine executes any batch of events in non-decreasing time
+    /// order with FIFO tie-breaks, regardless of insertion order.
+    #[test]
+    fn engine_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut world: Vec<(u64, usize)> = Vec::new();
+        for (seq, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime(t), move |w: &mut Vec<(u64, usize)>, e| {
+                w.push((e.now().as_micros(), seq));
+            });
+        }
+        engine.run(&mut world);
+        prop_assert_eq!(world.len(), times.len());
+        for w in world.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// run_until never executes an event past the horizon, and a
+    /// subsequent run finishes the rest exactly once.
+    #[test]
+    fn engine_horizon_split(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        split in 0u64..1000,
+    ) {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut world = Vec::new();
+        for &t in &times {
+            engine.schedule_at(SimTime(t), move |w: &mut Vec<u64>, e| {
+                w.push(e.now().as_micros());
+            });
+        }
+        engine.run_until(&mut world, SimTime(split));
+        prop_assert!(world.iter().all(|&t| t <= split));
+        let before = world.len();
+        engine.run(&mut world);
+        prop_assert_eq!(world.len(), times.len());
+        prop_assert!(world[before..].iter().all(|&t| t > split));
+    }
+
+    /// Sessions of any generated schedule are disjoint, ordered, in-horizon
+    /// and consistent with point queries.
+    #[test]
+    fn churn_schedule_invariants(
+        n in 1usize..24,
+        median in 60.0f64..2000.0,
+        seed in any::<u64>(),
+    ) {
+        let horizon = SimTime::from_secs(3000);
+        let dist = LifetimeDistribution::pareto_with_median(median);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
+        for i in 0..n {
+            let node = NodeId::from(i);
+            let sessions = sched.sessions(node);
+            prop_assert!(!sessions.is_empty());
+            for s in sessions {
+                prop_assert!(s.start < s.end);
+                prop_assert!(s.end <= horizon);
+                // Point queries agree with the interval.
+                prop_assert!(sched.is_up(node, s.start));
+                prop_assert!(!sched.is_up(node, s.end));
+                let mid = SimTime((s.start.as_micros() + s.end.as_micros()) / 2);
+                prop_assert!(sched.is_up(node, mid));
+            }
+            for w in sessions.windows(2) {
+                prop_assert!(w[0].end < w[1].start, "sessions must not touch");
+            }
+        }
+    }
+
+    /// Latency matrices are strictly positive off-diagonal, loopback-tiny,
+    /// and the calibrated mean is within 3% of the target.
+    #[test]
+    fn latency_matrix_invariants(n in 2usize..48, rtt in 20.0f64..500.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = LatencyMatrix::synthetic(n, rtt, &mut rng);
+        for i in 0..n {
+            for j in 0..n {
+                let d = m.owd(NodeId::from(i), NodeId::from(j));
+                if i == j {
+                    prop_assert!(d.as_micros() <= 1000);
+                } else {
+                    prop_assert!(d.as_micros() >= 1);
+                }
+            }
+        }
+        let mean = m.mean_rtt_ms();
+        prop_assert!((mean - rtt).abs() / rtt < 0.03, "mean {mean} vs target {rtt}");
+    }
+
+    /// Summary::merge is associative-enough: merging any split equals the
+    /// whole, and quantiles bracket the data.
+    #[test]
+    fn stats_invariants(data in proptest::collection::vec(-1e6f64..1e6, 1..300), cut in any::<prop::sample::Index>()) {
+        let k = cut.index(data.len());
+        let mut whole = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        let mut samples = Samples::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.record(x);
+            if i < k { left.record(x) } else { right.record(x) }
+            samples.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        let lo = samples.quantile(0.0).unwrap();
+        let hi = samples.quantile(1.0).unwrap();
+        let med = samples.quantile(0.5).unwrap();
+        prop_assert!(lo <= med && med <= hi);
+        prop_assert_eq!(lo, data.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(hi, data.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Lifetime CDFs are monotone with correct range, and the sampled
+    /// median matches the analytic median.
+    #[test]
+    fn distribution_cdf_monotone(median in 100.0f64..5000.0, kind in 0u8..3) {
+        let dist = match kind {
+            0 => LifetimeDistribution::pareto_with_median(median),
+            1 => LifetimeDistribution::Exponential { mean_secs: median / std::f64::consts::LN_2 },
+            _ => LifetimeDistribution::Uniform { min_secs: median * 0.5, max_secs: median * 1.5 },
+        };
+        let mut prev = -1.0f64;
+        for i in 0..100 {
+            let t = i as f64 * median / 10.0;
+            let c = dist.cdf(t);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        // The CDF evaluated just past the analytic median is 1/2 for all
+        // three families (the Pareto CDF is left-discontinuous at β).
+        let at_median = dist.cdf(dist.median_secs() + 1e-9);
+        prop_assert!((at_median - 0.5).abs() < 1e-3, "cdf(median) = {}", at_median);
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let t = SimTime(a) + SimDuration(b);
+        prop_assert_eq!(t - SimTime(a), SimDuration(b));
+        prop_assert_eq!(t.since(SimTime(a)), SimDuration(b));
+        prop_assert_eq!(SimTime(a).since(t), SimDuration::ZERO);
+    }
+}

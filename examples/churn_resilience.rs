@@ -1,0 +1,71 @@
+//! Churn resilience: run the paper's evaluation world and watch CurMix,
+//! SimRep and SimEra ride out node churn — the headline comparison of the
+//! paper, at example scale.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use p2p_anon::anon::protocols::runner::{run_performance_experiment, PerfConfig};
+use p2p_anon::anon::protocols::ProtocolKind;
+use p2p_anon::anon::sim::WorldConfig;
+use p2p_anon::MixStrategy;
+use p2p_anon::{SimDuration, SimTime};
+use simnet::LifetimeDistribution;
+
+fn main() {
+    println!("churn resilience: 256 nodes, Pareto churn (median session 30 min)\n");
+
+    let world = WorldConfig {
+        n: 256,
+        l: 3,
+        avg_rtt_ms: 152.0,
+        lifetime: LifetimeDistribution::pareto_with_median(1800.0),
+        downtime: LifetimeDistribution::pareto_with_median(1800.0),
+        horizon: SimTime::from_secs(5400),
+        schedule_margin: SimDuration::from_secs(3600),
+        membership: Default::default(),
+        seed: 1,
+    };
+
+    println!(
+        "{:<18} {:>9} {:>12} {:>10} {:>12} {:>10}",
+        "protocol", "strategy", "durability", "attempts", "latency", "delivery"
+    );
+    println!("{}", "-".repeat(76));
+
+    for protocol in [
+        ProtocolKind::CurMix,
+        ProtocolKind::SimRep { k: 2 },
+        ProtocolKind::SimEra { k: 4, r: 4 },
+        ProtocolKind::SimEra { k: 4, r: 2 },
+    ] {
+        for strategy in [MixStrategy::Random, MixStrategy::Biased] {
+            let cfg = PerfConfig {
+                world: world.clone(),
+                protocol,
+                strategy,
+                warmup: SimTime::from_secs(1800),
+                msg_interval: SimDuration::from_secs(10),
+                msg_bytes: 1024,
+                durability_cap: SimDuration::from_secs(3600),
+                retry_interval: SimDuration::from_secs(1),
+                predict_threshold: None,
+            };
+            let res = run_performance_experiment(&cfg);
+            println!(
+                "{:<18} {:>9} {:>10.0}s {:>10.1} {:>10.0}ms {:>9.1}%",
+                protocol.label(),
+                strategy.label(),
+                res.metrics.durability_secs.mean(),
+                res.attempts_per_episode(),
+                res.metrics.latency_ms.mean(),
+                res.metrics.delivery_rate() * 100.0,
+            );
+        }
+    }
+
+    println!("\nreading the table:");
+    println!("  * durability: how long one constructed path set keeps delivering");
+    println!("  * attempts:   constructions needed per working path set");
+    println!("  * SimEra(k=4,r=4) tolerates 3 of 4 path failures; CurMix tolerates none");
+    println!("  * biased mix choice (liveness predictor q) builds paths from stable nodes");
+}

@@ -1,0 +1,57 @@
+//! Tune redundancy: use the §4.7 allocation analytics to choose `k` and
+//! `r` for a measured node availability — the paper's "guideline on how to
+//! maximize routing resilience ... in real-world systems".
+//!
+//! Run with: `cargo run --example tune_redundancy [availability] [L]`
+//! (defaults: availability 0.80, L = 3)
+
+use p2p_anon::anon::allocation::{
+    classify, optimal_k, p_of_k, path_success_probability, BandwidthModel, Observation,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pa: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.80);
+    let l: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    assert!((0.0..=1.0).contains(&pa), "availability must be in [0,1]");
+
+    let p = path_success_probability(pa, l);
+    println!("node availability pa = {pa}, path length L = {l}");
+    println!("per-path success p = pa^L = {p:.4}\n");
+
+    let model = BandwidthModel { msg_bytes: 1024, l, pa };
+    println!(
+        "{:>3} {:>10} {:>12} {:>14} {:>18}",
+        "r", "p*r", "regime", "best k (<=20)", "bandwidth @best k"
+    );
+    println!("{}", "-".repeat(64));
+    for r in [2usize, 3, 4, 5] {
+        let obs = classify(p, r);
+        let regime = match obs {
+            Observation::AlwaysSplit => "always split",
+            Observation::SplitWhenLarge => "split if k large",
+            Observation::NeverSplit => "never split",
+        };
+        let best = optimal_k(r, p, 20);
+        let bw = model.simera_expected_bytes(best, r) / 1024.0;
+        println!(
+            "{r:>3} {:>10.3} {regime:>12} {best:>14} {bw:>15.1} KB",
+            p * r as f64
+        );
+    }
+
+    println!("\ndelivery probability P(k) at the recommended points:");
+    for r in [2usize, 3, 4] {
+        let best = optimal_k(r, p, 20);
+        println!(
+            "  r = {r}: P(k = {best}) = {:.4}   (single path: {:.4})",
+            p_of_k(best, r, p),
+            p
+        );
+    }
+
+    println!("\nrule of thumb from the paper's observations:");
+    println!("  p*r > 4/3  -> spread over as many paths as you can afford");
+    println!("  1 < p*r <= 4/3 -> only split aggressively (large k)");
+    println!("  p*r <= 1   -> keep k = r; more splitting only hurts");
+}

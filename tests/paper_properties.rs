@@ -1,0 +1,112 @@
+//! Integration-level property tests tying the paper's claims to the
+//! implementation across crate boundaries.
+
+use p2p_anon::anon::allocation::{self, BandwidthModel};
+use p2p_anon::anon::protocols::ProtocolKind;
+use p2p_anon::coding::{Codec, ErasureCodec, ReplicationCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline tolerance claim: SimEra(k, r) survives the loss of any
+    /// `k(1 - 1/r)` paths — drop that many paths' segments and decode.
+    #[test]
+    fn tolerates_claimed_path_failures(
+        r in 2usize..5,
+        mult in 1usize..4,
+        msg in proptest::collection::vec(any::<u8>(), 1..512),
+        seed in any::<u64>(),
+    ) {
+        let k = r * mult;
+        let kind = ProtocolKind::SimEra { k, r };
+        let codec = kind.codec().unwrap();
+        let segments = codec.encode(&msg);
+        prop_assert_eq!(segments.len(), k);
+
+        let tolerable = kind.success_rule().tolerable_failures();
+        prop_assert_eq!(tolerable, k - k / r);
+
+        // Kill `tolerable` random paths (one segment per path in SimEra).
+        let mut state = seed | 1;
+        let mut order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state as usize) % (i + 1));
+        }
+        let survivors: Vec<_> = order[tolerable..]
+            .iter()
+            .map(|&i| segments[i].clone())
+            .collect();
+        prop_assert_eq!(codec.decode(&survivors).unwrap(), msg);
+
+        // One more failure breaks it.
+        if survivors.len() > 1 {
+            prop_assert!(codec.decode(&survivors[1..]).is_err());
+        }
+    }
+
+    /// Replication is the m = 1 special case of erasure coding: the two
+    /// codecs agree on reconstruction behaviour for k copies.
+    #[test]
+    fn replication_is_m1_erasure(
+        k in 1usize..8,
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let rep = ReplicationCodec::new(k).unwrap();
+        let era = ErasureCodec::new(1, k).unwrap();
+        let rep_segs = rep.encode(&msg);
+        let era_segs = era.encode(&msg);
+        let i = pick.index(k);
+        prop_assert_eq!(rep.decode(&[rep_segs[i].clone()]).unwrap(), msg.clone());
+        prop_assert_eq!(era.decode(&[era_segs[i].clone()]).unwrap(), msg);
+    }
+
+    /// Bandwidth advantage of erasure coding over replication (the paper's
+    /// "major advantage ... is bandwidth cost"): at equal tolerance
+    /// (both survive k-1 path losses... comparing SimRep(k) against
+    /// SimEra(k, r)), erasure total bytes are r/k of replication's.
+    #[test]
+    fn erasure_cheaper_than_replication(
+        r in 2usize..5,
+        mult in 2usize..4,
+        len in 64usize..4096,
+    ) {
+        let k = r * mult;
+        let model = BandwidthModel { msg_bytes: len, l: 3, pa: 0.9 };
+        let era = model.simera_expected_bytes(k, r);
+        let rep = model.simrep_expected_bytes(k);
+        prop_assert!(era < rep, "erasure {era} must undercut replication {rep}");
+        prop_assert!((era / rep - r as f64 / k as f64).abs() < 1e-9);
+    }
+
+    /// P(k) is a probability and is monotone in p for every (k, r).
+    #[test]
+    fn p_of_k_sane(
+        r in 1usize..5,
+        mult in 1usize..6,
+        p in 0.0f64..1.0,
+    ) {
+        let k = r * mult;
+        let v = allocation::p_of_k(k, r, p);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let v_hi = allocation::p_of_k(k, r, (p + 0.05).min(1.0));
+        prop_assert!(v_hi + 1e-12 >= v, "monotone in p");
+    }
+
+    /// The observation classifier partitions correctly on its boundaries.
+    #[test]
+    fn observation_partitions(p in 0.0f64..1.0, r in 1usize..6) {
+        use allocation::Observation::*;
+        let pr = p * r as f64;
+        let obs = allocation::classify(p, r);
+        match obs {
+            AlwaysSplit => prop_assert!(pr > 4.0 / 3.0),
+            SplitWhenLarge => prop_assert!(pr > 1.0 && pr <= 4.0 / 3.0 + 1e-12),
+            NeverSplit => prop_assert!(pr <= 1.0 + 1e-12),
+        }
+    }
+}
