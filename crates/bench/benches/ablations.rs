@@ -113,18 +113,25 @@ fn ablate_gossip_digest(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_gossip_digest");
     g.sample_size(10);
     for digest in [8usize, 32, 64, 128] {
-        g.bench_with_input(BenchmarkId::new("advance_10min_n256", digest), &digest, |b, &d| {
-            b.iter(|| {
-                let mut rng = bench_rng();
-                let horizon = SimTime::from_secs(600);
-                let dist = LifetimeDistribution::PAPER_DEFAULT;
-                let sched = ChurnSchedule::generate(256, &dist, &dist, horizon, &mut rng);
-                let cfg = GossipConfig { digest_size: d, ..GossipConfig::default() };
-                let mut gossip = GossipSim::new(256, cfg, &mut rng);
-                gossip.advance(&sched, horizon, &mut rng);
-                black_box(gossip.messages_sent())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("advance_10min_n256", digest),
+            &digest,
+            |b, &d| {
+                b.iter(|| {
+                    let mut rng = bench_rng();
+                    let horizon = SimTime::from_secs(600);
+                    let dist = LifetimeDistribution::PAPER_DEFAULT;
+                    let sched = ChurnSchedule::generate(256, &dist, &dist, horizon, &mut rng);
+                    let cfg = GossipConfig {
+                        digest_size: d,
+                        ..GossipConfig::default()
+                    };
+                    let mut gossip = GossipSim::new(256, cfg, &mut rng);
+                    gossip.advance(&sched, horizon, &mut rng);
+                    black_box(gossip.messages_sent())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -150,7 +157,10 @@ fn ablate_failure_prediction(c: &mut Criterion) {
     g.bench_function("without_prediction", |b| {
         b.iter(|| black_box(run_performance_experiment(&base)))
     });
-    let with = PerfConfig { predict_threshold: Some(0.3), ..base.clone() };
+    let with = PerfConfig {
+        predict_threshold: Some(0.3),
+        ..base.clone()
+    };
     g.bench_function("with_prediction_q0.3", |b| {
         b.iter(|| black_box(run_performance_experiment(&with)))
     });

@@ -66,7 +66,13 @@ fn bench_payload(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("build_512B", l), &l, |b, _| {
             let mut rng = bench_rng();
             b.iter(|| {
-                black_box(build_payload_onion(&plan, MessageId(1), &seg, None, &mut rng))
+                black_box(build_payload_onion(
+                    &plan,
+                    MessageId(1),
+                    &seg,
+                    None,
+                    &mut rng,
+                ))
             })
         });
         let (blob, _) = build_payload_onion(&plan, MessageId(1), &seg, None, &mut rng);
@@ -79,9 +85,7 @@ fn bench_payload(c: &mut Criterion) {
                         other => panic!("unexpected {other:?}"),
                     }
                 }
-                black_box(
-                    peel_payload_layer(&plan.session_keys[plan.num_relays()], &cur).unwrap(),
-                )
+                black_box(peel_payload_layer(&plan.session_keys[plan.num_relays()], &cur).unwrap())
             })
         });
     }

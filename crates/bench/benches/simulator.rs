@@ -12,17 +12,21 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_engine");
     for events in [1_000usize, 10_000, 100_000] {
         g.throughput(Throughput::Elements(events as u64));
-        g.bench_with_input(BenchmarkId::new("schedule_and_run", events), &events, |b, &n| {
-            b.iter(|| {
-                let mut engine: Engine<u64> = Engine::new();
-                let mut world = 0u64;
-                for i in 0..n {
-                    engine.schedule_at(SimTime((i as u64 * 7919) % 1_000_000), |w, _| *w += 1);
-                }
-                engine.run(&mut world);
-                black_box(world)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("schedule_and_run", events),
+            &events,
+            |b, &n| {
+                b.iter(|| {
+                    let mut engine: Engine<u64> = Engine::new();
+                    let mut world = 0u64;
+                    for i in 0..n {
+                        engine.schedule_at(SimTime((i as u64 * 7919) % 1_000_000), |w, _| *w += 1);
+                    }
+                    engine.run(&mut world);
+                    black_box(world)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -56,7 +60,10 @@ fn bench_churn(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(1);
-            black_box(sched.is_up(simnet::NodeId(i % 1024), SimTime::from_secs((i as u64 * 13) % 7200)))
+            black_box(sched.is_up(
+                simnet::NodeId(i % 1024),
+                SimTime::from_secs((i as u64 * 13) % 7200),
+            ))
         })
     });
     g.finish();
@@ -127,5 +134,65 @@ fn bench_mix_choice(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_churn, bench_latency, bench_gossip, bench_mix_choice);
+fn bench_runner(c: &mut Criterion) {
+    use anon_core::protocols::runner::{run_setup_experiment_traced, SetupConfig};
+    use anon_core::protocols::ProtocolKind;
+    use experiments::experiments::Scale;
+    use experiments::{run_all, RunSpec};
+
+    // Shard a small multi-seed setup sweep across the pool: the same job
+    // list at 1 thread vs all cores measures the runner's speedup (and its
+    // sequential-path overhead, which should be nil).
+    let scale = Scale::Quick;
+    let make_jobs = || -> Vec<RunSpec<()>> {
+        (0..8u64)
+            .map(|seed| RunSpec {
+                label: format!("seed{seed}"),
+                seed,
+                payload: (),
+            })
+            .collect()
+    };
+    let run = |spec: &RunSpec<()>| {
+        let cfg = SetupConfig {
+            world: scale.world(spec.seed),
+            protocol: ProtocolKind::CurMix,
+            strategy: anon_core::mix::MixStrategy::Biased,
+            warmup: scale.warmup(),
+            mean_interarrival: SimDuration::from_secs(116),
+        };
+        let (metrics, stats) = run_setup_experiment_traced(&cfg);
+        let pct = metrics.setup_success_rate() * 100.0;
+        (pct, stats, vec![("setup_success_pct".to_string(), pct)])
+    };
+
+    let mut g = c.benchmark_group("runner");
+    g.sample_size(10);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for threads in [1usize, cores] {
+        g.bench_with_input(
+            BenchmarkId::new("setup_sweep_8seeds", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let (results, traces) = run_all("bench", make_jobs(), threads, run);
+                    black_box((results, traces.traces.len()))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_churn,
+    bench_latency,
+    bench_gossip,
+    bench_mix_choice,
+    bench_runner
+);
 criterion_main!(benches);

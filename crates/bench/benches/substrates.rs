@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use erasure::codec::{Codec, ErasureCodec};
 use erasure::gf256;
 use erasure::rs::ReedSolomon;
-use sim_crypto::{chacha20, seal, sha256::sha256, sym_encrypt, unseal, x25519, KeyPair, SymmetricKey};
+use sim_crypto::{
+    chacha20, seal, sha256::sha256, sym_encrypt, unseal, x25519, KeyPair, SymmetricKey,
+};
 use std::hint::black_box;
 
 fn bench_gf256(c: &mut Criterion) {
@@ -49,13 +51,14 @@ fn bench_reed_solomon(c: &mut Criterion) {
         let shard = 1024 / m;
         let data: Vec<Vec<u8>> = (0..m).map(|_| payload(shard)).collect();
         g.throughput(Throughput::Bytes((shard * m) as u64));
-        g.bench_with_input(BenchmarkId::new("encode", format!("{m}of{n}")), &rs, |bench, rs| {
-            bench.iter(|| black_box(rs.encode(&data).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("{m}of{n}")),
+            &rs,
+            |bench, rs| bench.iter(|| black_box(rs.encode(&data).unwrap())),
+        );
         let coded = rs.encode(&data).unwrap();
         // Worst case: reconstruct from the last m (parity-heavy) shards.
-        let survivors: Vec<(usize, &[u8])> =
-            (n - m..n).map(|i| (i, coded[i].as_slice())).collect();
+        let survivors: Vec<(usize, &[u8])> = (n - m..n).map(|i| (i, coded[i].as_slice())).collect();
         g.bench_with_input(
             BenchmarkId::new("decode_parity", format!("{m}of{n}")),
             &rs,
@@ -126,5 +129,11 @@ fn bench_crypto(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gf256, bench_reed_solomon, bench_message_codec, bench_crypto);
+criterion_group!(
+    benches,
+    bench_gf256,
+    bench_reed_solomon,
+    bench_message_codec,
+    bench_crypto
+);
 criterion_main!(benches);

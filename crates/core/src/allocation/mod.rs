@@ -94,7 +94,10 @@ pub fn binomial_tail(k: usize, need: usize, p: f64) -> f64 {
 /// assumption so segments divide evenly).
 pub fn p_of_k(k: usize, r: usize, p: f64) -> f64 {
     assert!(r >= 1, "replication factor must be at least 1");
-    assert!(k >= 1 && k.is_multiple_of(r), "k must be a positive multiple of r (got k={k}, r={r})");
+    assert!(
+        k >= 1 && k.is_multiple_of(r),
+        "k must be a positive multiple of r (got k={k}, r={r})"
+    );
     binomial_tail(k, k / r, p)
 }
 
@@ -310,7 +313,12 @@ mod tests {
     #[test]
     fn monte_carlo_agrees_with_closed_form() {
         let mut rng = StdRng::seed_from_u64(42);
-        for &(pa, r, k) in &[(0.70f64, 2usize, 6usize), (0.86, 2, 8), (0.95, 2, 4), (0.70, 4, 8)] {
+        for &(pa, r, k) in &[
+            (0.70f64, 2usize, 6usize),
+            (0.86, 2, 8),
+            (0.95, 2, 4),
+            (0.70, 4, 8),
+        ] {
             let l = 3;
             let p = path_success_probability(pa, l);
             let analytic = p_of_k(k, r, p);
@@ -331,7 +339,11 @@ mod tests {
     #[test]
     fn bandwidth_model_matches_paper_magnitudes() {
         // Table 2 shapes: 1 KB message, L = 3.
-        let model = BandwidthModel { msg_bytes: 1024, l: 3, pa: 0.95 };
+        let model = BandwidthModel {
+            msg_bytes: 1024,
+            l: 3,
+            pa: 0.95,
+        };
         // CurMix ≈ 4 KB at high availability (4 links × 1 KB).
         let curmix_kb = model.curmix_expected_bytes() / 1024.0;
         assert!((3.5..=4.0).contains(&curmix_kb), "CurMix {curmix_kb:.2} KB");
@@ -340,16 +352,27 @@ mod tests {
         assert!((6.0..=8.0).contains(&simrep_kb), "SimRep {simrep_kb:.2} KB");
         // SimEra(k = 4, r = 4) ≈ 8–16 KB; with pa = 0.95 near 15.5, with
         // pa = 0.7 (heavier churn) nearer the paper's 8.8–10.4.
-        let low_avail = BandwidthModel { msg_bytes: 1024, l: 3, pa: 0.70 };
+        let low_avail = BandwidthModel {
+            msg_bytes: 1024,
+            l: 3,
+            pa: 0.70,
+        };
         let simera_kb = low_avail.simera_expected_bytes(4, 4) / 1024.0;
-        assert!((8.0..=11.0).contains(&simera_kb), "SimEra {simera_kb:.2} KB");
+        assert!(
+            (8.0..=11.0).contains(&simera_kb),
+            "SimEra {simera_kb:.2} KB"
+        );
     }
 
     #[test]
     fn bandwidth_flat_in_k_for_fixed_r() {
         // Figure 4's shape: for fixed r, total cost is essentially flat in
         // k (per-path bytes shrink as k grows).
-        let model = BandwidthModel { msg_bytes: 1024, l: 3, pa: 0.70 };
+        let model = BandwidthModel {
+            msg_bytes: 1024,
+            l: 3,
+            pa: 0.70,
+        };
         let b4 = model.simera_expected_bytes(4, 2);
         let b20 = model.simera_expected_bytes(20, 2);
         assert!((b4 - b20).abs() < 1e-9);
@@ -360,10 +383,24 @@ mod tests {
 
     #[test]
     fn expected_links_bounds() {
-        let m = BandwidthModel { msg_bytes: 1, l: 3, pa: 1.0 };
-        assert!((m.expected_links() - 4.0).abs() < 1e-12, "all links traversed when up");
-        let m0 = BandwidthModel { msg_bytes: 1, l: 3, pa: 0.0 };
-        assert!((m0.expected_links() - 1.0).abs() < 1e-12, "first link always paid");
+        let m = BandwidthModel {
+            msg_bytes: 1,
+            l: 3,
+            pa: 1.0,
+        };
+        assert!(
+            (m.expected_links() - 4.0).abs() < 1e-12,
+            "all links traversed when up"
+        );
+        let m0 = BandwidthModel {
+            msg_bytes: 1,
+            l: 3,
+            pa: 0.0,
+        };
+        assert!(
+            (m0.expected_links() - 1.0).abs() < 1e-12,
+            "first link always paid"
+        );
     }
 }
 

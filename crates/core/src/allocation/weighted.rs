@@ -70,7 +70,10 @@ pub fn allocate_even(n: usize, k: usize) -> Vec<usize> {
 pub fn allocate_weighted(n: usize, probs: &[f64], gamma: f64) -> Vec<usize> {
     let k = probs.len();
     assert!(k > 0);
-    let weights: Vec<f64> = probs.iter().map(|&p| p.clamp(1e-9, 1.0).powf(gamma)).collect();
+    let weights: Vec<f64> = probs
+        .iter()
+        .map(|&p| p.clamp(1e-9, 1.0).powf(gamma))
+        .collect();
     let sum: f64 = weights.iter().sum();
     let ideal: Vec<f64> = weights.iter().map(|w| n as f64 * w / sum).collect();
     let mut alloc: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();

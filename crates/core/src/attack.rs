@@ -97,17 +97,20 @@ pub fn run_attack_experiment(
 
     let mut result = AttackResult::default();
     let mut t = warmup;
-    let step = SimDuration::from_secs_f64(
-        (world_cfg.horizon - warmup).as_secs_f64() / events as f64,
-    );
+    let step =
+        SimDuration::from_secs_f64((world_cfg.horizon - warmup).as_secs_f64() / events as f64);
     for _ in 0..events {
         t += step;
         if t >= world_cfg.horizon {
             break;
         }
         world.advance_gossip(t);
-        let Some(initiator) = world.random_live_node(&[], t) else { continue };
-        let Some(responder) = world.random_live_node(&[initiator], t) else { continue };
+        let Some(initiator) = world.random_live_node(&[], t) else {
+            continue;
+        };
+        let Some(responder) = world.random_live_node(&[initiator], t) else {
+            continue;
+        };
         let Ok(paths) = world.pick_paths(initiator, responder, k, strategy, t) else {
             continue;
         };
@@ -152,7 +155,10 @@ pub fn staying_adversary_advantage(
         world_cfg.clone(),
         strategy,
         k,
-        AttackConfig { f, adversary_stays: false },
+        AttackConfig {
+            f,
+            adversary_stays: false,
+        },
         events,
         warmup,
     );
@@ -160,7 +166,10 @@ pub fn staying_adversary_advantage(
         world_cfg,
         strategy,
         k,
-        AttackConfig { f, adversary_stays: true },
+        AttackConfig {
+            f,
+            adversary_stays: true,
+        },
         events,
         warmup,
     );
@@ -185,7 +194,10 @@ mod tests {
             small_cfg(1),
             MixStrategy::Random,
             1,
-            AttackConfig { f: 0.0, adversary_stays: false },
+            AttackConfig {
+                f: 0.0,
+                adversary_stays: false,
+            },
             100,
             SimTime::from_secs(900),
         );
@@ -205,7 +217,10 @@ mod tests {
             small_cfg(2),
             MixStrategy::Random,
             2,
-            AttackConfig { f, adversary_stays: false },
+            AttackConfig {
+                f,
+                adversary_stays: false,
+            },
             400,
             SimTime::from_secs(900),
         );

@@ -79,7 +79,12 @@ impl Cluster {
                 (id, Relay::new(id, KeyPair::generate(&mut rng)))
             })
             .collect();
-        Cluster { relays, down: HashMap::new(), now: SimTime::ZERO, rng }
+        Cluster {
+            relays,
+            down: HashMap::new(),
+            now: SimTime::ZERO,
+            rng,
+        }
     }
 
     /// Current cluster time.
@@ -142,7 +147,11 @@ impl Cluster {
             // Borrow dance: take actions out before touching self again.
             let action = relay.handle_construction(from, sid, &onion, now, &mut self.rng)?;
             match action {
-                RelayAction::ForwardConstruction { to: next, sid: nsid, onion: inner } => {
+                RelayAction::ForwardConstruction {
+                    to: next,
+                    sid: nsid,
+                    onion: inner,
+                } => {
                     from = to;
                     to = next;
                     sid = nsid;
@@ -182,14 +191,23 @@ impl Cluster {
             let relay = self.relays.get_mut(&to).ok_or(AnonError::UnknownStream)?;
             let action = relay.handle_payload(from, sid, &blob, now, &mut self.rng)?;
             match action {
-                RelayAction::ForwardPayload { to: next, sid: nsid, blob: inner } => {
+                RelayAction::ForwardPayload {
+                    to: next,
+                    sid: nsid,
+                    blob: inner,
+                } => {
                     from = to;
                     to = next;
                     sid = nsid;
                     blob = inner;
                 }
                 RelayAction::Delivered { layer } => {
-                    return Ok(RouteOutcome::Delivered { at: to, from, sid, layer });
+                    return Ok(RouteOutcome::Delivered {
+                        at: to,
+                        from,
+                        sid,
+                        layer,
+                    });
                 }
                 other => unreachable!("payload produced {other:?}"),
             }
@@ -218,10 +236,14 @@ impl Cluster {
             }
             let now = self.now;
             let relay = self.relays.get_mut(&to).ok_or(AnonError::UnknownStream)?;
-            let action =
-                relay.handle_combined(from, sid, &onion, &payload, now, &mut self.rng)?;
+            let action = relay.handle_combined(from, sid, &onion, &payload, now, &mut self.rng)?;
             match action {
-                crate::relay::CombinedAction::Forward { to: next, sid: nsid, onion: o, payload: p } => {
+                crate::relay::CombinedAction::Forward {
+                    to: next,
+                    sid: nsid,
+                    onion: o,
+                    payload: p,
+                } => {
                     from = to;
                     to = next;
                     sid = nsid;
@@ -229,7 +251,12 @@ impl Cluster {
                     payload = p;
                 }
                 crate::relay::CombinedAction::Delivered { layer } => {
-                    return Ok(RouteOutcome::Delivered { at: to, from, sid, layer });
+                    return Ok(RouteOutcome::Delivered {
+                        at: to,
+                        from,
+                        sid,
+                        layer,
+                    });
                 }
             }
         }
@@ -259,9 +286,16 @@ impl Cluster {
             let relay = self.relays.get_mut(&to).ok_or(AnonError::UnknownStream)?;
             let action = relay.handle_reverse(from, sid, &blob, now, &mut self.rng)?;
             match action {
-                RelayAction::ForwardReverse { to: next, sid: nsid, blob: wrapped } => {
+                RelayAction::ForwardReverse {
+                    to: next,
+                    sid: nsid,
+                    blob: wrapped,
+                } => {
                     if next == initiator {
-                        return Ok(RouteOutcome::ReachedInitiator { sid: nsid, blob: wrapped });
+                        return Ok(RouteOutcome::ReachedInitiator {
+                            sid: nsid,
+                            blob: wrapped,
+                        });
                     }
                     from = to;
                     to = next;
@@ -289,15 +323,25 @@ mod tests {
         let mut initiator = Initiator::new(initiator_id);
 
         // Two disjoint 3-relay paths.
-        let paths = [vec![NodeId(1), NodeId(2), NodeId(3)], vec![NodeId(4), NodeId(5), NodeId(6)]];
-        let hop_lists: Vec<Vec<(NodeId, PublicKey)>> =
-            paths.iter().map(|p| cluster.hops(p, responder_id)).collect();
+        let paths = [
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+        ];
+        let hop_lists: Vec<Vec<(NodeId, PublicKey)>> = paths
+            .iter()
+            .map(|p| cluster.hops(p, responder_id))
+            .collect();
         let mut rng = StdRng::seed_from_u64(99);
         let cons = initiator.construct_paths(&hop_lists, &mut rng);
         let mut terminal = Vec::new();
         for msg in &cons {
             match cluster.route_construction(initiator_id, msg).unwrap() {
-                RouteOutcome::ConstructionDone { at, from, sid, session_key } => {
+                RouteOutcome::ConstructionDone {
+                    at,
+                    from,
+                    sid,
+                    session_key,
+                } => {
                     assert_eq!(at, responder_id);
                     terminal.push((from, sid, session_key));
                 }
@@ -340,8 +384,13 @@ mod tests {
         let codec = ErasureCodec::new(1, 2).unwrap();
         let mid = MessageId(77);
         let mut rng = StdRng::seed_from_u64(5);
-        let combined = initiator
-            .construct_and_send(&hop_lists, mid, b"no extra round trips", &codec, &mut rng);
+        let combined = initiator.construct_and_send(
+            &hop_lists,
+            mid,
+            b"no extra round trips",
+            &codec,
+            &mut rng,
+        );
         assert_eq!(combined.len(), 2);
         for c in &combined {
             assert_eq!(c.payloads.len(), 1, "one segment per path here");

@@ -64,14 +64,16 @@ pub fn build_cover_message<R: Rng + CryptoRng>(
     let seg = Segment::new(rng.gen_range(0..cfg.k.max(1)), junk);
     let mid = MessageId::generate(rng);
     let (blob, _) = build_payload_onion(plan, mid, &seg, None, rng);
-    CoverMessage { to: plan.first_hop(), blob }
+    CoverMessage {
+        to: plan.first_hop(),
+        blob,
+    }
 }
 
 /// Expected cover bandwidth for one node in bytes/second: `k` paths ×
 /// segment size × (L+1 links) / mean interval.
 pub fn expected_cover_bandwidth(cfg: &CoverConfig, l: usize) -> f64 {
-    cfg.k as f64 * cfg.segment_bytes as f64 * (l as f64 + 1.0)
-        / cfg.mean_interval.as_secs_f64()
+    cfg.k as f64 * cfg.segment_bytes as f64 * (l as f64 + 1.0) / cfg.mean_interval.as_secs_f64()
 }
 
 /// Build a `PathPlan` of random relays with fresh keys for cover traffic.
@@ -106,13 +108,15 @@ mod tests {
     fn cover_indistinguishable_from_real_by_size() {
         let mut rng = StdRng::seed_from_u64(1);
         let p = plan(&mut rng, 3);
-        let cfg = CoverConfig { segment_bytes: 256, ..Default::default() };
+        let cfg = CoverConfig {
+            segment_bytes: 256,
+            ..Default::default()
+        };
 
         let cover = build_cover_message(&p, &cfg, &mut rng);
         // A real message with the same segment size.
         let real_seg = Segment::new(0, vec![0x42; 256]);
-        let (real_blob, _) =
-            build_payload_onion(&p, MessageId(7), &real_seg, None, &mut rng);
+        let (real_blob, _) = build_payload_onion(&p, MessageId(7), &real_seg, None, &mut rng);
         assert_eq!(cover.blob.len(), real_blob.len(), "wire sizes must match");
         assert_ne!(cover.blob, real_blob, "contents are of course different");
     }
@@ -131,7 +135,10 @@ mod tests {
     #[test]
     fn emission_delays_have_configured_mean() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = CoverConfig { mean_interval: SimDuration::from_secs(10), ..Default::default() };
+        let cfg = CoverConfig {
+            mean_interval: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let mean: f64 = (0..50_000)
             .map(|_| next_emission_delay(&cfg, &mut rng).as_secs_f64())
             .sum::<f64>()

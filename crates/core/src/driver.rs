@@ -92,7 +92,10 @@ impl DriverWorld {
 enum Wire {
     /// Path-construction onion, tagged with the initiator-side stream id
     /// so completions can be correlated.
-    Construct { initiator_sid: StreamId, onion: Vec<u8> },
+    Construct {
+        initiator_sid: StreamId,
+        onion: Vec<u8>,
+    },
     /// Payload onion.
     Payload { blob: Vec<u8> },
 }
@@ -134,20 +137,43 @@ impl Driver {
             lost: 0,
             stateless_drops: 0,
         };
-        Driver { engine: Engine::new(), world, initiator_id }
+        Driver {
+            engine: Engine::new(),
+            world,
+            initiator_id,
+        }
     }
 
     /// Schedule a construction onion (from [`Initiator::construct_paths`])
     /// to leave the initiator at `at`.
     pub fn launch_construction(&mut self, msg: &Outgoing, at: SimTime) {
-        let wire = Wire::Construct { initiator_sid: msg.sid, onion: msg.blob.clone() };
-        Self::send(&mut self.engine, self.initiator_id, msg.to, msg.sid, wire, at);
+        let wire = Wire::Construct {
+            initiator_sid: msg.sid,
+            onion: msg.blob.clone(),
+        };
+        Self::send(
+            &mut self.engine,
+            self.initiator_id,
+            msg.to,
+            msg.sid,
+            wire,
+            at,
+        );
     }
 
     /// Schedule a payload onion to leave the initiator at `at`.
     pub fn launch_payload(&mut self, msg: &Outgoing, at: SimTime) {
-        let wire = Wire::Payload { blob: msg.blob.clone() };
-        Self::send(&mut self.engine, self.initiator_id, msg.to, msg.sid, wire, at);
+        let wire = Wire::Payload {
+            blob: msg.blob.clone(),
+        };
+        Self::send(
+            &mut self.engine,
+            self.initiator_id,
+            msg.to,
+            msg.sid,
+            wire,
+            at,
+        );
     }
 
     /// Run all scheduled traffic to completion (or up to `until`).
@@ -165,12 +191,15 @@ impl Driver {
         wire: Wire,
         depart: SimTime,
     ) {
-        engine.schedule_at(depart, move |w: &mut DriverWorld, e: &mut Engine<DriverWorld>| {
-            let arrive = e.now() + w.latency.owd(from, to);
-            e.schedule_at(arrive, move |w, e| {
-                Self::receive(w, e, from, to, sid, wire);
-            });
-        });
+        engine.schedule_at(
+            depart,
+            move |w: &mut DriverWorld, e: &mut Engine<DriverWorld>| {
+                let arrive = e.now() + w.latency.owd(from, to);
+                e.schedule_at(arrive, move |w, e| {
+                    Self::receive(w, e, from, to, sid, wire);
+                });
+            },
+        );
     }
 
     /// Internal: a node processes an arriving message (or loses it if
@@ -190,30 +219,41 @@ impl Driver {
         }
         let relay = w.relays.get_mut(&to).expect("known node");
         match wire {
-            Wire::Construct { initiator_sid, onion } => {
-                match relay.handle_construction(from, sid, &onion, now, &mut w.rng) {
-                    Ok(RelayAction::ForwardConstruction { to: next, sid: nsid, onion: inner }) => {
-                        let wire = Wire::Construct { initiator_sid, onion: inner };
-                        Self::send(e, to, next, nsid, wire, now);
-                    }
-                    Ok(RelayAction::ConstructionComplete) => {
-                        let session_key =
-                            w.relays[&to].terminal_key(from, sid).expect("just cached");
-                        w.constructions.push(ConstructionRecord {
-                            initiator_sid,
-                            at: now,
-                            from,
-                            sid,
-                            session_key,
-                        });
-                    }
-                    Ok(_) => unreachable!("construction actions only"),
-                    Err(_) => w.stateless_drops += 1,
+            Wire::Construct {
+                initiator_sid,
+                onion,
+            } => match relay.handle_construction(from, sid, &onion, now, &mut w.rng) {
+                Ok(RelayAction::ForwardConstruction {
+                    to: next,
+                    sid: nsid,
+                    onion: inner,
+                }) => {
+                    let wire = Wire::Construct {
+                        initiator_sid,
+                        onion: inner,
+                    };
+                    Self::send(e, to, next, nsid, wire, now);
                 }
-            }
+                Ok(RelayAction::ConstructionComplete) => {
+                    let session_key = w.relays[&to].terminal_key(from, sid).expect("just cached");
+                    w.constructions.push(ConstructionRecord {
+                        initiator_sid,
+                        at: now,
+                        from,
+                        sid,
+                        session_key,
+                    });
+                }
+                Ok(_) => unreachable!("construction actions only"),
+                Err(_) => w.stateless_drops += 1,
+            },
             Wire::Payload { blob } => {
                 match relay.handle_payload(from, sid, &blob, now, &mut w.rng) {
-                    Ok(RelayAction::ForwardPayload { to: next, sid: nsid, blob: inner }) => {
+                    Ok(RelayAction::ForwardPayload {
+                        to: next,
+                        sid: nsid,
+                        blob: inner,
+                    }) => {
                         Self::send(e, to, next, nsid, Wire::Payload { blob: inner }, now);
                     }
                     Ok(RelayAction::Delivered { layer }) => match layer {
@@ -256,8 +296,10 @@ pub fn run_message_level(
     let mut initiator = Initiator::new(initiator_id);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51ed);
 
-    let hop_lists: Vec<Vec<(NodeId, PublicKey)>> =
-        relay_paths.iter().map(|p| driver.world.hops(p, responder_id)).collect();
+    let hop_lists: Vec<Vec<(NodeId, PublicKey)>> = relay_paths
+        .iter()
+        .map(|p| driver.world.hops(p, responder_id))
+        .collect();
     for msg in initiator.construct_paths(&hop_lists, &mut rng) {
         driver.launch_construction(&msg, t0);
     }
@@ -271,11 +313,7 @@ pub fn run_message_level(
             driver.launch_payload(msg, at);
         }
     }
-    let horizon = message_times
-        .iter()
-        .map(|&(_, t)| t)
-        .max()
-        .unwrap_or(t0)
+    let horizon = message_times.iter().map(|&(_, t)| t).max().unwrap_or(t0)
         + simnet::SimDuration::from_secs(60);
     driver.run_until(horizon);
     (driver, initiator)
@@ -300,7 +338,9 @@ mod tests {
         let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1);
         let mut initiator = Initiator::new(NodeId(0));
         let mut rng = StdRng::seed_from_u64(2);
-        let hops = vec![driver.world.hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
         let msgs = initiator.construct_paths(&hops, &mut rng);
         driver.launch_construction(&msgs[0], SimTime::from_secs(1));
         driver.run_until(SimTime::from_secs(10));
@@ -351,8 +391,14 @@ mod tests {
         let horizon = SimTime::from_secs(10_000);
         let mut schedule = ChurnSchedule::generate(
             n,
-            &LifetimeDistribution::Uniform { min_secs: 1.0, max_secs: 2.0 },
-            &LifetimeDistribution::Uniform { min_secs: 1.0, max_secs: 2.0 },
+            &LifetimeDistribution::Uniform {
+                min_secs: 1.0,
+                max_secs: 2.0,
+            },
+            &LifetimeDistribution::Uniform {
+                min_secs: 1.0,
+                max_secs: 2.0,
+            },
             horizon,
             &mut StdRng::seed_from_u64(9),
         );
@@ -369,17 +415,25 @@ mod tests {
         let mut driver = Driver::new(n, schedule, latency, NodeId(0), 4);
         let mut initiator = Initiator::new(NodeId(0));
         let mut rng = StdRng::seed_from_u64(5);
-        let hops = vec![driver.world.hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
         let msgs = initiator.construct_paths(&hops, &mut rng);
         driver.launch_construction(&msgs[0], t_down);
 
         let codec = ErasureCodec::new(1, 1).unwrap();
-        let out = initiator.send_message(MessageId(1), b"x", &codec, None, &mut rng).unwrap();
+        let out = initiator
+            .send_message(MessageId(1), b"x", &codec, None, &mut rng)
+            .unwrap();
         // Send long after node 2 recovered.
         driver.launch_payload(&out[0], t_down + SimDuration::from_secs(600));
         driver.run_until(t_down + SimDuration::from_secs(700));
 
-        assert_eq!(driver.world.constructions.len(), 0, "construction died at node 2");
+        assert_eq!(
+            driver.world.constructions.len(),
+            0,
+            "construction died at node 2"
+        );
         assert_eq!(driver.world.lost, 1, "construction onion lost");
         assert_eq!(driver.world.deliveries.len(), 0);
         // The payload reached relay 1 (which has state) then relay 2

@@ -71,7 +71,11 @@ pub struct Initiator {
 impl Initiator {
     /// New initiator with no paths.
     pub fn new(id: NodeId) -> Self {
-        Initiator { id, paths: Vec::new(), reassembler: Reassembler::new() }
+        Initiator {
+            id,
+            paths: Vec::new(),
+            reassembler: Reassembler::new(),
+        }
     }
 
     /// This node's id.
@@ -96,8 +100,17 @@ impl Initiator {
         for hops in paths_hops {
             let (plan, blob) = build_construction_onion(hops, rng);
             let sid = StreamId::generate(rng);
-            out.push(Outgoing { to: plan.first_hop(), sid, blob });
-            self.paths.push(OwnedPath { plan, sid, established: false, reuse_keys: HashMap::new() });
+            out.push(Outgoing {
+                to: plan.first_hop(),
+                sid,
+                blob,
+            });
+            self.paths.push(OwnedPath {
+                plan,
+                sid,
+                established: false,
+                reuse_keys: HashMap::new(),
+            });
         }
         out
     }
@@ -120,7 +133,12 @@ impl Initiator {
         let segments = codec.encode(message);
         let mut out: Vec<CombinedOutgoing> = cons
             .into_iter()
-            .map(|o| CombinedOutgoing { to: o.to, sid: o.sid, onion: o.blob, payloads: Vec::new() })
+            .map(|o| CombinedOutgoing {
+                to: o.to,
+                sid: o.sid,
+                onion: o.blob,
+                payloads: Vec::new(),
+            })
             .collect();
         for seg in &segments {
             let path = &self.paths[start + seg.index % k];
@@ -175,7 +193,11 @@ impl Initiator {
             if let Some(key) = fresh {
                 path.reuse_keys.insert(mid, key);
             }
-            out.push(Outgoing { to: path.plan.first_hop(), sid: path.sid, blob });
+            out.push(Outgoing {
+                to: path.plan.first_hop(),
+                sid: path.sid,
+                blob,
+            });
         }
         Ok(out)
     }
@@ -207,7 +229,10 @@ impl Initiator {
             }
         }
         let (mid, segment) = peeled?;
-        Ok(self.reassembler.push(mid, segment, codec)?.map(|msg| (mid, msg)))
+        Ok(self
+            .reassembler
+            .push(mid, segment, codec)?
+            .map(|msg| (mid, msg)))
     }
 }
 
@@ -278,7 +303,11 @@ pub struct Responder {
 impl Responder {
     /// New responder.
     pub fn new(id: NodeId) -> Self {
-        Responder { id, reassembler: Reassembler::new(), arrivals: HashMap::new() }
+        Responder {
+            id,
+            reassembler: Reassembler::new(),
+            arrivals: HashMap::new(),
+        }
     }
 
     /// This node's id.
@@ -374,7 +403,11 @@ mod tests {
         let mut r = Reassembler::new();
         let mid = MessageId(3);
         assert_eq!(r.push(mid, segs[0].clone(), &codec).unwrap(), None);
-        assert_eq!(r.push(mid, segs[0].clone(), &codec).unwrap(), None, "same index again");
+        assert_eq!(
+            r.push(mid, segs[0].clone(), &codec).unwrap(),
+            None,
+            "same index again"
+        );
         assert_eq!(r.push(mid, segs[2].clone(), &codec).unwrap(), Some(msg));
     }
 
@@ -389,8 +422,14 @@ mod tests {
         assert_eq!(r.push(MessageId(1), s1[0].clone(), &codec).unwrap(), None);
         assert_eq!(r.push(MessageId(2), s2[1].clone(), &codec).unwrap(), None);
         assert_eq!(r.pending(), 2);
-        assert_eq!(r.push(MessageId(2), s2[0].clone(), &codec).unwrap(), Some(m2));
-        assert_eq!(r.push(MessageId(1), s1[1].clone(), &codec).unwrap(), Some(m1));
+        assert_eq!(
+            r.push(MessageId(2), s2[0].clone(), &codec).unwrap(),
+            Some(m2)
+        );
+        assert_eq!(
+            r.push(MessageId(1), s1[1].clone(), &codec).unwrap(),
+            Some(m1)
+        );
     }
 
     #[test]
@@ -399,11 +438,13 @@ mod tests {
         let mut initiator = Initiator::new(NodeId(0));
         let kp1 = sim_crypto::KeyPair::generate(&mut rng);
         let kp2 = sim_crypto::KeyPair::generate(&mut rng);
-        let paths = vec![vec![(NodeId(10), kp1.public)], vec![(NodeId(20), kp2.public)]];
+        let paths = vec![
+            vec![(NodeId(10), kp1.public)],
+            vec![(NodeId(20), kp2.public)],
+        ];
         // 4 segments over 2 paths: each combined message carries 2 payloads.
         let codec = ErasureCodec::new(2, 4).unwrap();
-        let out =
-            initiator.construct_and_send(&paths, MessageId(1), b"bundle", &codec, &mut rng);
+        let out = initiator.construct_and_send(&paths, MessageId(1), b"bundle", &codec, &mut rng);
         assert_eq!(out.len(), 2);
         for c in &out {
             assert_eq!(c.payloads.len(), 2);
@@ -411,7 +452,11 @@ mod tests {
         }
         assert_eq!(out[0].to, NodeId(10));
         assert_eq!(out[1].to, NodeId(20));
-        assert_eq!(initiator.paths().len(), 2, "paths are cached for later sends");
+        assert_eq!(
+            initiator.paths().len(),
+            2,
+            "paths are cached for later sends"
+        );
     }
 
     #[test]

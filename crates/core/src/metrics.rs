@@ -28,7 +28,9 @@ pub enum SuccessRule {
     Quorum {
         /// Total paths.
         k: usize,
-        /// Replication factor; `k` must be a multiple.
+        /// Replication factor. `k` need not be a multiple of `r`: with
+        /// `k = m·r + extra` segments the decoder still needs `⌈k/r⌉`
+        /// of them, so the quorum rounds up.
         r: usize,
     },
 }
@@ -48,8 +50,8 @@ impl SuccessRule {
             SuccessRule::Single => 1,
             SuccessRule::AnyOf { .. } => 1,
             SuccessRule::Quorum { k, r } => {
-                debug_assert!(k % r == 0, "k must be a multiple of r");
-                k / r
+                debug_assert!(r >= 1, "replication factor must be at least 1");
+                k.div_ceil(r)
             }
         }
     }
@@ -173,6 +175,60 @@ mod tests {
         assert_eq!(simera62.tolerable_failures(), 3);
         assert!(simera62.satisfied(3));
         assert!(!simera62.satisfied(2));
+    }
+
+    #[test]
+    fn quorum_rounds_up_when_k_not_multiple_of_r() {
+        // k = 7, r = 2: m = ⌈7/2⌉ = 4 segments needed, 3 failures tolerable.
+        let q = SuccessRule::Quorum { k: 7, r: 2 };
+        assert_eq!(q.paths(), 7);
+        assert_eq!(q.needed(), 4);
+        assert_eq!(q.tolerable_failures(), 3);
+        assert!(q.satisfied(4));
+        assert!(!q.satisfied(3));
+
+        // k = 5, r = 3: need ⌈5/3⌉ = 2.
+        let q = SuccessRule::Quorum { k: 5, r: 3 };
+        assert_eq!(q.needed(), 2);
+        assert_eq!(q.tolerable_failures(), 3);
+    }
+
+    #[test]
+    fn quorum_k_equals_r_needs_exactly_one() {
+        // k = r means every segment alone reconstructs (pure replication).
+        for k in 1..=8 {
+            let q = SuccessRule::Quorum { k, r: k };
+            assert_eq!(q.needed(), 1);
+            assert_eq!(q.tolerable_failures(), k - 1);
+            assert!(q.satisfied(1));
+            assert!(!q.satisfied(0));
+        }
+    }
+
+    #[test]
+    fn quorum_r_one_needs_every_path() {
+        // r = 1 is no redundancy: all k segments are required.
+        for k in 1..=8 {
+            let q = SuccessRule::Quorum { k, r: 1 };
+            assert_eq!(q.needed(), k);
+            assert_eq!(q.tolerable_failures(), 0);
+            assert!(q.satisfied(k));
+            assert!(!q.satisfied(k - 1));
+        }
+    }
+
+    #[test]
+    fn quorum_needed_never_exceeds_paths_and_is_monotone_in_r() {
+        for k in 1..=12 {
+            let mut prev = usize::MAX;
+            for r in 1..=k {
+                let q = SuccessRule::Quorum { k, r };
+                let m = q.needed();
+                assert!(m >= 1 && m <= k, "needed out of range for k={k} r={r}");
+                assert!(m <= prev, "needed must not grow with r (k={k} r={r})");
+                prev = m;
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn choose_disjoint_paths<R: Rng>(
         ),
     };
     if picked.len() < needed {
-        return Err(AnonError::NotEnoughRelays { needed, available: picked.len() });
+        return Err(AnonError::NotEnoughRelays {
+            needed,
+            available: picked.len(),
+        });
     }
     Ok(picked.chunks_exact(l).map(|c| c.to_vec()).collect())
 }
@@ -84,9 +87,11 @@ pub fn choose_path<R: Rng>(
     now: SimTime,
     rng: &mut R,
 ) -> Result<Vec<NodeId>, AnonError> {
-    Ok(choose_disjoint_paths(cache, 1, l, exclude, strategy, now, rng)?
-        .pop()
-        .expect("k = 1 yields one path"))
+    Ok(
+        choose_disjoint_paths(cache, 1, l, exclude, strategy, now, rng)?
+            .pop()
+            .expect("k = 1 yields one path"),
+    )
 }
 
 #[cfg(test)]
@@ -120,8 +125,7 @@ mod tests {
         let cache = cache_with_quality_gradient(100, now);
         let mut rng = StdRng::seed_from_u64(1);
         for strategy in [MixStrategy::Random, MixStrategy::Biased] {
-            let paths =
-                choose_disjoint_paths(&cache, 4, 3, &[], strategy, now, &mut rng).unwrap();
+            let paths = choose_disjoint_paths(&cache, 4, 3, &[], strategy, now, &mut rng).unwrap();
             assert_eq!(paths.len(), 4);
             let mut all: Vec<NodeId> = paths.iter().flatten().copied().collect();
             assert_eq!(all.len(), 12);
@@ -165,7 +169,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let err = choose_disjoint_paths(&cache, 2, 3, &[], MixStrategy::Random, now, &mut rng)
             .unwrap_err();
-        assert_eq!(err, AnonError::NotEnoughRelays { needed: 6, available: 5 });
+        assert_eq!(
+            err,
+            AnonError::NotEnoughRelays {
+                needed: 6,
+                available: 5
+            }
+        );
     }
 
     #[test]
@@ -182,13 +192,34 @@ mod tests {
     fn random_choice_varies_with_rng() {
         let now = SimTime::ZERO;
         let cache = cache_with_quality_gradient(50, now);
-        let a = choose_path(&cache, 3, &[], MixStrategy::Random, now, &mut StdRng::seed_from_u64(6))
-            .unwrap();
-        let b = choose_path(&cache, 3, &[], MixStrategy::Random, now, &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let a = choose_path(
+            &cache,
+            3,
+            &[],
+            MixStrategy::Random,
+            now,
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
+        let b = choose_path(
+            &cache,
+            3,
+            &[],
+            MixStrategy::Random,
+            now,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
         assert_ne!(a, b, "different seeds should give different random paths");
-        let c = choose_path(&cache, 3, &[], MixStrategy::Random, now, &mut StdRng::seed_from_u64(6))
-            .unwrap();
+        let c = choose_path(
+            &cache,
+            3,
+            &[],
+            MixStrategy::Random,
+            now,
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
         assert_eq!(a, c, "same seed must reproduce the choice");
     }
 }

@@ -108,9 +108,14 @@ pub fn build_construction_onion<R: Rng + CryptoRng>(
     hop_keys: &[(NodeId, PublicKey)],
     rng: &mut R,
 ) -> (PathPlan, Vec<u8>) {
-    assert!(!hop_keys.is_empty(), "a path needs at least the responder hop");
-    let session_keys: Vec<SymmetricKey> =
-        hop_keys.iter().map(|_| SymmetricKey::generate(rng)).collect();
+    assert!(
+        !hop_keys.is_empty(),
+        "a path needs at least the responder hop"
+    );
+    let session_keys: Vec<SymmetricKey> = hop_keys
+        .iter()
+        .map(|_| SymmetricKey::generate(rng))
+        .collect();
 
     // Innermost (responder) layer first.
     let last = hop_keys.len() - 1;
@@ -130,7 +135,10 @@ pub fn build_construction_onion<R: Rng + CryptoRng>(
         blob = seal(&hop_keys[i].1, &layer, rng);
     }
 
-    let plan = PathPlan { hops: hop_keys.iter().map(|&(n, _)| n).collect(), session_keys };
+    let plan = PathPlan {
+        hops: hop_keys.iter().map(|&(n, _)| n).collect(),
+        session_keys,
+    };
     (plan, blob)
 }
 
@@ -148,8 +156,7 @@ pub fn peel_construction_layer(
             let next_hop = NodeId(u32::from_be_bytes(plaintext[1..5].try_into().unwrap()));
             let mut key = [0u8; 32];
             key.copy_from_slice(&plaintext[5..37]);
-            let inner_len =
-                u32::from_be_bytes(plaintext[37..41].try_into().unwrap()) as usize;
+            let inner_len = u32::from_be_bytes(plaintext[37..41].try_into().unwrap()) as usize;
             if plaintext.len() != 41 + inner_len {
                 return Err(AnonError::Malformed("construction layer length mismatch"));
             }
@@ -165,7 +172,9 @@ pub fn peel_construction_layer(
             }
             let mut key = [0u8; 32];
             key.copy_from_slice(&plaintext[1..33]);
-            Ok(ConstructionLayer::Terminal { session_key: SymmetricKey::from_bytes(key) })
+            Ok(ConstructionLayer::Terminal {
+                session_key: SymmetricKey::from_bytes(key),
+            })
         }
         _ => Err(AnonError::Malformed("unknown construction layer tag")),
     }
@@ -233,7 +242,10 @@ pub fn build_payload_onion<R: Rng + CryptoRng>(
         None => {
             // Innermost: Deliver under the responder's session key.
             let inner = deliver_plaintext(mid, segment);
-            (sym_encrypt(&plan.session_keys[num_relays], &inner, rng), None)
+            (
+                sym_encrypt(&plan.session_keys[num_relays], &inner, rng),
+                None,
+            )
         }
         Some((new_dest, new_dest_pub)) => {
             // Fresh key for the new responder, sealed to its public key.
@@ -260,7 +272,11 @@ pub fn build_payload_onion<R: Rng + CryptoRng>(
     // Wrap Forward layers for the remaining relays, inner to outer. With a
     // redirect the last relay's layer is already built, so start one hop
     // earlier.
-    let outer_relays = if redirect.is_some() { num_relays - 1 } else { num_relays };
+    let outer_relays = if redirect.is_some() {
+        num_relays - 1
+    } else {
+        num_relays
+    };
     for i in (0..outer_relays).rev() {
         let mut layer = Vec::with_capacity(1 + blob.len());
         layer.push(TAG_FORWARD);
@@ -271,10 +287,7 @@ pub fn build_payload_onion<R: Rng + CryptoRng>(
 }
 
 /// Peel one payload layer with a hop's session key.
-pub fn peel_payload_layer(
-    key: &SymmetricKey,
-    blob: &[u8],
-) -> Result<PayloadLayer, AnonError> {
+pub fn peel_payload_layer(key: &SymmetricKey, blob: &[u8]) -> Result<PayloadLayer, AnonError> {
     let plaintext = sym_decrypt(key, blob)?;
     parse_payload_plaintext(&plaintext)
 }
@@ -283,7 +296,9 @@ pub fn peel_payload_layer(
 /// after unsealing a `DeliverWithKey`).
 pub fn parse_payload_plaintext(plaintext: &[u8]) -> Result<PayloadLayer, AnonError> {
     match plaintext.first() {
-        Some(&TAG_FORWARD) => Ok(PayloadLayer::Forward { inner: plaintext[1..].to_vec() }),
+        Some(&TAG_FORWARD) => Ok(PayloadLayer::Forward {
+            inner: plaintext[1..].to_vec(),
+        }),
         Some(&TAG_DELIVER) => {
             if plaintext.len() < 13 {
                 return Err(AnonError::Malformed("short deliver layer"));
@@ -300,7 +315,10 @@ pub fn parse_payload_plaintext(plaintext: &[u8]) -> Result<PayloadLayer, AnonErr
                 return Err(AnonError::Malformed("short redirect layer"));
             }
             let new_dest = NodeId(u32::from_be_bytes(plaintext[1..5].try_into().unwrap()));
-            Ok(PayloadLayer::Redirect { new_dest, inner: plaintext[5..].to_vec() })
+            Ok(PayloadLayer::Redirect {
+                new_dest,
+                inner: plaintext[5..].to_vec(),
+            })
         }
         Some(&TAG_DELIVER_WITH_KEY) => {
             if plaintext.len() < 5 {
@@ -355,12 +373,13 @@ pub fn peel_reverse_payload(
     for i in 0..plan.num_relays() {
         current = sym_decrypt(&plan.session_keys[i], &current)?;
     }
-    let responder_key =
-        responder_key_override.unwrap_or(&plan.session_keys[plan.num_relays()]);
+    let responder_key = responder_key_override.unwrap_or(&plan.session_keys[plan.num_relays()]);
     let plaintext = sym_decrypt(responder_key, &current)?;
     match parse_payload_plaintext(&plaintext)? {
         PayloadLayer::Deliver { mid, segment } => Ok((mid, segment)),
-        _ => Err(AnonError::Malformed("reverse payload must be a deliver layer")),
+        _ => Err(AnonError::Malformed(
+            "reverse payload must be a deliver layer",
+        )),
     }
 }
 
@@ -391,9 +410,13 @@ mod tests {
         assert_eq!(plan.responder(), NodeId(l as u32));
         assert_eq!(plan.first_hop(), NodeId(0));
 
-        for i in 0..l {
-            match peel_construction_layer(&keypairs[i].secret, &blob).unwrap() {
-                ConstructionLayer::Relay { next_hop, session_key, inner } => {
+        for (i, keypair) in keypairs.iter().enumerate().take(l) {
+            match peel_construction_layer(&keypair.secret, &blob).unwrap() {
+                ConstructionLayer::Relay {
+                    next_hop,
+                    session_key,
+                    inner,
+                } => {
                     assert_eq!(next_hop, NodeId(i as u32 + 1));
                     assert_eq!(session_key, plan.session_keys[i]);
                     blob = inner;
@@ -447,7 +470,10 @@ mod tests {
             }
         }
         match peel_payload_layer(&plan.session_keys[3], &blob).unwrap() {
-            PayloadLayer::Deliver { mid: got_mid, segment } => {
+            PayloadLayer::Deliver {
+                mid: got_mid,
+                segment,
+            } => {
                 assert_eq!(got_mid, mid);
                 assert_eq!(segment, seg);
             }
@@ -506,7 +532,10 @@ mod tests {
         // The last relay sees the redirect.
         let last = plan.num_relays() - 1;
         let dwk = match peel_payload_layer(&plan.session_keys[last], &blob).unwrap() {
-            PayloadLayer::Redirect { new_dest: nd, inner } => {
+            PayloadLayer::Redirect {
+                new_dest: nd,
+                inner,
+            } => {
                 assert_eq!(nd, new_dest);
                 inner
             }
@@ -537,8 +566,7 @@ mod tests {
         let mid = MessageId(55);
         let seg = Segment::new(1, b"the reply".to_vec());
         // Responder encrypts innermost.
-        let mut blob =
-            build_reverse_payload(&plan.session_keys[3], mid, &seg, &mut rng);
+        let mut blob = build_reverse_payload(&plan.session_keys[3], mid, &seg, &mut rng);
         // Relays wrap on the way back: P3, P2, P1.
         for i in (0..plan.num_relays()).rev() {
             blob = wrap_reverse_layer(&plan.session_keys[i], &blob, &mut rng);

@@ -61,9 +61,9 @@ impl ProtocolKind {
             ProtocolKind::CurMix => Ok(Box::new(
                 ReplicationCodec::new(1).expect("1 copy is always valid"),
             )),
-            ProtocolKind::SimRep { k } => {
-                ReplicationCodec::new(k).map(|c| Box::new(c) as Box<dyn Codec>).map_err(Into::into)
-            }
+            ProtocolKind::SimRep { k } => ReplicationCodec::new(k)
+                .map(|c| Box::new(c) as Box<dyn Codec>)
+                .map_err(Into::into),
             ProtocolKind::SimEra { k, r } => {
                 if r == 0 || k == 0 || k % r != 0 {
                     return Err(AnonError::InvalidParameters(format!(
@@ -134,16 +134,25 @@ mod tests {
         assert_eq!(ProtocolKind::CurMix.per_path_bytes(1024), 1024.0);
         assert_eq!(ProtocolKind::SimRep { k: 2 }.per_path_bytes(1024), 1024.0);
         // SimEra(k=4, r=4): each path carries the full |M| (m = 1).
-        assert_eq!(ProtocolKind::SimEra { k: 4, r: 4 }.per_path_bytes(1024), 1024.0);
+        assert_eq!(
+            ProtocolKind::SimEra { k: 4, r: 4 }.per_path_bytes(1024),
+            1024.0
+        );
         // SimEra(k=8, r=2): each path carries |M|/4.
-        assert_eq!(ProtocolKind::SimEra { k: 8, r: 2 }.per_path_bytes(1024), 256.0);
+        assert_eq!(
+            ProtocolKind::SimEra { k: 8, r: 2 }.per_path_bytes(1024),
+            256.0
+        );
     }
 
     #[test]
     fn labels_match_paper_style() {
         assert_eq!(ProtocolKind::CurMix.label(), "CurMix");
         assert_eq!(ProtocolKind::SimRep { k: 2 }.label(), "SimRep(r=2)");
-        assert_eq!(ProtocolKind::SimEra { k: 4, r: 4 }.label(), "SimEra(k=4,r=4)");
+        assert_eq!(
+            ProtocolKind::SimEra { k: 4, r: 4 }.label(),
+            "SimEra(k=4,r=4)"
+        );
     }
 
     #[test]

@@ -17,7 +17,26 @@ use crate::protocols::ProtocolKind;
 use crate::sim::{World, WorldConfig};
 use crate::AnonError;
 use rand::Rng;
+use simnet::trace::EngineCounters;
 use simnet::{NodeId, SimDuration, SimTime};
+
+/// Execution statistics for one experiment run, captured by the `_traced`
+/// drivers and surfaced in run traces.
+///
+/// The trajectory-level drivers iterate an explicit event timeline rather
+/// than a `simnet::Engine` heap, but report through the same
+/// [`EngineCounters`] vocabulary: `scheduled` is timeline events generated,
+/// `processed` those whose handler ran, `cancelled` those skipped (e.g. a
+/// down initiator), `max_pending` the peak backlog.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Event-timeline counters.
+    pub engine: EngineCounters,
+    /// Hop-by-hop path traversals evaluated.
+    pub traversals: u64,
+    /// Total links walked (includes partial traversal of failed paths).
+    pub links: u64,
+}
 
 /// Configuration of the setup-rate experiment (§6.2 "Path Construction").
 #[derive(Clone, Debug)]
@@ -50,8 +69,14 @@ impl SetupConfig {
 /// Run the path-setup experiment; returns metrics with construction
 /// attempt/success counts filled in.
 pub fn run_setup_experiment(cfg: &SetupConfig) -> ProtocolMetrics {
+    run_setup_experiment_traced(cfg).0
+}
+
+/// [`run_setup_experiment`] plus per-run execution statistics.
+pub fn run_setup_experiment_traced(cfg: &SetupConfig) -> (ProtocolMetrics, RunStats) {
     let mut world = World::new(cfg.world.clone());
     let mut metrics = ProtocolMetrics::new();
+    let mut stats = RunStats::default();
     let horizon = cfg.world.horizon;
     let mean = cfg.mean_interarrival.as_secs_f64();
 
@@ -70,6 +95,10 @@ pub fn run_setup_experiment(cfg: &SetupConfig) -> ProtocolMetrics {
         }
     }
     events.sort_unstable_by_key(|&(t, n)| (t, n.0));
+    stats.engine.scheduled = events.len() as u64;
+    // The timeline is materialized up front, so the whole schedule is the
+    // peak backlog.
+    stats.engine.max_pending = events.len() as u64;
 
     let rule = cfg.protocol.success_rule();
     let k = cfg.protocol.paths();
@@ -77,12 +106,15 @@ pub fn run_setup_experiment(cfg: &SetupConfig) -> ProtocolMetrics {
         world.advance_gossip(t);
         // A node that is down cannot initiate.
         if !world.schedule.is_up(initiator, t) {
+            stats.engine.cancelled += 1;
             continue;
         }
         // The paper assumes the responder is available; pick a live one.
         let Some(responder) = world.random_live_node(&[initiator], t) else {
+            stats.engine.cancelled += 1;
             continue;
         };
+        stats.engine.processed += 1;
         let formed = match world.pick_paths(initiator, responder, k, cfg.strategy, t) {
             Ok(paths) => attempt_construction(&mut world, initiator, responder, &paths, t),
             Err(AnonError::NotEnoughRelays { .. }) => 0,
@@ -90,7 +122,9 @@ pub fn run_setup_experiment(cfg: &SetupConfig) -> ProtocolMetrics {
         };
         metrics.record_construction(rule.satisfied(formed));
     }
-    metrics
+    stats.traversals = world.stats.traversals();
+    stats.links = world.stats.links();
+    (metrics, stats)
 }
 
 /// Try to construct all `paths`; returns how many formed. Failed hops are
@@ -184,6 +218,12 @@ impl PerfResult {
 
 /// Run the pinned-pair performance experiment.
 pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
+    run_performance_experiment_traced(cfg).0
+}
+
+/// [`run_performance_experiment`] plus per-run execution statistics.
+pub fn run_performance_experiment_traced(cfg: &PerfConfig) -> (PerfResult, RunStats) {
+    let mut stats = RunStats::default();
     let mut world = World::new(cfg.world.clone());
     let initiator = NodeId(0);
     let responder = NodeId(1);
@@ -208,6 +248,8 @@ pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
                 break 'episodes;
             }
             attempts += 1;
+            stats.engine.scheduled += 1;
+            stats.engine.processed += 1;
             metrics.record_construction(true); // counted below if failed
             let candidate = world.pick_paths(initiator, responder, k, cfg.strategy, t);
             let formed: Option<Vec<Vec<NodeId>>> = match candidate {
@@ -241,6 +283,8 @@ pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
             }
             world.advance_gossip(t);
 
+            stats.engine.scheduled += 1;
+
             // §4.5 prediction: rebuild proactively when the predictor says
             // too few paths will survive.
             if let Some(threshold) = cfg.predict_threshold {
@@ -254,10 +298,12 @@ pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
                     })
                     .count();
                 if predicted_alive < needed {
+                    stats.engine.cancelled += 1;
                     continue 'episodes;
                 }
             }
 
+            stats.engine.processed += 1;
             let deliveries: Vec<_> = paths
                 .iter()
                 .map(|relays| world.send_over_path(initiator, relays, responder, t))
@@ -268,10 +314,11 @@ pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
                     world.report_failure(initiator, relays, responder, h, t);
                 }
             }
-            let bytes: f64 =
-                deliveries.iter().map(|d| d.links as f64 * per_path_bytes).sum();
-            let mut arrivals: Vec<SimTime> =
-                deliveries.iter().filter_map(|d| d.arrival).collect();
+            let bytes: f64 = deliveries
+                .iter()
+                .map(|d| d.links as f64 * per_path_bytes)
+                .sum();
+            let mut arrivals: Vec<SimTime> = deliveries.iter().filter_map(|d| d.arrival).collect();
             arrivals.sort_unstable();
             let delivered = arrivals.len() >= needed;
             let latency = delivered.then(|| arrivals[needed - 1] - t);
@@ -284,7 +331,18 @@ pub fn run_performance_experiment(cfg: &PerfConfig) -> PerfResult {
         }
     }
 
-    PerfResult { metrics, episodes, attempts }
+    // This driver handles one event at a time (no materialized queue).
+    stats.engine.max_pending = 1;
+    stats.traversals = world.stats.traversals();
+    stats.links = world.stats.links();
+    (
+        PerfResult {
+            metrics,
+            episodes,
+            attempts,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -307,11 +365,7 @@ mod tests {
         }
     }
 
-    fn setup_cfg(
-        protocol: ProtocolKind,
-        strategy: MixStrategy,
-        seed: u64,
-    ) -> SetupConfig {
+    fn setup_cfg(protocol: ProtocolKind, strategy: MixStrategy, seed: u64) -> SetupConfig {
         SetupConfig {
             world: small_world(seed, 1800.0),
             protocol,
@@ -324,17 +378,12 @@ mod tests {
     #[test]
     fn biased_beats_random_setup_rate() {
         // The Table 1 headline: biased mix choice transforms setup rates.
-        let random = run_setup_experiment(&setup_cfg(
-            ProtocolKind::CurMix,
-            MixStrategy::Random,
-            1,
-        ));
-        let biased = run_setup_experiment(&setup_cfg(
-            ProtocolKind::CurMix,
-            MixStrategy::Biased,
-            1,
-        ));
-        assert!(random.construction_attempts > 100, "enough events scheduled");
+        let random = run_setup_experiment(&setup_cfg(ProtocolKind::CurMix, MixStrategy::Random, 1));
+        let biased = run_setup_experiment(&setup_cfg(ProtocolKind::CurMix, MixStrategy::Biased, 1));
+        assert!(
+            random.construction_attempts > 100,
+            "enough events scheduled"
+        );
         let r = random.setup_success_rate();
         let b = biased.setup_success_rate();
         assert!(b > r * 1.5, "biased {b:.3} must dominate random {r:.3}");
@@ -344,11 +393,7 @@ mod tests {
     #[test]
     fn redundancy_improves_random_setup_rate() {
         // Table 1: SimRep/SimEra(k=2) roughly double CurMix's random rate.
-        let single = run_setup_experiment(&setup_cfg(
-            ProtocolKind::CurMix,
-            MixStrategy::Random,
-            2,
-        ));
+        let single = run_setup_experiment(&setup_cfg(ProtocolKind::CurMix, MixStrategy::Random, 2));
         let replicated = run_setup_experiment(&setup_cfg(
             ProtocolKind::SimRep { k: 2 },
             MixStrategy::Random,
@@ -356,7 +401,10 @@ mod tests {
         ));
         let s = single.setup_success_rate();
         let r = replicated.setup_success_rate();
-        assert!(r > s * 1.3, "redundancy must help: single {s:.3}, k=2 {r:.3}");
+        assert!(
+            r > s * 1.3,
+            "redundancy must help: single {s:.3}, k=2 {r:.3}"
+        );
     }
 
     #[test]
@@ -401,7 +449,10 @@ mod tests {
         assert!(res.episodes >= 1);
         assert!(res.attempts >= res.episodes);
         assert!(res.metrics.messages_sent > 0);
-        assert!(res.metrics.delivery_rate() > 0.5, "biased SimEra should deliver");
+        assert!(
+            res.metrics.delivery_rate() > 0.5,
+            "biased SimEra should deliver"
+        );
         // Latencies are sane: above one hop (~10 ms) and below seconds.
         let lat = res.metrics.latency_ms.mean();
         assert!((10.0..2000.0).contains(&lat), "latency {lat} ms");
@@ -424,7 +475,9 @@ mod tests {
             total
         };
         let dc = run(ProtocolKind::CurMix).durability_secs.mean();
-        let de = run(ProtocolKind::SimEra { k: 4, r: 4 }).durability_secs.mean();
+        let de = run(ProtocolKind::SimEra { k: 4, r: 4 })
+            .durability_secs
+            .mean();
         assert!(
             de > dc * 1.1,
             "SimEra durability {de:.0}s must clearly exceed CurMix {dc:.0}s"
@@ -433,16 +486,10 @@ mod tests {
 
     #[test]
     fn biased_choice_cuts_construction_attempts() {
-        let random = run_performance_experiment(&perf_cfg(
-            ProtocolKind::CurMix,
-            MixStrategy::Random,
-            6,
-        ));
-        let biased = run_performance_experiment(&perf_cfg(
-            ProtocolKind::CurMix,
-            MixStrategy::Biased,
-            6,
-        ));
+        let random =
+            run_performance_experiment(&perf_cfg(ProtocolKind::CurMix, MixStrategy::Random, 6));
+        let biased =
+            run_performance_experiment(&perf_cfg(ProtocolKind::CurMix, MixStrategy::Biased, 6));
         assert!(
             biased.attempts_per_episode() < random.attempts_per_episode(),
             "biased {} vs random {}",
@@ -492,6 +539,43 @@ mod tests {
             "biased over OneHop should mostly succeed ({:.3})",
             metrics.setup_success_rate()
         );
+    }
+
+    #[test]
+    fn traced_setup_stats_are_consistent() {
+        let cfg = setup_cfg(ProtocolKind::CurMix, MixStrategy::Random, 21);
+        let (metrics, stats) = run_setup_experiment_traced(&cfg);
+        assert_eq!(stats.engine.processed, metrics.construction_attempts);
+        assert_eq!(
+            stats.engine.scheduled,
+            stats.engine.processed + stats.engine.cancelled,
+            "every timeline event either runs or is skipped"
+        );
+        assert_eq!(stats.engine.max_pending, stats.engine.scheduled);
+        assert!(stats.traversals > 0);
+        assert!(
+            stats.links >= stats.traversals,
+            "every traversal walks >= 1 link"
+        );
+        // The traced driver is the plain driver plus bookkeeping.
+        let plain = run_setup_experiment(&cfg);
+        assert_eq!(plain.construction_attempts, metrics.construction_attempts);
+        assert_eq!(plain.construction_successes, metrics.construction_successes);
+    }
+
+    #[test]
+    fn traced_perf_stats_are_consistent() {
+        let cfg = perf_cfg(ProtocolKind::SimEra { k: 4, r: 4 }, MixStrategy::Biased, 4);
+        let (res, stats) = run_performance_experiment_traced(&cfg);
+        assert_eq!(
+            stats.engine.scheduled,
+            res.attempts + res.metrics.messages_sent + stats.engine.cancelled
+        );
+        assert_eq!(
+            stats.engine.processed,
+            res.attempts + res.metrics.messages_sent
+        );
+        assert!(stats.traversals >= res.metrics.messages_sent);
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl Relay {
         rng: &mut R,
     ) -> Result<RelayAction, AnonError> {
         match peel_construction_layer(&self.keypair.secret, onion)? {
-            ConstructionLayer::Relay { next_hop, session_key, inner } => {
+            ConstructionLayer::Relay {
+                next_hop,
+                session_key,
+                inner,
+            } => {
                 let next_sid = StreamId::generate(rng);
                 self.forward.insert(
                     (from, sid),
@@ -161,12 +165,20 @@ impl Relay {
                     },
                 );
                 self.reverse.insert((next_hop, next_sid), (from, sid));
-                Ok(RelayAction::ForwardConstruction { to: next_hop, sid: next_sid, onion: inner })
+                Ok(RelayAction::ForwardConstruction {
+                    to: next_hop,
+                    sid: next_sid,
+                    onion: inner,
+                })
             }
             ConstructionLayer::Terminal { session_key } => {
                 self.forward.insert(
                     (from, sid),
-                    PathEntry { next: None, key: session_key, expires: now + self.state_ttl },
+                    PathEntry {
+                        next: None,
+                        key: session_key,
+                        expires: now + self.state_ttl,
+                    },
                 );
                 Ok(RelayAction::ConstructionComplete)
             }
@@ -197,14 +209,21 @@ impl Relay {
                 let key = SymmetricKey::from_bytes(key_bytes);
                 self.forward.insert(
                     (from, sid),
-                    PathEntry { next: None, key, expires: now + self.state_ttl },
+                    PathEntry {
+                        next: None,
+                        key,
+                        expires: now + self.state_ttl,
+                    },
                 );
                 let layer = peel_payload_layer(&key, &inner)?;
                 return Ok(RelayAction::Delivered { layer });
             }
             return Err(AnonError::UnknownStream);
         }
-        let entry = self.forward.get_mut(&(from, sid)).ok_or(AnonError::UnknownStream)?;
+        let entry = self
+            .forward
+            .get_mut(&(from, sid))
+            .ok_or(AnonError::UnknownStream)?;
         if entry.expires < now {
             return Err(AnonError::UnknownStream);
         }
@@ -214,7 +233,11 @@ impl Relay {
         let layer = peel_payload_layer(&key, blob)?;
         match (layer, next) {
             (PayloadLayer::Forward { inner }, Some((to, next_sid))) => {
-                Ok(RelayAction::ForwardPayload { to, sid: next_sid, blob: inner })
+                Ok(RelayAction::ForwardPayload {
+                    to,
+                    sid: next_sid,
+                    blob: inner,
+                })
             }
             (PayloadLayer::Forward { .. }, None) => {
                 Err(AnonError::Malformed("forward layer at terminal hop"))
@@ -229,14 +252,19 @@ impl Relay {
                 }
                 entry.next = Some((new_dest, new_sid));
                 self.reverse.insert((new_dest, new_sid), (from, sid));
-                Ok(RelayAction::ForwardPayload { to: new_dest, sid: new_sid, blob: inner })
+                Ok(RelayAction::ForwardPayload {
+                    to: new_dest,
+                    sid: new_sid,
+                    blob: inner,
+                })
             }
             (PayloadLayer::Redirect { .. }, None) => {
                 Err(AnonError::Malformed("redirect at terminal hop"))
             }
-            (layer @ (PayloadLayer::Deliver { .. } | PayloadLayer::DeliverWithKey { .. }), None) => {
-                Ok(RelayAction::Delivered { layer })
-            }
+            (
+                layer @ (PayloadLayer::Deliver { .. } | PayloadLayer::DeliverWithKey { .. }),
+                None,
+            ) => Ok(RelayAction::Delivered { layer }),
             (PayloadLayer::Deliver { .. } | PayloadLayer::DeliverWithKey { .. }, Some(_)) => {
                 Err(AnonError::Malformed("deliver layer at non-terminal hop"))
             }
@@ -254,15 +282,24 @@ impl Relay {
         now: SimTime,
         rng: &mut R,
     ) -> Result<RelayAction, AnonError> {
-        let &(prev, prev_sid) =
-            self.reverse.get(&(from, sid)).ok_or(AnonError::UnknownStream)?;
-        let entry = self.forward.get_mut(&(prev, prev_sid)).ok_or(AnonError::UnknownStream)?;
+        let &(prev, prev_sid) = self
+            .reverse
+            .get(&(from, sid))
+            .ok_or(AnonError::UnknownStream)?;
+        let entry = self
+            .forward
+            .get_mut(&(prev, prev_sid))
+            .ok_or(AnonError::UnknownStream)?;
         if entry.expires < now {
             return Err(AnonError::UnknownStream);
         }
         entry.expires = now + self.state_ttl;
         let wrapped = wrap_reverse_layer(&entry.key, blob, rng);
-        Ok(RelayAction::ForwardReverse { to: prev, sid: prev_sid, blob: wrapped })
+        Ok(RelayAction::ForwardReverse {
+            to: prev,
+            sid: prev_sid,
+            blob: wrapped,
+        })
     }
 
     /// Combined construction + payload in one message (§4.2: "We can
@@ -280,18 +317,29 @@ impl Relay {
         rng: &mut R,
     ) -> Result<CombinedAction, AnonError> {
         match self.handle_construction(from, sid, onion, now, rng)? {
-            RelayAction::ForwardConstruction { to, sid: next_sid, onion: inner_onion } => {
-                match self.handle_payload(from, sid, payload, now, rng)? {
-                    RelayAction::ForwardPayload { to: pto, sid: psid, blob } => {
-                        debug_assert_eq!((to, next_sid), (pto, psid), "same cached next hop");
-                        Ok(CombinedAction::Forward { to, sid: next_sid, onion: inner_onion, payload: blob })
-                    }
-                    other => Err(AnonError::Malformed(match other {
-                        RelayAction::Delivered { .. } => "payload terminated before the onion",
-                        _ => "combined payload produced a non-forward action",
-                    })),
+            RelayAction::ForwardConstruction {
+                to,
+                sid: next_sid,
+                onion: inner_onion,
+            } => match self.handle_payload(from, sid, payload, now, rng)? {
+                RelayAction::ForwardPayload {
+                    to: pto,
+                    sid: psid,
+                    blob,
+                } => {
+                    debug_assert_eq!((to, next_sid), (pto, psid), "same cached next hop");
+                    Ok(CombinedAction::Forward {
+                        to,
+                        sid: next_sid,
+                        onion: inner_onion,
+                        payload: blob,
+                    })
                 }
-            }
+                other => Err(AnonError::Malformed(match other {
+                    RelayAction::Delivered { .. } => "payload terminated before the onion",
+                    _ => "combined payload produced a non-forward action",
+                })),
+            },
             RelayAction::ConstructionComplete => {
                 match self.handle_payload(from, sid, payload, now, rng)? {
                     RelayAction::Delivered { layer } => Ok(CombinedAction::Delivered { layer }),
@@ -373,7 +421,11 @@ mod tests {
             .enumerate()
             .map(|(i, kp)| Relay::new(NodeId(i as u32), kp))
             .collect();
-        TestNet { relays, plan, first_blob }
+        TestNet {
+            relays,
+            plan,
+            first_blob,
+        }
     }
 
     /// Drive a construction onion through the relays; returns the stream
@@ -392,8 +444,15 @@ mod tests {
         links.push((from, sid));
         loop {
             let relay = &mut net.relays[hop];
-            match relay.handle_construction(from, sid, &onion, now, rng).unwrap() {
-                RelayAction::ForwardConstruction { to, sid: nsid, onion: inner } => {
+            match relay
+                .handle_construction(from, sid, &onion, now, rng)
+                .unwrap()
+            {
+                RelayAction::ForwardConstruction {
+                    to,
+                    sid: nsid,
+                    onion: inner,
+                } => {
                     from = NodeId(hop as u32);
                     sid = nsid;
                     onion = inner;
@@ -425,8 +484,15 @@ mod tests {
         let mut hop = 0usize;
         let delivered = loop {
             let relay = &mut net.relays[hop];
-            match relay.handle_payload(from, sid, &blob, now, &mut rng).unwrap() {
-                RelayAction::ForwardPayload { to, sid: nsid, blob: inner } => {
+            match relay
+                .handle_payload(from, sid, &blob, now, &mut rng)
+                .unwrap()
+            {
+                RelayAction::ForwardPayload {
+                    to,
+                    sid: nsid,
+                    blob: inner,
+                } => {
                     from = NodeId(hop as u32);
                     sid = nsid;
                     blob = inner;
@@ -467,7 +533,9 @@ mod tests {
         let late = SimTime::from_secs(DEFAULT_STATE_TTL.as_micros() / 1_000_000 + 1);
         let seg = Segment::new(0, vec![1]);
         let (blob, _) = build_payload_onion(&net.plan, MessageId(1), &seg, None, &mut rng);
-        let err = net.relays[0].handle_payload(from, sid, &blob, late, &mut rng).unwrap_err();
+        let err = net.relays[0]
+            .handle_payload(from, sid, &blob, late, &mut rng)
+            .unwrap_err();
         assert_eq!(err, AnonError::UnknownStream);
 
         assert_eq!(net.relays[0].cached_paths(), 1);
@@ -486,7 +554,7 @@ mod tests {
         // Keep refreshing at 100 s intervals: the 120 s TTL never lapses.
         let mut t = SimTime::ZERO;
         for _ in 0..5 {
-            t = t + SimDuration::from_secs(100);
+            t += SimDuration::from_secs(100);
             let (blob, _) = build_payload_onion(&net.plan, MessageId(1), &seg, None, &mut rng);
             net.relays[0]
                 .handle_payload(from, sid, &blob, t, &mut rng)
@@ -515,7 +583,10 @@ mod tests {
         let mut from = NodeId(3);
         let mut fsid = links[3].1;
         loop {
-            match net.relays[hop].handle_reverse(from, fsid, &blob, now, &mut rng).unwrap() {
+            match net.relays[hop]
+                .handle_reverse(from, fsid, &blob, now, &mut rng)
+                .unwrap()
+            {
                 RelayAction::ForwardReverse { to, sid, blob: b } => {
                     blob = b;
                     if to == NodeId(1000) {
@@ -545,7 +616,11 @@ mod tests {
         let (mut from, mut sid) = links[0];
         for hop in 0..4usize {
             let next = net.relays[hop].release(from, sid);
-            assert_eq!(net.relays[hop].cached_paths(), 0, "hop {hop} state released");
+            assert_eq!(
+                net.relays[hop].cached_paths(),
+                0,
+                "hop {hop} state released"
+            );
             match next {
                 Some((to, nsid)) => {
                     from = NodeId(hop as u32);

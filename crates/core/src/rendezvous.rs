@@ -67,7 +67,8 @@ impl RendezvousPoint {
     /// Register a hidden responder's path: called with the terminal-link
     /// triple the construction produced at this node.
     pub fn register(&mut self, cookie: u64, prev: NodeId, sid: StreamId, key: SymmetricKey) {
-        self.registrations.insert(cookie, Registration { prev, sid, key });
+        self.registrations
+            .insert(cookie, Registration { prev, sid, key });
     }
 
     /// Drop a registration (responder went away or rotated cookies).
@@ -84,7 +85,10 @@ impl RendezvousPoint {
         segment: &Segment,
         rng: &mut R,
     ) -> Result<(NodeId, StreamId, Vec<u8>), AnonError> {
-        let reg = self.registrations.get(&cookie).ok_or(AnonError::UnknownStream)?;
+        let reg = self
+            .registrations
+            .get(&cookie)
+            .ok_or(AnonError::UnknownStream)?;
         let blob = build_reverse_payload(&reg.key, mid, segment, rng);
         Ok((reg.prev, reg.sid, blob))
     }
@@ -102,7 +106,11 @@ impl HiddenResponder {
     /// Wrap a constructed path (terminal = the rendezvous node) into a
     /// hidden-service endpoint with a fresh cookie.
     pub fn new<R: Rng + CryptoRng>(plan: PathPlan, keypair: KeyPair, rng: &mut R) -> Self {
-        HiddenResponder { plan, keypair, cookie: rng.gen() }
+        HiddenResponder {
+            plan,
+            keypair,
+            cookie: rng.gen(),
+        }
     }
 
     /// The advertisement to publish.
@@ -152,7 +160,10 @@ pub fn unwrap_at_rendezvous(segment: &Segment) -> Result<(u64, Segment), AnonErr
         return Err(AnonError::Malformed("short rendezvous envelope"));
     }
     let cookie = u64::from_be_bytes(segment.data[..8].try_into().unwrap());
-    Ok((cookie, Segment::new(segment.index, segment.data[8..].to_vec())))
+    Ok((
+        cookie,
+        Segment::new(segment.index, segment.data[8..].to_vec()),
+    ))
 }
 
 #[cfg(test)]
@@ -180,14 +191,17 @@ mod tests {
         let mut d_endpoint = Initiator::new(hidden_id);
         let d_hops = vec![net.hops(&[NodeId(9), NodeId(10), NodeId(11)], rendezvous_id)];
         let d_cons = d_endpoint.construct_paths(&d_hops, &mut rng);
-        let RouteOutcome::ConstructionDone { from, sid, session_key, .. } =
-            net.route_construction(hidden_id, &d_cons[0]).unwrap()
+        let RouteOutcome::ConstructionDone {
+            from,
+            sid,
+            session_key,
+            ..
+        } = net.route_construction(hidden_id, &d_cons[0]).unwrap()
         else {
             panic!("hidden path construction failed")
         };
         let d_keypair = KeyPair::generate(&mut rng);
-        let hidden =
-            HiddenResponder::new(d_endpoint.paths()[0].plan.clone(), d_keypair, &mut rng);
+        let hidden = HiddenResponder::new(d_endpoint.paths()[0].plan.clone(), d_keypair, &mut rng);
         let mut point = RendezvousPoint::new();
         point.register(hidden.cookie(), from, sid, session_key);
         let ad = hidden.advertisement();
@@ -216,7 +230,11 @@ mod tests {
             panic!("segment lost")
         };
         assert_eq!(at, rendezvous_id);
-        let PayloadLayer::Deliver { mid: got_mid, segment } = layer else {
+        let PayloadLayer::Deliver {
+            mid: got_mid,
+            segment,
+        } = layer
+        else {
             panic!("expected deliver at rendezvous")
         };
 
@@ -267,7 +285,11 @@ mod tests {
     fn envelope_roundtrip_and_malformed() {
         let mut rng = StdRng::seed_from_u64(5);
         let kp = KeyPair::generate(&mut rng);
-        let ad = Advertisement { rendezvous: NodeId(3), cookie: 99, responder_pub: kp.public };
+        let ad = Advertisement {
+            rendezvous: NodeId(3),
+            cookie: 99,
+            responder_pub: kp.public,
+        };
         let seg = Segment::new(4, b"payload".to_vec());
         let wrapped = wrap_for_hidden_responder(&ad, &seg, &mut rng);
         let (cookie, sealed) = unwrap_at_rendezvous(&wrapped).unwrap();

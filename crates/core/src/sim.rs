@@ -14,6 +14,31 @@ use membership::{MembershipConfig, MembershipLayer, NodeCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{ChurnSchedule, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime};
+use std::cell::Cell;
+
+/// Cumulative evaluation counters for one world.
+///
+/// Updated through `&self` (via `Cell`) so the read-only traversal path
+/// keeps its `&self` signature; snapshotted into run traces by the
+/// experiment drivers.
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    traversals: Cell<u64>,
+    links: Cell<u64>,
+}
+
+impl WorldStats {
+    /// Hop-by-hop path traversals evaluated against the churn schedule.
+    pub fn traversals(&self) -> u64 {
+        self.traversals.get()
+    }
+
+    /// Total links walked across all traversals (the bandwidth-accounting
+    /// unit; includes partial traversal of failed paths).
+    pub fn links(&self) -> u64 {
+        self.links.get()
+    }
+}
 
 /// Parameters of a simulated network.
 #[derive(Clone, Debug)]
@@ -59,7 +84,11 @@ impl WorldConfig {
 
     /// Smaller network for fast tests.
     pub fn small(seed: u64) -> Self {
-        WorldConfig { n: 128, horizon: SimTime::from_secs(3600), ..Self::paper_default(seed) }
+        WorldConfig {
+            n: 128,
+            horizon: SimTime::from_secs(3600),
+            ..Self::paper_default(seed)
+        }
     }
 }
 
@@ -102,6 +131,8 @@ pub struct World {
     pub membership: MembershipLayer,
     /// The world's RNG (mix choice, gossip, jitter).
     pub rng: StdRng,
+    /// Evaluation counters (traversals, links walked).
+    pub stats: WorldStats,
 }
 
 impl World {
@@ -117,7 +148,14 @@ impl World {
         );
         let latency = LatencyMatrix::synthetic(cfg.n, cfg.avg_rtt_ms, &mut rng);
         let membership = MembershipLayer::new(cfg.n, cfg.membership, &mut rng);
-        World { cfg, schedule, latency, membership, rng }
+        World {
+            cfg,
+            schedule,
+            latency,
+            membership,
+            rng,
+            stats: WorldStats::default(),
+        }
     }
 
     /// Pin nodes up for the whole run (Table 2 pins initiator+responder).
@@ -177,7 +215,11 @@ impl World {
         failed_hop: usize,
         now: SimTime,
     ) {
-        let node = if failed_hop < relays.len() { relays[failed_hop] } else { responder };
+        let node = if failed_hop < relays.len() {
+            relays[failed_hop]
+        } else {
+            responder
+        };
         self.membership.cache_mut(initiator).record_death(node, now);
     }
 
@@ -190,6 +232,7 @@ impl World {
         responder: NodeId,
         start: SimTime,
     ) -> PathConstruction {
+        self.stats.traversals.set(self.stats.traversals.get() + 1);
         let mut t = start;
         let mut prev = initiator;
         let mut links = 0usize;
@@ -197,6 +240,7 @@ impl World {
             t += self.latency.owd(prev, hop);
             links += 1;
             if !self.schedule.is_up(hop, t) {
+                self.stats.links.set(self.stats.links.get() + links as u64);
                 return PathConstruction {
                     success: false,
                     completed_at: t,
@@ -206,7 +250,13 @@ impl World {
             }
             prev = hop;
         }
-        PathConstruction { success: true, completed_at: t, failed_hop: None, links }
+        self.stats.links.set(self.stats.links.get() + links as u64);
+        PathConstruction {
+            success: true,
+            completed_at: t,
+            failed_hop: None,
+            links,
+        }
     }
 
     /// When a path (as a set of relays) stops working, given it is intact
@@ -256,7 +306,15 @@ impl World {
     ) -> Result<Vec<Vec<NodeId>>, AnonError> {
         let l = self.cfg.l;
         let cache = self.membership.cache(initiator);
-        choose_disjoint_paths(cache, k, l, &[initiator, responder], strategy, now, &mut self.rng)
+        choose_disjoint_paths(
+            cache,
+            k,
+            l,
+            &[initiator, responder],
+            strategy,
+            now,
+            &mut self.rng,
+        )
     }
 
     /// Pick a random live node other than `exclude` (used as responder in
@@ -299,8 +357,12 @@ mod tests {
         let t = SimTime::from_secs(100);
         a.advance_gossip(t);
         b.advance_gossip(t);
-        let pa = a.pick_paths(NodeId(0), NodeId(1), 2, MixStrategy::Biased, t).unwrap();
-        let pb = b.pick_paths(NodeId(0), NodeId(1), 2, MixStrategy::Biased, t).unwrap();
+        let pa = a
+            .pick_paths(NodeId(0), NodeId(1), 2, MixStrategy::Biased, t)
+            .unwrap();
+        let pb = b
+            .pick_paths(NodeId(0), NodeId(1), 2, MixStrategy::Biased, t)
+            .unwrap();
         assert_eq!(pa, pb);
     }
 
@@ -327,13 +389,18 @@ mod tests {
         // Find a relay that is down at the probe time.
         let t = SimTime::from_secs(2000);
         let down = (5..64)
-            .map(|i| NodeId(i))
+            .map(NodeId)
             .find(|&n| !w.schedule.is_up(n, t + SimDuration::from_secs(10)))
             .expect("some node is down under churn");
         // Put the down node first; it is down over the whole window around
         // t, so arrival within ~100 ms also finds it down.
         let relays = vec![down, NodeId(0), NodeId(4)];
-        let out = w.construct_path(NodeId(0), &relays, NodeId(4), t + SimDuration::from_secs(10));
+        let out = w.construct_path(
+            NodeId(0),
+            &relays,
+            NodeId(4),
+            t + SimDuration::from_secs(10),
+        );
         assert!(!out.success);
         assert_eq!(out.failed_hop, Some(0));
         assert_eq!(out.links, 1, "died on the first link");
@@ -346,10 +413,18 @@ mod tests {
         // always-up paths: durability = cap.
         let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
         w.pin_up(&nodes);
-        let paths: Vec<Vec<NodeId>> =
-            nodes.chunks(3).map(|c| c.to_vec()).collect();
-        let d = w.set_durability(&paths, 2, SimTime::from_secs(100), SimDuration::from_secs(3600));
-        assert_eq!(d, SimDuration::from_secs(3600), "pinned paths never die: capped");
+        let paths: Vec<Vec<NodeId>> = nodes.chunks(3).map(|c| c.to_vec()).collect();
+        let d = w.set_durability(
+            &paths,
+            2,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(3600),
+        );
+        assert_eq!(
+            d,
+            SimDuration::from_secs(3600),
+            "pinned paths never die: capped"
+        );
     }
 
     #[test]
@@ -362,7 +437,10 @@ mod tests {
             .find(|&n| !w.schedule.is_up(n, t))
             .expect("someone is down");
         // Two paths: one alive (pinned), one already dead.
-        let paths = vec![vec![NodeId(0), NodeId(1), NodeId(2)], vec![down, NodeId(1), NodeId(2)]];
+        let paths = vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![down, NodeId(1), NodeId(2)],
+        ];
         // Needing both paths: durability 0.
         let d = w.set_durability(&paths, 2, t, SimDuration::from_secs(3600));
         assert_eq!(d, SimDuration::ZERO);
@@ -376,7 +454,9 @@ mod tests {
         let mut w = tiny_world(5);
         let t = SimTime::from_secs(300);
         w.advance_gossip(t);
-        let paths = w.pick_paths(NodeId(0), NodeId(1), 4, MixStrategy::Random, t).unwrap();
+        let paths = w
+            .pick_paths(NodeId(0), NodeId(1), 4, MixStrategy::Random, t)
+            .unwrap();
         let mut all: Vec<NodeId> = paths.iter().flatten().copied().collect();
         assert_eq!(all.len(), 12);
         assert!(!all.contains(&NodeId(0)));
@@ -387,11 +467,25 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_traversals_and_links() {
+        let mut w = tiny_world(8);
+        w.pin_up(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(w.stats.traversals(), 0);
+        let relays = vec![NodeId(1), NodeId(2), NodeId(3)];
+        w.construct_path(NodeId(0), &relays, NodeId(4), SimTime::from_secs(10));
+        w.send_over_path(NodeId(0), &relays, NodeId(4), SimTime::from_secs(20));
+        assert_eq!(w.stats.traversals(), 2);
+        assert_eq!(w.stats.links(), 8, "two full 4-link traversals");
+    }
+
+    #[test]
     fn random_live_node_is_up() {
         let mut w = tiny_world(6);
         let t = SimTime::from_secs(1500);
         for _ in 0..20 {
-            let n = w.random_live_node(&[NodeId(0)], t).expect("network not empty");
+            let n = w
+                .random_live_node(&[NodeId(0)], t)
+                .expect("network not empty");
             assert!(w.schedule.is_up(n, t));
             assert_ne!(n, NodeId(0));
         }

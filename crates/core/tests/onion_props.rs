@@ -3,9 +3,8 @@
 
 use anon_core::ids::MessageId;
 use anon_core::onion::{
-    build_construction_onion, build_payload_onion, build_reverse_payload,
-    peel_construction_layer, peel_payload_layer, peel_reverse_payload, wrap_reverse_layer,
-    ConstructionLayer, PayloadLayer,
+    build_construction_onion, build_payload_onion, build_reverse_payload, peel_construction_layer,
+    peel_payload_layer, peel_reverse_payload, wrap_reverse_layer, ConstructionLayer, PayloadLayer,
 };
 use erasure::Segment;
 use proptest::prelude::*;

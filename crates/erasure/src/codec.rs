@@ -75,7 +75,9 @@ pub struct ErasureCodec {
 impl ErasureCodec {
     /// Create an `(m, n)` erasure codec (`1 <= m <= n <= 255`).
     pub fn new(m: usize, n: usize) -> Result<Self, ErasureError> {
-        Ok(ErasureCodec { rs: ReedSolomon::new(m, n)? })
+        Ok(ErasureCodec {
+            rs: ReedSolomon::new(m, n)?,
+        })
     }
 
     /// Convenience constructor from the paper's parameters: replication
@@ -108,16 +110,24 @@ impl Codec for ErasureCodec {
         framed.extend_from_slice(message);
         framed.resize(shard_len * m, 0);
 
-        let data: Vec<Vec<u8>> =
-            framed.chunks(shard_len).map(|c| c.to_vec()).collect();
+        let data: Vec<Vec<u8>> = framed.chunks(shard_len).map(|c| c.to_vec()).collect();
         debug_assert_eq!(data.len(), m);
-        let coded = self.rs.encode(&data).expect("shard lengths are uniform by construction");
-        coded.into_iter().enumerate().map(|(i, d)| Segment::new(i, d)).collect()
+        let coded = self
+            .rs
+            .encode(&data)
+            .expect("shard lengths are uniform by construction");
+        coded
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Segment::new(i, d))
+            .collect()
     }
 
     fn decode(&self, segments: &[Segment]) -> Result<Vec<u8>, ErasureError> {
-        let pairs: Vec<(usize, &[u8])> =
-            segments.iter().map(|s| (s.index, s.data.as_slice())).collect();
+        let pairs: Vec<(usize, &[u8])> = segments
+            .iter()
+            .map(|s| (s.index, s.data.as_slice()))
+            .collect();
         let data = self.rs.reconstruct(&pairs)?;
         let framed: Vec<u8> = data.into_iter().flatten().collect();
         if framed.len() < FRAME_LEN {
@@ -173,7 +183,10 @@ mod tests {
         let codec = ErasureCodec::new(3, 6).unwrap();
         let segs = codec.encode(b"hello world");
         let err = codec.decode(&segs[..2]).unwrap_err();
-        assert!(matches!(err, ErasureError::NotEnoughSegments { have: 2, need: 3 }));
+        assert!(matches!(
+            err,
+            ErasureError::NotEnoughSegments { have: 2, need: 3 }
+        ));
     }
 
     #[test]

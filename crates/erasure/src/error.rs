@@ -35,10 +35,16 @@ impl fmt::Display for ErasureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ErasureError::InvalidParameters { m, n } => {
-                write!(f, "invalid erasure parameters m={m}, n={n} (need 1 <= m <= n <= 255)")
+                write!(
+                    f,
+                    "invalid erasure parameters m={m}, n={n} (need 1 <= m <= n <= 255)"
+                )
             }
             ErasureError::NotEnoughSegments { have, need } => {
-                write!(f, "not enough segments to reconstruct: have {have}, need {need}")
+                write!(
+                    f,
+                    "not enough segments to reconstruct: have {have}, need {need}"
+                )
             }
             ErasureError::LengthMismatch => write!(f, "segments have differing lengths"),
             ErasureError::BadIndex(i) => write!(f, "segment index {i} out of range"),

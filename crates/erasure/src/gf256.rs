@@ -166,7 +166,11 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
     }
     let log_c = LOG[c as usize] as usize;
     for (d, s) in dst.iter_mut().zip(src) {
-        *d = if *s == 0 { 0 } else { EXP[log_c + LOG[*s as usize] as usize] };
+        *d = if *s == 0 {
+            0
+        } else {
+            EXP[log_c + LOG[*s as usize] as usize]
+        };
     }
 }
 

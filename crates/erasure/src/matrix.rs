@@ -28,7 +28,11 @@ impl Matrix {
     /// All-zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Build from a row-major closure.
@@ -64,7 +68,10 @@ impl Matrix {
     /// Vandermonde are linearly independent, which is what makes the derived
     /// Reed–Solomon code MDS.
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= gf256::FIELD_SIZE, "too many Vandermonde rows for GF(2^8)");
+        assert!(
+            rows <= gf256::FIELD_SIZE,
+            "too many Vandermonde rows for GF(2^8)"
+        );
         Matrix::from_fn(rows, cols, |r, c| gf256::pow(r as u8, c))
     }
 
@@ -228,7 +235,9 @@ mod tests {
     fn inverse_roundtrip_vandermonde_square() {
         for n in 1..=8usize {
             let v = Matrix::vandermonde(n, n);
-            let vinv = v.inverse().expect("square Vandermonde over distinct points inverts");
+            let vinv = v
+                .inverse()
+                .expect("square Vandermonde over distinct points inverts");
             assert_eq!(v.mul(&vinv), Matrix::identity(n));
             assert_eq!(vinv.mul(&v), Matrix::identity(n));
         }

@@ -33,7 +33,9 @@ impl Codec for ReplicationCodec {
     }
 
     fn encode(&self, message: &[u8]) -> Vec<Segment> {
-        (0..self.copies).map(|i| Segment::new(i, message.to_vec())).collect()
+        (0..self.copies)
+            .map(|i| Segment::new(i, message.to_vec()))
+            .collect()
     }
 
     fn decode(&self, segments: &[Segment]) -> Result<Vec<u8>, ErasureError> {

@@ -78,7 +78,10 @@ impl ReedSolomon {
     /// the remaining `n - m` are parity.
     pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ErasureError> {
         if data.len() != self.m {
-            return Err(ErasureError::NotEnoughSegments { have: data.len(), need: self.m });
+            return Err(ErasureError::NotEnoughSegments {
+                have: data.len(),
+                need: self.m,
+            });
         }
         let len = data[0].len();
         if data.iter().any(|d| d.len() != len) {
@@ -119,7 +122,10 @@ impl ReedSolomon {
             }
         }
         if chosen.len() < self.m {
-            return Err(ErasureError::NotEnoughSegments { have: chosen.len(), need: self.m });
+            return Err(ErasureError::NotEnoughSegments {
+                have: chosen.len(),
+                need: self.m,
+            });
         }
         let len = chosen[0].1.len();
         if chosen.iter().any(|(_, d)| d.len() != len) {
@@ -160,7 +166,11 @@ mod tests {
 
     fn shards(m: usize, len: usize) -> Vec<Vec<u8>> {
         (0..m)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -180,7 +190,10 @@ mod tests {
         let coded = rs.encode(&data).unwrap();
         assert_eq!(coded.len(), 9);
         for i in 0..4 {
-            assert_eq!(coded[i], data[i], "data shard {i} must pass through unmodified");
+            assert_eq!(
+                coded[i], data[i],
+                "data shard {i} must pass through unmodified"
+            );
         }
     }
 
@@ -265,7 +278,8 @@ mod tests {
         let rs = ReedSolomon::new(3, 6).unwrap();
         let data = vec![Vec::new(), Vec::new(), Vec::new()];
         let coded = rs.encode(&data).unwrap();
-        let survivors: Vec<(usize, &[u8])> = vec![(3, &coded[3][..]), (4, &coded[4][..]), (5, &coded[5][..])];
+        let survivors: Vec<(usize, &[u8])> =
+            vec![(3, &coded[3][..]), (4, &coded[4][..]), (5, &coded[5][..])];
         assert_eq!(rs.reconstruct(&survivors).unwrap(), data);
     }
 }

@@ -105,6 +105,48 @@ proptest! {
         prop_assert_eq!(codec.decode(&survivors).unwrap(), msg);
     }
 
+    /// One segment short of the quorum fails cleanly with the typed
+    /// `NotEnoughSegments` error — never a panic, garbage output, or a
+    /// different error variant — for any (m, r), message and survivor set.
+    #[test]
+    fn erasure_codec_m_minus_one_fails_typed(
+        m in 2usize..8,
+        r in 1usize..5,
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+    ) {
+        let codec = ErasureCodec::from_replication_factor(m, r).unwrap();
+        let segs = codec.encode(&msg);
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let n = segs.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = next() % (i + 1);
+            indices.swap(i, j);
+        }
+        let survivors: Vec<Segment> =
+            indices[..m - 1].iter().map(|&i| segs[i].clone()).collect();
+        prop_assert_eq!(
+            codec.decode(&survivors),
+            Err(erasure::ErasureError::NotEnoughSegments { have: m - 1, need: m })
+        );
+
+        // Duplicating a survivor must not smuggle it past the quorum check.
+        if m >= 2 {
+            let mut padded = survivors.clone();
+            padded.push(survivors[0].clone());
+            prop_assert_eq!(
+                codec.decode(&padded),
+                Err(erasure::ErasureError::DuplicateIndex(survivors[0].index))
+            );
+        }
+    }
+
     /// Replication round trip from any single copy.
     #[test]
     fn replication_roundtrip(

@@ -1,24 +1,40 @@
 //! Run every table/figure reproduction in sequence (same binaries the
 //! individual targets expose). `EXPERIMENT_QUICK=1` shrinks everything to
-//! smoke-test scale.
+//! smoke-test scale. `--threads N` (or `P2P_ANON_THREADS=N`) is forwarded
+//! to every child so the whole suite shares one parallelism setting.
 
 use std::process::Command;
 
 fn main() {
+    let threads = experiments::resolve_threads();
     let bins = [
-        "fig1", "fig2", "fig3", "fig4", "tab1", "fig5", "tab2", "tab3", "tab4", "eq4",
-        "validate", "extensions", "membership_ablation", "attack",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "tab1",
+        "fig5",
+        "tab2",
+        "tab3",
+        "tab4",
+        "eq4",
+        "validate",
+        "extensions",
+        "membership_ablation",
+        "attack",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
+    println!("running full suite with {threads} worker thread(s) per experiment");
     for bin in bins {
         println!("\n================================================================");
         println!("running {bin}");
         println!("================================================================");
         let status = Command::new(dir.join(bin))
+            .env("P2P_ANON_THREADS", threads.to_string())
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} exited with {status}");
     }
-    println!("\nall experiments completed; CSVs in results/");
+    println!("\nall experiments completed; CSVs in results/, run traces in results/traces/");
 }

@@ -15,7 +15,10 @@ fn main() {
         Scale::Full => (1024usize, 2000usize),
         Scale::Quick => (192, 300),
     };
-    let world = WorldConfig { n, ..scale.world(31) };
+    let world = WorldConfig {
+        n,
+        ..scale.world(31)
+    };
     let warmup = scale.warmup();
     println!("adversary measurement — n = {n}, {events} constructions per point\n");
 
@@ -26,7 +29,10 @@ fn main() {
             world.clone(),
             MixStrategy::Random,
             2,
-            AttackConfig { f, adversary_stays: false },
+            AttackConfig {
+                f,
+                adversary_stays: false,
+            },
             events,
             warmup,
         );
@@ -34,7 +40,14 @@ fn main() {
     });
     let mut table = Table::new(
         "empirical first-relay compromise vs Eq. 4 (random choice)",
-        &["f", "empirical", "Eq.4 exact (f)", "Eq.4 as printed", "full-path rate", "~f^L"],
+        &[
+            "f",
+            "empirical",
+            "Eq.4 exact (f)",
+            "Eq.4 as printed",
+            "full-path rate",
+            "~f^L",
+        ],
     );
     for (f, res) in &rows {
         table.row(&[
@@ -53,7 +66,12 @@ fn main() {
     println!("\n§7: adversary occupancy of relay slots, churning vs always-online\n");
     let mut table = Table::new(
         "adversary slot occupancy (f = 0.2)",
-        &["mix choice", "churning adversary", "staying adversary", "advantage"],
+        &[
+            "mix choice",
+            "churning adversary",
+            "staying adversary",
+            "advantage",
+        ],
     );
     for strategy in [MixStrategy::Random, MixStrategy::Biased] {
         let (churn, stay) =

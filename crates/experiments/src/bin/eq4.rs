@@ -15,7 +15,13 @@ fn main() {
     let rows = eq4_data(1024, 3, trials, 5);
     let mut table = Table::new(
         "Equation 4: P(x = I) vs f",
-        &["f", "Eq.4 as printed", "Eq.4 exact", "Monte-Carlo", "anonymity set"],
+        &[
+            "f",
+            "Eq.4 as printed",
+            "Eq.4 exact",
+            "Monte-Carlo",
+            "anonymity set",
+        ],
     );
     for r in &rows {
         table.row(&[
@@ -34,5 +40,8 @@ fn main() {
     println!("  'exact' restores C(L,i), collapsing Case 1 to f — which the attack");
     println!("  simulation confirms (see EXPERIMENTS.md for the discrepancy note).");
     let ok = rows.iter().all(|r| (r.exact - r.simulated).abs() < 0.01);
-    println!("  Monte-Carlo matches the exact closed form: {}", if ok { "YES" } else { "NO" });
+    println!(
+        "  Monte-Carlo matches the exact closed form: {}",
+        if ok { "YES" } else { "NO" }
+    );
 }

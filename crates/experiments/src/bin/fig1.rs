@@ -16,7 +16,12 @@ fn main() {
     let points = fig1_data(samples, 1);
     let mut table = Table::new(
         "Figure 1: CDF of node lifetimes",
-        &["lifetime (x10^4 s)", "measured CDF", "Pareto CDF", "abs diff"],
+        &[
+            "lifetime (x10^4 s)",
+            "measured CDF",
+            "Pareto CDF",
+            "abs diff",
+        ],
     );
     for p in &points {
         table.row(&[

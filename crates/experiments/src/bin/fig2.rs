@@ -13,7 +13,15 @@ fn main() {
     let data = fig2_data(trials, 2);
     let mut table = Table::new(
         "Figure 2: probability of success P(k)",
-        &["k", "pa=0.70 sim", "pa=0.70 exact", "pa=0.86 sim", "pa=0.86 exact", "pa=0.95 sim", "pa=0.95 exact"],
+        &[
+            "k",
+            "pa=0.70 sim",
+            "pa=0.70 exact",
+            "pa=0.86 sim",
+            "pa=0.86 exact",
+            "pa=0.95 sim",
+            "pa=0.95 exact",
+        ],
     );
     let len = data[0].1.len();
     for i in 0..len {

@@ -35,9 +35,18 @@ fn main() {
             .map(|p| p.simulated)
             .unwrap_or(f64::NAN)
     };
-    println!("\nP(k=12): r=2 -> {:.3}, r=3 -> {:.3}, r=4 -> {:.3}", at(2, 12), at(3, 12), at(4, 12));
+    println!(
+        "\nP(k=12): r=2 -> {:.3}, r=3 -> {:.3}, r=4 -> {:.3}",
+        at(2, 12),
+        at(3, 12),
+        at(4, 12)
+    );
     println!(
         "paper's claim (bigger r dramatically increases success): {}",
-        if at(2, 12) < at(3, 12) && at(3, 12) < at(4, 12) { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if at(2, 12) < at(3, 12) && at(3, 12) < at(4, 12) {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
 }

@@ -32,10 +32,17 @@ fn main() {
     table.save_csv("fig4").expect("write results/fig4.csv");
 
     let level: Vec<f64> = data.iter().map(|(_, s)| s[0].analytic_kb).collect();
-    println!("\nbandwidth levels: r=2 -> {:.1} KB, r=3 -> {:.1} KB, r=4 -> {:.1} KB", level[0], level[1], level[2]);
+    println!(
+        "\nbandwidth levels: r=2 -> {:.1} KB, r=3 -> {:.1} KB, r=4 -> {:.1} KB",
+        level[0], level[1], level[2]
+    );
     println!("paper's figure shows costs growing with r (axis 0-12 KB), roughly flat in k;");
     println!(
         "reproduced: {}",
-        if level[0] < level[1] && level[1] < level[2] && level[2] < 12.0 { "YES" } else { "NO" }
+        if level[0] < level[1] && level[1] < level[2] && level[2] < 12.0 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 }

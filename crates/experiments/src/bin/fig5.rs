@@ -3,43 +3,67 @@
 
 use anon_core::mix::MixStrategy;
 use experiments::experiments::{fig5_data, Scale};
-use experiments::{default_threads, Table};
+use experiments::{resolve_threads, Table};
 
 fn main() {
     let scale = Scale::from_env();
-    let threads = default_threads();
-    println!("Figure 5 — SimEra setup success vs k ({scale:?} scale)\n");
+    let threads = resolve_threads();
+    println!("Figure 5 — SimEra setup success vs k ({scale:?} scale, {threads} threads)\n");
 
-    for (panel, strategy) in [("(a) random", MixStrategy::Random), ("(b) biased", MixStrategy::Biased)] {
-        let points = fig5_data(strategy, scale, threads);
+    for (panel, strategy) in [
+        ("(a) random", MixStrategy::Random),
+        ("(b) biased", MixStrategy::Biased),
+    ] {
+        let out = fig5_data(strategy, scale, threads);
+        let points = out.data;
         let mut table = Table::new(
             format!("Figure 5{panel}: setup success rate (%)"),
             &["r", "k", "success %"],
         );
         for p in &points {
-            table.row(&[p.r.to_string(), p.k.to_string(), format!("{:.2}", p.success_pct)]);
+            table.row(&[
+                p.r.to_string(),
+                p.k.to_string(),
+                format!("{:.2}", p.success_pct),
+            ]);
         }
         table.print();
         table
-            .save_csv(&format!("fig5{}", if strategy == MixStrategy::Random { "a" } else { "b" }))
+            .save_csv(&format!(
+                "fig5{}",
+                if strategy == MixStrategy::Random {
+                    "a"
+                } else {
+                    "b"
+                }
+            ))
             .expect("write results csv");
+        out.traces.save().expect("write results/traces");
 
         // Shape checks per panel.
         let series = |r: usize| -> Vec<f64> {
-            points.iter().filter(|p| p.r == r).map(|p| p.success_pct).collect()
+            points
+                .iter()
+                .filter(|p| p.r == r)
+                .map(|p| p.success_pct)
+                .collect()
         };
         match strategy {
             MixStrategy::Random => {
                 let s2 = series(2);
                 println!(
                     "\n  paper: random success decreases with k -> {}",
-                    if s2.first() > s2.last() { "REPRODUCED" } else { "NOT REPRODUCED" }
+                    if s2.first() > s2.last() {
+                        "REPRODUCED"
+                    } else {
+                        "NOT REPRODUCED"
+                    }
                 );
             }
             _ => {
                 let s2 = series(2);
-                let spread =
-                    s2.iter().cloned().fold(f64::MIN, f64::max) - s2.iter().cloned().fold(f64::MAX, f64::min);
+                let spread = s2.iter().cloned().fold(f64::MIN, f64::max)
+                    - s2.iter().cloned().fold(f64::MAX, f64::min);
                 println!(
                     "\n  paper: biased success stays high, k has little impact (spread {spread:.1} pts) -> {}",
                     if spread < 25.0 && s2.iter().all(|&v| v > 50.0) { "REPRODUCED" } else { "NOT REPRODUCED" }

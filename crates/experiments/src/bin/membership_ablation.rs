@@ -7,16 +7,19 @@
 //! biased ≫ random, redundancy ≈ 2× on random — hold on every substrate.
 
 use anon_core::mix::MixStrategy;
-use anon_core::protocols::runner::{run_setup_experiment, SetupConfig};
+use anon_core::protocols::runner::{run_setup_experiment_traced, SetupConfig};
 use anon_core::protocols::ProtocolKind;
 use experiments::experiments::Scale;
-use experiments::{default_threads, par_map, Table};
+use experiments::{resolve_threads, run_all, RunSpec, Table};
 use membership::{GossipConfig, MembershipConfig, OneHopConfig};
 use simnet::SimDuration;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("membership ablation — Table-1 workload per substrate ({scale:?} scale)\n");
+    let threads = resolve_threads();
+    println!(
+        "membership ablation — Table-1 workload per substrate ({scale:?} scale, {threads} threads)\n"
+    );
 
     let substrates: Vec<(String, MembershipConfig)> = vec![
         (
@@ -41,7 +44,10 @@ fn main() {
                 stale_timeout: None,
             }),
         ),
-        ("onehop (default)".into(), MembershipConfig::onehop_default()),
+        (
+            "onehop (default)".into(),
+            MembershipConfig::onehop_default(),
+        ),
         (
             "onehop slow (60s/90s)".into(),
             MembershipConfig::OneHop(OneHopConfig {
@@ -52,12 +58,18 @@ fn main() {
         ),
     ];
 
-    let jobs: Vec<(usize, MixStrategy)> = (0..substrates.len())
+    let jobs: Vec<RunSpec<(usize, MixStrategy)>> = (0..substrates.len())
         .flat_map(|i| [(i, MixStrategy::Random), (i, MixStrategy::Biased)])
+        .map(|(i, strategy)| RunSpec {
+            label: format!("{}/{}", substrates[i].0, strategy.label()),
+            seed: 77,
+            payload: (i, strategy),
+        })
         .collect();
     let substrates_ref = &substrates;
-    let results = par_map(jobs.clone(), default_threads(), |(i, strategy)| {
-        let mut world = scale.world(77);
+    let (results, traces) = run_all("membership_ablation", jobs, threads, |spec| {
+        let (i, strategy) = spec.payload;
+        let mut world = scale.world(spec.seed);
         world.membership = substrates_ref[i].1;
         let cfg = SetupConfig {
             world,
@@ -66,7 +78,9 @@ fn main() {
             warmup: scale.warmup(),
             mean_interarrival: SimDuration::from_secs(116),
         };
-        run_setup_experiment(&cfg).setup_success_rate() * 100.0
+        let (metrics, stats) = run_setup_experiment_traced(&cfg);
+        let pct = metrics.setup_success_rate() * 100.0;
+        (pct, stats, vec![("setup_success_pct".into(), pct)])
     });
 
     let mut table = Table::new(
@@ -85,6 +99,8 @@ fn main() {
     }
     table.print();
     table.save_csv("membership_ablation").expect("write csv");
+    traces.print_summary();
+    traces.save().expect("write results/traces");
 
     println!("\nreading: fresher membership raises BOTH columns; the biased/random");
     println!("ratio — the paper's actual claim — survives on every substrate.");

@@ -2,7 +2,7 @@
 //! SimEra(k=2, r=2) under random and biased mix choice.
 
 use experiments::experiments::{tab1_data, Scale};
-use experiments::{default_threads, Table};
+use experiments::{resolve_threads, Table};
 
 /// Paper-reported Table 1 values (percent), `[random, biased]` per protocol.
 const PAPER: [(&str, f64, f64); 3] = [
@@ -13,12 +13,21 @@ const PAPER: [(&str, f64, f64); 3] = [
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 1 — path setup success rates ({scale:?} scale)\n");
+    let threads = resolve_threads();
+    println!("Table 1 — path setup success rates ({scale:?} scale, {threads} threads)\n");
 
-    let rows = tab1_data(scale, default_threads());
+    let out = tab1_data(scale, threads);
+    let rows = out.data;
     let mut table = Table::new(
         "Table 1: path setup success rates (%)",
-        &["protocol", "random", "biased", "paper random", "paper biased", "events"],
+        &[
+            "protocol",
+            "random",
+            "biased",
+            "paper random",
+            "paper biased",
+            "events",
+        ],
     );
     for (row, paper) in rows.iter().zip(PAPER) {
         table.row(&[
@@ -32,20 +41,34 @@ fn main() {
     }
     table.print();
     table.save_csv("tab1").expect("write results/tab1.csv");
+    out.traces.print_summary();
+    out.traces.save().expect("write results/traces");
 
     let redundancy_gain = rows[1].random_pct / rows[0].random_pct.max(1e-9);
     let bias_gain = rows[0].biased_pct / rows[0].random_pct.max(1e-9);
     println!("\nshape checks:");
     println!(
         "  redundancy improves random setup by {redundancy_gain:.2}x (paper: ~1.9x) -> {}",
-        if redundancy_gain > 1.3 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if redundancy_gain > 1.3 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  biased mix choice improves CurMix by {bias_gain:.1}x (paper: ~30x) -> {}",
-        if bias_gain > 2.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if bias_gain > 2.0 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  SimRep ~= SimEra(k=2,r=2) (paper: 4.98 vs 4.98) -> {}",
-        if (rows[1].random_pct - rows[2].random_pct).abs() < 5.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if (rows[1].random_pct - rows[2].random_pct).abs() < 5.0 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
 }

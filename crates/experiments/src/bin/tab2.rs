@@ -4,26 +4,56 @@
 
 use experiments::experiments::{tab2_data, Scale};
 use experiments::report::pair;
-use experiments::{default_threads, Table};
+use experiments::{resolve_threads, Table};
 
 /// Paper-reported Table 2 values: (durability s, attempts, latency ms,
 /// bandwidth KB), each `[random, biased]`.
 type PaperRow = (&'static str, (f64, f64), (f64, f64), (f64, f64), (f64, f64));
 
 const PAPER: [PaperRow; 3] = [
-    ("CurMix", (700.0, 1153.0), (8.4, 1.0), (374.0, 266.0), (4.0, 4.0)),
-    ("SimRep(r=2)", (1140.0, 1167.0), (2.8, 1.0), (270.0, 257.0), (6.2, 6.8)),
-    ("SimEra(k=4,r=4)", (1377.0, 2472.0), (2.4, 1.0), (406.0, 231.0), (8.8, 10.4)),
+    (
+        "CurMix",
+        (700.0, 1153.0),
+        (8.4, 1.0),
+        (374.0, 266.0),
+        (4.0, 4.0),
+    ),
+    (
+        "SimRep(r=2)",
+        (1140.0, 1167.0),
+        (2.8, 1.0),
+        (270.0, 257.0),
+        (6.2, 6.8),
+    ),
+    (
+        "SimEra(k=4,r=4)",
+        (1377.0, 2472.0),
+        (2.4, 1.0),
+        (406.0, 231.0),
+        (8.8, 10.4),
+    ),
 ];
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 2 — performance comparison ({scale:?} scale, seeds = {:?})\n", scale.seeds());
+    let threads = resolve_threads();
+    println!(
+        "Table 2 — performance comparison ({scale:?} scale, seeds = {:?}, {threads} threads)\n",
+        scale.seeds()
+    );
 
-    let rows = tab2_data(scale, default_threads());
+    let out = tab2_data(scale, threads);
+    let rows = out.data;
     let mut table = Table::new(
         "Table 2: performance comparison [random, biased]",
-        &["protocol", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)", "delivery"],
+        &[
+            "protocol",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+            "delivery",
+        ],
     );
     for row in &rows {
         table.row(&[
@@ -37,10 +67,18 @@ fn main() {
     }
     table.print();
     table.save_csv("tab2").expect("write results/tab2.csv");
+    out.traces.print_summary();
+    out.traces.save().expect("write results/traces");
 
     let mut paper_table = Table::new(
         "Table 2 (paper-reported values)",
-        &["protocol", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)"],
+        &[
+            "protocol",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+        ],
     );
     for (label, d, a, l, b) in PAPER {
         paper_table.row(&[
@@ -57,18 +95,42 @@ fn main() {
     let dur = |i: usize| rows[i].durability_secs;
     println!(
         "  (1) redundancy improves durability (SimEra > SimRep > CurMix, random): {}",
-        if dur(2).0 > dur(0).0 && dur(1).0 > dur(0).0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if dur(2).0 > dur(0).0 && dur(1).0 > dur(0).0 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  (2) biased beats random durability everywhere: {}",
-        if rows.iter().all(|r| r.durability_secs.1 >= r.durability_secs.0) { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if rows
+            .iter()
+            .all(|r| r.durability_secs.1 >= r.durability_secs.0)
+        {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  (3) biased slashes construction attempts: {}",
-        if rows.iter().all(|r| r.attempts.1 <= r.attempts.0 && r.attempts.1 < 2.0) { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if rows
+            .iter()
+            .all(|r| r.attempts.1 <= r.attempts.0 && r.attempts.1 < 2.0)
+        {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  (4) bandwidth grows with redundancy (CurMix < SimRep < SimEra): {}",
-        if rows[0].bandwidth_kb.0 < rows[1].bandwidth_kb.0 && rows[1].bandwidth_kb.0 < rows[2].bandwidth_kb.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if rows[0].bandwidth_kb.0 < rows[1].bandwidth_kb.0
+            && rows[1].bandwidth_kb.0 < rows[2].bandwidth_kb.0
+        {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
 }

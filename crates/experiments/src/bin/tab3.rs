@@ -3,28 +3,69 @@
 
 use experiments::experiments::{tab3_data, Scale};
 use experiments::report::pair;
-use experiments::{default_threads, Table};
+use experiments::{resolve_threads, Table};
 
 /// Paper-reported Table 3: per median lifetime, (durability s, attempts,
 /// latency ms, bandwidth KB), each `[random, biased]`.
 type PaperRow = (&'static str, (f64, f64), (f64, f64), (f64, f64), (f64, f64));
 
 const PAPER: [PaperRow; 5] = [
-    ("20 min", (987.0, 1263.0), (27.4, 1.0), (270.0, 262.0), (7.4, 11.0)),
-    ("30 min", (1101.0, 1889.0), (10.0, 1.0), (371.0, 182.0), (8.2, 12.0)),
-    ("60 min", (1377.0, 2472.0), (2.4, 1.0), (406.0, 231.0), (8.8, 12.4)),
-    ("80 min", (2448.0, 3014.0), (1.4, 1.0), (365.0, 274.0), (9.2, 12.6)),
-    ("120 min", (2549.0, 3304.0), (1.0, 1.0), (288.0, 225.0), (10.4, 12.8)),
+    (
+        "20 min",
+        (987.0, 1263.0),
+        (27.4, 1.0),
+        (270.0, 262.0),
+        (7.4, 11.0),
+    ),
+    (
+        "30 min",
+        (1101.0, 1889.0),
+        (10.0, 1.0),
+        (371.0, 182.0),
+        (8.2, 12.0),
+    ),
+    (
+        "60 min",
+        (1377.0, 2472.0),
+        (2.4, 1.0),
+        (406.0, 231.0),
+        (8.8, 12.4),
+    ),
+    (
+        "80 min",
+        (2448.0, 3014.0),
+        (1.4, 1.0),
+        (365.0, 274.0),
+        (9.2, 12.6),
+    ),
+    (
+        "120 min",
+        (2549.0, 3304.0),
+        (1.0, 1.0),
+        (288.0, 225.0),
+        (10.4, 12.8),
+    ),
 ];
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 3 — SimEra(k=4, r=4) vs median node lifetime ({scale:?} scale)\n");
+    let threads = resolve_threads();
+    println!(
+        "Table 3 — SimEra(k=4, r=4) vs median node lifetime ({scale:?} scale, {threads} threads)\n"
+    );
 
-    let rows = tab3_data(scale, default_threads());
+    let out = tab3_data(scale, threads);
+    let rows = out.data;
     let mut table = Table::new(
         "Table 3: effect of churn [random, biased]",
-        &["lifetime", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)", "delivery"],
+        &[
+            "lifetime",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+            "delivery",
+        ],
     );
     for row in &rows {
         table.row(&[
@@ -38,10 +79,18 @@ fn main() {
     }
     table.print();
     table.save_csv("tab3").expect("write results/tab3.csv");
+    out.traces.print_summary();
+    out.traces.save().expect("write results/traces");
 
     let mut paper_table = Table::new(
         "Table 3 (paper-reported values)",
-        &["lifetime", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)"],
+        &[
+            "lifetime",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+        ],
     );
     for (label, d, a, l, b) in PAPER {
         paper_table.row(&[
@@ -65,21 +114,37 @@ fn main() {
         rows.last().unwrap().durability_secs.1 >= rows.first().unwrap().durability_secs.1 * 0.9;
     println!(
         "  (1) lower churn -> higher durability (random monotone, biased end-to-end): {}",
-        if random_monotone && biased_trend { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if random_monotone && biased_trend {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     let attempts_fall = rows.first().unwrap().attempts.0 > rows.last().unwrap().attempts.0;
     println!(
         "  (2) lower churn -> fewer random-construction attempts: {}",
-        if attempts_fall { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if attempts_fall {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     let biased_one = rows.iter().all(|r| r.attempts.1 < 2.0);
     println!(
         "  (4) biased construction ~1 attempt at every churn level: {}",
-        if biased_one { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if biased_one {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     let biased_bandwidth_higher = rows.iter().all(|r| r.bandwidth_kb.1 >= r.bandwidth_kb.0);
     println!(
         "  (3) biased delivers over more paths (higher bandwidth): {}",
-        if biased_bandwidth_higher { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if biased_bandwidth_higher {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
 }

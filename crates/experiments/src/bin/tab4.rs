@@ -3,26 +3,55 @@
 
 use experiments::experiments::{tab4_data, Scale};
 use experiments::report::pair;
-use experiments::{default_threads, Table};
+use experiments::{resolve_threads, Table};
 
 /// Paper-reported values: per distribution, (durability s, attempts,
 /// latency ms, bandwidth KB), each `[random, biased]`.
 type PaperRow = (&'static str, (f64, f64), (f64, f64), (f64, f64), (f64, f64));
 
 const PAPER: [PaperRow; 3] = [
-    ("Pareto", (1377.0, 2472.0), (2.4, 1.0), (406.0, 231.0), (8.8, 12.4)),
-    ("Uniform", (284.0, 1467.0), (2.2, 1.0), (370.0, 219.0), (8.4, 11.6)),
-    ("Exponential", (1271.0, 2256.0), (3.4, 1.0), (415.0, 256.0), (7.8, 11.0)),
+    (
+        "Pareto",
+        (1377.0, 2472.0),
+        (2.4, 1.0),
+        (406.0, 231.0),
+        (8.8, 12.4),
+    ),
+    (
+        "Uniform",
+        (284.0, 1467.0),
+        (2.2, 1.0),
+        (370.0, 219.0),
+        (8.4, 11.6),
+    ),
+    (
+        "Exponential",
+        (1271.0, 2256.0),
+        (3.4, 1.0),
+        (415.0, 256.0),
+        (7.8, 11.0),
+    ),
 ];
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table 4 — SimEra(k=4, r=4) vs lifetime distribution ({scale:?} scale)\n");
+    let threads = resolve_threads();
+    println!(
+        "Table 4 — SimEra(k=4, r=4) vs lifetime distribution ({scale:?} scale, {threads} threads)\n"
+    );
 
-    let rows = tab4_data(scale, default_threads());
+    let out = tab4_data(scale, threads);
+    let rows = out.data;
     let mut table = Table::new(
         "Table 4: impact of node lifetime distribution [random, biased]",
-        &["distribution", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)", "delivery"],
+        &[
+            "distribution",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+            "delivery",
+        ],
     );
     for row in &rows {
         table.row(&[
@@ -36,10 +65,18 @@ fn main() {
     }
     table.print();
     table.save_csv("tab4").expect("write results/tab4.csv");
+    out.traces.print_summary();
+    out.traces.save().expect("write results/traces");
 
     let mut paper_table = Table::new(
         "Table 4 (paper-reported values)",
-        &["distribution", "durability (s)", "attempts", "latency (ms)", "bandwidth (KB)"],
+        &[
+            "distribution",
+            "durability (s)",
+            "attempts",
+            "latency (ms)",
+            "bandwidth (KB)",
+        ],
     );
     for (label, d, a, l, b) in PAPER {
         paper_table.row(&[
@@ -67,10 +104,18 @@ fn main() {
     );
     println!(
         "  (2) biased still beats random under uniform lifetimes (old nodes die sooner): {}",
-        if uniform.durability_secs.1 > uniform.durability_secs.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if uniform.durability_secs.1 > uniform.durability_secs.0 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     println!(
         "  (3) biased still beats random under exponential (memoryless) lifetimes: {}",
-        if exponential.durability_secs.1 > exponential.durability_secs.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if exponential.durability_secs.1 > exponential.durability_secs.0 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
 }

@@ -21,6 +21,7 @@ use erasure::ErasureCodec;
 use experiments::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use simnet::trace::EngineCounters;
 use simnet::{LifetimeDistribution, NodeId, SimDuration, SimTime};
 
 fn main() {
@@ -57,6 +58,7 @@ fn main() {
     let mut msg_mismatch = 0u64;
     let mut unformed_msgs = 0u64;
     let mut unformed_agree = 0u64;
+    let mut engine_totals = EngineCounters::default();
 
     for trial in 0..trials {
         let t0 = SimTime::from_secs(600 + trial as u64 * 97);
@@ -78,23 +80,37 @@ fn main() {
             .collect();
 
         // ---- Message-level ground truth ----------------------------------
-        let mut driver =
-            Driver::new(n, schedule.clone(), latency.clone(), initiator_id, 5000 + trial as u64);
+        let mut driver = Driver::new(
+            n,
+            schedule.clone(),
+            latency.clone(),
+            initiator_id,
+            5000 + trial as u64,
+        );
         let mut proto_rng = StdRng::seed_from_u64(9000 + trial as u64);
         let mut init = Initiator::new(initiator_id);
-        let hop_lists: Vec<_> =
-            paths.iter().map(|p| driver.world.hops(p, responder_id)).collect();
+        let hop_lists: Vec<_> = paths
+            .iter()
+            .map(|p| driver.world.hops(p, responder_id))
+            .collect();
         let cons_msgs = init.construct_paths(&hop_lists, &mut proto_rng);
         for msg in &cons_msgs {
             driver.launch_construction(msg, t0);
         }
         let out = init
-            .send_message(MessageId(trial as u64), &vec![0u8; 1024], &codec, None, &mut proto_rng)
+            .send_message(
+                MessageId(trial as u64),
+                &vec![0u8; 1024],
+                &codec,
+                None,
+                &mut proto_rng,
+            )
             .unwrap();
         for msg in &out {
             driver.launch_payload(msg, t_msg);
         }
         driver.run_until(t_msg + SimDuration::from_secs(120));
+        engine_totals.absorb(&driver.engine.counters());
 
         // ---- Compare ------------------------------------------------------
         for (i, pred) in pred_cons.iter().enumerate() {
@@ -141,22 +157,49 @@ fn main() {
         }
     }
 
-    let mut table = Table::new(
-        "validation summary",
-        &["check", "compared", "mismatches"],
-    );
-    table.row(&["construction outcome".into(), cons_checked.to_string(), cons_mismatch.to_string()]);
-    table.row(&["delivery outcome (formed paths)".into(), msg_checked.to_string(), msg_mismatch.to_string()]);
-    table.row(&["exact timing (µs)".into(), (cons_checked + msg_checked).to_string(), time_mismatch.to_string()]);
+    let mut table = Table::new("validation summary", &["check", "compared", "mismatches"]);
+    table.row(&[
+        "construction outcome".into(),
+        cons_checked.to_string(),
+        cons_mismatch.to_string(),
+    ]);
+    table.row(&[
+        "delivery outcome (formed paths)".into(),
+        msg_checked.to_string(),
+        msg_mismatch.to_string(),
+    ]);
+    table.row(&[
+        "exact timing (µs)".into(),
+        (cons_checked + msg_checked).to_string(),
+        time_mismatch.to_string(),
+    ]);
     table.print();
-    table.save_csv("validate").expect("write results/validate.csv");
+    table
+        .save_csv("validate")
+        .expect("write results/validate.csv");
 
     println!(
         "\nunformed-path sends: {unformed_msgs} (trajectory agrees on {unformed_agree}; \
          disagreements are the documented state-model gap)"
     );
-    assert_eq!(cons_mismatch, 0, "trajectory must predict construction outcomes exactly");
-    assert_eq!(msg_mismatch, 0, "trajectory must predict deliveries on formed paths exactly");
-    assert_eq!(time_mismatch, 0, "hop arithmetic must agree to the microsecond");
+    println!(
+        "engine totals: {} scheduled, {} processed, {} cancelled, peak queue {}",
+        engine_totals.scheduled,
+        engine_totals.processed,
+        engine_totals.cancelled,
+        engine_totals.max_pending
+    );
+    assert_eq!(
+        cons_mismatch, 0,
+        "trajectory must predict construction outcomes exactly"
+    );
+    assert_eq!(
+        msg_mismatch, 0,
+        "trajectory must predict deliveries on formed paths exactly"
+    );
+    assert_eq!(
+        time_mismatch, 0,
+        "hop arithmetic must agree to the microsecond"
+    );
     println!("\nVALIDATED: trajectory level reproduces the message level exactly on formed paths");
 }

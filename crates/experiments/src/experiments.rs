@@ -5,13 +5,13 @@
 //! runs are reproducible; "quick" variants shrink the workload for smoke
 //! tests and Criterion.
 
-use crate::par_map;
+use crate::runner::{run_all, RunSpec, Traced};
 use anon_core::allocation::{self, BandwidthModel};
 use anon_core::anonymity;
 use anon_core::metrics::ProtocolMetrics;
 use anon_core::mix::MixStrategy;
 use anon_core::protocols::runner::{
-    run_performance_experiment, run_setup_experiment, PerfConfig, SetupConfig,
+    run_performance_experiment_traced, run_setup_experiment_traced, PerfConfig, SetupConfig,
 };
 use anon_core::protocols::ProtocolKind;
 use anon_core::sim::WorldConfig;
@@ -179,7 +179,11 @@ pub struct BandwidthPoint {
 /// failed paths.
 pub fn fig4_data(trials: usize, seed: u64) -> Vec<(usize, Vec<BandwidthPoint>)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = BandwidthModel { msg_bytes: 1024, l: 3, pa: 0.70 };
+    let model = BandwidthModel {
+        msg_bytes: 1024,
+        l: 3,
+        pa: 0.70,
+    };
     [2usize, 3, 4]
         .into_iter()
         .map(|r| {
@@ -231,27 +235,42 @@ pub struct SetupRow {
 
 /// Table 1: path-setup success for CurMix, SimRep(r=2), SimEra(k=2, r=2)
 /// under random and biased mix choice.
-pub fn tab1_data(scale: Scale, threads: usize) -> Vec<SetupRow> {
+pub fn tab1_data(scale: Scale, threads: usize) -> Traced<Vec<SetupRow>> {
     let protocols = [
         ProtocolKind::CurMix,
         ProtocolKind::SimRep { k: 2 },
         ProtocolKind::SimEra { k: 2, r: 2 },
     ];
-    let jobs: Vec<(ProtocolKind, MixStrategy)> = protocols
+    let jobs: Vec<RunSpec<SetupConfig>> = protocols
         .iter()
         .flat_map(|&p| [(p, MixStrategy::Random), (p, MixStrategy::Biased)])
+        .map(|(protocol, strategy)| RunSpec {
+            label: format!("{}/{}", protocol.label(), strategy.label()),
+            seed: 42,
+            payload: SetupConfig {
+                world: scale.world(42),
+                protocol,
+                strategy,
+                warmup: scale.warmup(),
+                mean_interarrival: simnet::SimDuration::from_secs(116),
+            },
+        })
         .collect();
-    let results = par_map(jobs.clone(), threads, |(protocol, strategy)| {
-        let cfg = SetupConfig {
-            world: scale.world(42),
-            protocol,
-            strategy,
-            warmup: scale.warmup(),
-            mean_interarrival: simnet::SimDuration::from_secs(116),
-        };
-        run_setup_experiment(&cfg)
+    let (results, traces) = run_all("tab1", jobs, threads, |spec| {
+        let (metrics, stats) = run_setup_experiment_traced(&spec.payload);
+        let values = vec![
+            (
+                "setup_success_pct".to_string(),
+                metrics.setup_success_rate() * 100.0,
+            ),
+            (
+                "construction_events".to_string(),
+                metrics.construction_attempts as f64,
+            ),
+        ];
+        (metrics, stats, values)
     });
-    protocols
+    let data = protocols
         .iter()
         .enumerate()
         .map(|(i, &p)| {
@@ -264,7 +283,8 @@ pub fn tab1_data(scale: Scale, threads: usize) -> Vec<SetupRow> {
                 events: random.construction_attempts,
             }
         })
-        .collect()
+        .collect();
+    Traced { data, traces }
 }
 
 // ----------------------------------------------------------------- Figure 5
@@ -282,27 +302,43 @@ pub struct Fig5Point {
 
 /// Figure 5: SimEra setup success vs `k` for `r ∈ {2, 3, 4}`, one series
 /// per mix strategy.
-pub fn fig5_data(strategy: MixStrategy, scale: Scale, threads: usize) -> Vec<Fig5Point> {
-    let mut jobs = Vec::new();
+pub fn fig5_data(strategy: MixStrategy, scale: Scale, threads: usize) -> Traced<Vec<Fig5Point>> {
+    let mut grid = Vec::new();
     for r in [2usize, 3, 4] {
         for mult in 1..=(20 / r) {
-            jobs.push((mult * r, r));
+            grid.push((mult * r, r));
         }
     }
-    let results = par_map(jobs.clone(), threads, |(k, r)| {
-        let cfg = SetupConfig {
-            world: scale.world(7),
-            protocol: ProtocolKind::SimEra { k, r },
-            strategy,
-            warmup: scale.warmup(),
-            mean_interarrival: simnet::SimDuration::from_secs(116),
-        };
-        run_setup_experiment(&cfg).setup_success_rate() * 100.0
+    let jobs: Vec<RunSpec<SetupConfig>> = grid
+        .iter()
+        .map(|&(k, r)| RunSpec {
+            label: format!("SimEra(k={k},r={r})/{}", strategy.label()),
+            seed: 7,
+            payload: SetupConfig {
+                world: scale.world(7),
+                protocol: ProtocolKind::SimEra { k, r },
+                strategy,
+                warmup: scale.warmup(),
+                mean_interarrival: simnet::SimDuration::from_secs(116),
+            },
+        })
+        .collect();
+    let experiment = if strategy == MixStrategy::Random {
+        "fig5a"
+    } else {
+        "fig5b"
+    };
+    let (results, traces) = run_all(experiment, jobs, threads, |spec| {
+        let (metrics, stats) = run_setup_experiment_traced(&spec.payload);
+        let pct = metrics.setup_success_rate() * 100.0;
+        (pct, stats, vec![("setup_success_pct".to_string(), pct)])
     });
-    jobs.into_iter()
+    let data = grid
+        .into_iter()
         .zip(results)
         .map(|((k, r), success_pct)| Fig5Point { k, r, success_pct })
-        .collect()
+        .collect();
+    Traced { data, traces }
 }
 
 // ------------------------------------------------------------- Tables 2–4
@@ -324,65 +360,96 @@ pub struct PerfRow {
     pub delivery: (f64, f64),
 }
 
-/// `[random, biased]` pairs for durability, attempts, latency, bandwidth
-/// and delivery rate.
-type PerfPairs = ((f64, f64), (f64, f64), (f64, f64), (f64, f64), (f64, f64));
-
-fn perf_pair(
-    protocol: ProtocolKind,
-    base: &PerfConfig,
+/// Run a whole performance table as ONE sharded batch: every
+/// `(row, strategy, seed)` combination is an independent job, so the pool
+/// drains the full table instead of synchronizing per row.
+fn perf_table(
+    experiment: &str,
+    rows: Vec<(String, ProtocolKind, PerfConfig)>,
     seeds: &[u64],
     threads: usize,
-) -> PerfPairs {
-    let jobs: Vec<(MixStrategy, u64)> = [MixStrategy::Random, MixStrategy::Biased]
-        .into_iter()
-        .flat_map(|s| seeds.iter().map(move |&seed| (s, seed)))
+) -> Traced<Vec<PerfRow>> {
+    let strategies = [MixStrategy::Random, MixStrategy::Biased];
+    let jobs: Vec<RunSpec<PerfConfig>> = rows
+        .iter()
+        .flat_map(|(label, protocol, base)| {
+            strategies.iter().flat_map(move |&strategy| {
+                seeds.iter().map(move |&seed| RunSpec {
+                    label: format!("{label}/{}", strategy.label()),
+                    seed,
+                    payload: PerfConfig {
+                        world: WorldConfig {
+                            seed,
+                            ..base.world.clone()
+                        },
+                        protocol: *protocol,
+                        strategy,
+                        ..base.clone()
+                    },
+                })
+            })
+        })
         .collect();
-    let results = par_map(jobs.clone(), threads, |(strategy, seed)| {
-        let cfg = PerfConfig {
-            world: WorldConfig { seed, ..base.world.clone() },
-            protocol,
-            strategy,
-            ..base.clone()
-        };
-        let res = run_performance_experiment(&cfg);
-        (res.attempts_per_episode(), res.metrics)
+    let (results, traces) = run_all(experiment, jobs, threads, |spec| {
+        let (res, stats) = run_performance_experiment_traced(&spec.payload);
+        let values = vec![
+            (
+                "durability_s".to_string(),
+                res.metrics.durability_secs.mean(),
+            ),
+            (
+                "attempts_per_episode".to_string(),
+                res.attempts_per_episode(),
+            ),
+            ("latency_ms".to_string(), res.metrics.latency_ms.mean()),
+            ("bandwidth_kb".to_string(), res.metrics.bandwidth_kb.mean()),
+            ("delivery_rate".to_string(), res.metrics.delivery_rate()),
+        ];
+        ((res.attempts_per_episode(), res.metrics), stats, values)
     });
-    let aggregate = |strategy_idx: usize| -> (ProtocolMetrics, f64) {
-        let slice = &results[strategy_idx * seeds.len()..(strategy_idx + 1) * seeds.len()];
+
+    // Slice the flat results back into (row, strategy) groups of one seed
+    // each and aggregate exactly as before: metrics merge across seeds,
+    // attempts average over runs that completed an episode.
+    let s = seeds.len();
+    let aggregate = |row: usize, strategy: usize| -> (ProtocolMetrics, f64) {
+        let start = row * 2 * s + strategy * s;
         let mut merged = ProtocolMetrics::new();
         let mut attempts = 0.0;
         let mut counted = 0usize;
-        for (a, m) in slice {
+        for (a, m) in &results[start..start + s] {
             merged.merge(m);
             if *a > 0.0 {
                 attempts += a;
                 counted += 1;
             }
         }
-        (merged, if counted == 0 { 0.0 } else { attempts / counted as f64 })
+        (
+            merged,
+            if counted == 0 {
+                0.0
+            } else {
+                attempts / counted as f64
+            },
+        )
     };
-    let (random, rand_attempts) = aggregate(0);
-    let (biased, bias_attempts) = aggregate(1);
-    (
-        (random.durability_secs.mean(), biased.durability_secs.mean()),
-        (rand_attempts, bias_attempts),
-        (random.latency_ms.mean(), biased.latency_ms.mean()),
-        (random.bandwidth_kb.mean(), biased.bandwidth_kb.mean()),
-        (random.delivery_rate(), biased.delivery_rate()),
-    )
-}
-
-fn perf_row(
-    label: String,
-    protocol: ProtocolKind,
-    base: &PerfConfig,
-    seeds: &[u64],
-    threads: usize,
-) -> PerfRow {
-    let (durability_secs, attempts, latency_ms, bandwidth_kb, delivery) =
-        perf_pair(protocol, base, seeds, threads);
-    PerfRow { label, durability_secs, attempts, latency_ms, bandwidth_kb, delivery }
+    let data = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _, _))| {
+            let (random, rand_attempts) = aggregate(i, 0);
+            let (biased, bias_attempts) = aggregate(i, 1);
+            PerfRow {
+                label: label.clone(),
+                durability_secs: (random.durability_secs.mean(), biased.durability_secs.mean()),
+                attempts: (rand_attempts, bias_attempts),
+                latency_ms: (random.latency_ms.mean(), biased.latency_ms.mean()),
+                bandwidth_kb: (random.bandwidth_kb.mean(), biased.bandwidth_kb.mean()),
+                delivery: (random.delivery_rate(), biased.delivery_rate()),
+            }
+        })
+        .collect();
+    Traced { data, traces }
 }
 
 fn base_perf(scale: Scale) -> PerfConfig {
@@ -400,45 +467,42 @@ fn base_perf(scale: Scale) -> PerfConfig {
 }
 
 /// Table 2: CurMix vs SimRep(r=2) vs SimEra(k=4, r=4), `[random, biased]`.
-pub fn tab2_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
+pub fn tab2_data(scale: Scale, threads: usize) -> Traced<Vec<PerfRow>> {
     let base = base_perf(scale);
-    let seeds = scale.seeds();
-    [
+    let rows = [
         ProtocolKind::CurMix,
         ProtocolKind::SimRep { k: 2 },
         ProtocolKind::SimEra { k: 4, r: 4 },
     ]
     .into_iter()
-    .map(|p| perf_row(p.label(), p, &base, &seeds, threads))
-    .collect()
+    .map(|p| (p.label(), p, base.clone()))
+    .collect();
+    perf_table("tab2", rows, &scale.seeds(), threads)
 }
 
 /// Table 3: SimEra(k=4, r=4) with median node lifetime 20/30/60/80/120 min.
-pub fn tab3_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
-    let seeds = scale.seeds();
-    [20u64, 30, 60, 80, 120]
+pub fn tab3_data(scale: Scale, threads: usize) -> Traced<Vec<PerfRow>> {
+    let rows = [20u64, 30, 60, 80, 120]
         .into_iter()
         .map(|minutes| {
             let median_secs = minutes as f64 * 60.0;
             let mut base = base_perf(scale);
             base.world.lifetime = LifetimeDistribution::pareto_with_median(median_secs);
             base.world.downtime = LifetimeDistribution::pareto_with_median(median_secs);
-            perf_row(
+            (
                 format!("{minutes} min"),
                 ProtocolKind::SimEra { k: 4, r: 4 },
-                &base,
-                &seeds,
-                threads,
+                base,
             )
         })
-        .collect()
+        .collect();
+    perf_table("tab3", rows, &scale.seeds(), threads)
 }
 
 /// Table 4: SimEra(k=4, r=4) under Pareto / Uniform / Exponential node
 /// lifetimes (all with the same 1-hour central tendency).
-pub fn tab4_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
-    let seeds = scale.seeds();
-    [
+pub fn tab4_data(scale: Scale, threads: usize) -> Traced<Vec<PerfRow>> {
+    let rows = [
         ("Pareto", LifetimeDistribution::PAPER_DEFAULT),
         ("Uniform", LifetimeDistribution::paper_uniform()),
         ("Exponential", LifetimeDistribution::paper_exponential()),
@@ -448,15 +512,10 @@ pub fn tab4_data(scale: Scale, threads: usize) -> Vec<PerfRow> {
         let mut base = base_perf(scale);
         base.world.lifetime = dist;
         base.world.downtime = dist;
-        perf_row(
-            label.to_string(),
-            ProtocolKind::SimEra { k: 4, r: 4 },
-            &base,
-            &seeds,
-            threads,
-        )
+        (label.to_string(), ProtocolKind::SimEra { k: 4, r: 4 }, base)
     })
-    .collect()
+    .collect();
+    perf_table("tab4", rows, &scale.seeds(), threads)
 }
 
 // -------------------------------------------------------------------- Eq. 4
@@ -539,7 +598,13 @@ mod tests {
         let data = fig3_data(20_000, 3);
         let at_k12: Vec<f64> = data
             .iter()
-            .map(|(r, series)| series.iter().find(|p| p.k == 12).unwrap_or_else(|| panic!("k=12 missing for r={r}")).analytic)
+            .map(|(r, series)| {
+                series
+                    .iter()
+                    .find(|p| p.k == 12)
+                    .unwrap_or_else(|| panic!("k=12 missing for r={r}"))
+                    .analytic
+            })
             .collect();
         assert!(at_k12[0] < at_k12[1] && at_k12[1] < at_k12[2]);
     }
@@ -576,7 +641,18 @@ mod tests {
 
     #[test]
     fn quick_tab1_has_paper_shape() {
-        let rows = tab1_data(Scale::Quick, 1);
+        let out = tab1_data(Scale::Quick, 1);
+        let rows = out.data;
+        assert_eq!(
+            out.traces.traces.len(),
+            6,
+            "one trace per protocol x strategy"
+        );
+        assert!(out
+            .traces
+            .traces
+            .iter()
+            .all(|t| t.stats.engine.processed > 0));
         assert_eq!(rows.len(), 3);
         for row in &rows {
             assert!(

@@ -13,8 +13,10 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use report::Table;
+pub use runner::{resolve_threads, run_all, RunSpec, RunTrace, TraceSet, Traced};
 
 /// Map `f` over `items` in parallel with scoped threads, preserving order.
 ///
@@ -39,7 +41,7 @@ where
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let item = queue.lock().pop();
                 match item {
                     Some((idx, value)) => {
@@ -53,24 +55,32 @@ where
     })
     .expect("worker thread panicked");
 
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
-/// Number of worker threads to use: honours `EXPERIMENT_THREADS`, defaults
-/// to the available parallelism.
+/// Number of worker threads to use: honours `P2P_ANON_THREADS`, then the
+/// legacy `EXPERIMENT_THREADS`, defaulting to the available parallelism.
+/// Binaries layer `--threads N` on top via [`runner::resolve_threads`].
 pub fn default_threads() -> usize {
-    std::env::var("EXPERIMENT_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
+    ["P2P_ANON_THREADS", "EXPERIMENT_THREADS"]
+        .iter()
+        .find_map(|var| std::env::var(var).ok().and_then(|s| s.parse().ok()))
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         })
 }
 
 /// Quick mode (`EXPERIMENT_QUICK=1`): shrink trial counts / seeds so every
 /// binary finishes in seconds. Used by CI-style smoke runs and the benches.
 pub fn quick_mode() -> bool {
-    std::env::var("EXPERIMENT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EXPERIMENT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -102,7 +102,9 @@ pub struct NodeCache {
 impl NodeCache {
     /// Empty cache.
     pub fn new() -> Self {
-        NodeCache { entries: HashMap::new() }
+        NodeCache {
+            entries: HashMap::new(),
+        }
     }
 
     /// Cache pre-populated with `nodes` at time zero with zero uptime —
@@ -151,7 +153,12 @@ impl NodeCache {
     pub fn hear_direct(&mut self, node: NodeId, delta_alive: SimDuration, now: SimTime) {
         self.entries.insert(
             node,
-            CacheEntry { delta_alive, delta_since: SimDuration::ZERO, t_last: now, dead: false },
+            CacheEntry {
+                delta_alive,
+                delta_since: SimDuration::ZERO,
+                t_last: now,
+                dead: false,
+            },
         );
     }
 
@@ -189,10 +196,18 @@ impl NodeCache {
     /// of failure by timeout; a gossiping node detects an unreachable
     /// target): freshest possible news, so it always wins.
     pub fn record_death(&mut self, node: NodeId, now: SimTime) {
-        let delta_alive = self.entries.get(&node).map_or(SimDuration::ZERO, |e| e.delta_alive);
+        let delta_alive = self
+            .entries
+            .get(&node)
+            .map_or(SimDuration::ZERO, |e| e.delta_alive);
         self.entries.insert(
             node,
-            CacheEntry { delta_alive, delta_since: SimDuration::ZERO, t_last: now, dead: true },
+            CacheEntry {
+                delta_alive,
+                delta_since: SimDuration::ZERO,
+                t_last: now,
+                dead: true,
+            },
         );
     }
 
@@ -205,7 +220,8 @@ impl NodeCache {
     /// Returns how many entries were evicted.
     pub fn evict_stale(&mut self, now: SimTime, timeout: SimDuration) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, e| e.effective_delta_since(now) <= timeout);
+        self.entries
+            .retain(|_, e| e.effective_delta_since(now) <= timeout);
         before - self.entries.len()
     }
 
@@ -232,8 +248,12 @@ impl NodeCache {
         exclude: &[NodeId],
         rng: &mut R,
     ) -> Vec<NodeId> {
-        let mut candidates: Vec<NodeId> =
-            self.entries.keys().copied().filter(|n| !exclude.contains(n)).collect();
+        let mut candidates: Vec<NodeId> = self
+            .entries
+            .keys()
+            .copied()
+            .filter(|n| !exclude.contains(n))
+            .collect();
         // HashMap iteration order is nondeterministic across runs; sort for
         // reproducibility before shuffling with the seeded RNG.
         candidates.sort_unstable();
@@ -309,7 +329,11 @@ mod tests {
         let mut cache = NodeCache::new();
         cache.hear_indirect(
             NodeId(1),
-            LivenessInfo { delta_alive: secs(100), delta_since: secs(50), dead: false },
+            LivenessInfo {
+                delta_alive: secs(100),
+                delta_since: secs(50),
+                dead: false,
+            },
             at(10),
         );
         cache.hear_direct(NodeId(1), secs(200), at(20));
@@ -323,7 +347,11 @@ mod tests {
     #[test]
     fn indirect_update_inserts_when_absent() {
         let mut cache = NodeCache::new();
-        let info = LivenessInfo { delta_alive: secs(60), delta_since: secs(30), dead: false };
+        let info = LivenessInfo {
+            delta_alive: secs(60),
+            delta_since: secs(30),
+            dead: false,
+        };
         cache.hear_indirect(NodeId(2), info, at(100));
         let e = cache.get(NodeId(2)).unwrap();
         assert_eq!(e.delta_alive, secs(60));
@@ -338,20 +366,32 @@ mod tests {
         // staleness is 30.
         cache.hear_indirect(
             NodeId(3),
-            LivenessInfo { delta_alive: secs(500), delta_since: secs(10), dead: false },
+            LivenessInfo {
+                delta_alive: secs(500),
+                delta_since: secs(10),
+                dead: false,
+            },
             at(100),
         );
         // Staler news (Δt_since = 40 > 30) must be ignored.
         cache.hear_indirect(
             NodeId(3),
-            LivenessInfo { delta_alive: secs(999), delta_since: secs(40), dead: false },
+            LivenessInfo {
+                delta_alive: secs(999),
+                delta_since: secs(40),
+                dead: false,
+            },
             at(120),
         );
         assert_eq!(cache.get(NodeId(3)).unwrap().delta_alive, secs(500));
         // Fresher news (Δt_since = 5 < 30) must be accepted.
         cache.hear_indirect(
             NodeId(3),
-            LivenessInfo { delta_alive: secs(700), delta_since: secs(5), dead: false },
+            LivenessInfo {
+                delta_alive: secs(700),
+                delta_since: secs(5),
+                dead: false,
+            },
             at(120),
         );
         let e = cache.get(NodeId(3)).unwrap();
@@ -364,7 +404,11 @@ mod tests {
         let mut cache = NodeCache::new();
         cache.hear_indirect(
             NodeId(4),
-            LivenessInfo { delta_alive: secs(300), delta_since: secs(100), dead: false },
+            LivenessInfo {
+                delta_alive: secs(300),
+                delta_since: secs(100),
+                dead: false,
+            },
             at(1000),
         );
         // At t=1100: q = 300 / (300 + 100 + 100) = 0.6.
@@ -377,7 +421,14 @@ mod tests {
         let mut cache = NodeCache::new();
         cache.hear_direct(NodeId(5), secs(40), at(10));
         let info = cache.get(NodeId(5)).unwrap().piggyback(at(25));
-        assert_eq!(info, LivenessInfo { delta_alive: secs(40), delta_since: secs(15), dead: false });
+        assert_eq!(
+            info,
+            LivenessInfo {
+                delta_alive: secs(40),
+                delta_since: secs(15),
+                dead: false
+            }
+        );
     }
 
     #[test]
@@ -390,13 +441,21 @@ mod tests {
         // to nothing... q = 1 actually since Δt_since = 0). Make it stale:
         cache.hear_indirect(
             NodeId(2),
-            LivenessInfo { delta_alive: secs(10), delta_since: secs(90), dead: false },
+            LivenessInfo {
+                delta_alive: secs(10),
+                delta_since: secs(90),
+                dead: false,
+            },
             now,
         );
         // Node 3: mid.
         cache.hear_indirect(
             NodeId(3),
-            LivenessInfo { delta_alive: secs(100), delta_since: secs(50), dead: false },
+            LivenessInfo {
+                delta_alive: secs(100),
+                delta_since: secs(50),
+                dead: false,
+            },
             now,
         );
         let picks = cache.select_biased(2, &[], now);
@@ -448,7 +507,11 @@ mod tests {
         cache.hear_direct(NodeId(1), secs(10), at(100)); // fresh at 100
         cache.hear_indirect(
             NodeId(2),
-            LivenessInfo { delta_alive: secs(10), delta_since: secs(500), dead: false },
+            LivenessInfo {
+                delta_alive: secs(10),
+                delta_since: secs(500),
+                dead: false,
+            },
             at(100),
         );
         let evicted = cache.evict_stale(at(150), secs(200));
@@ -472,7 +535,10 @@ mod tests {
         cache.hear_direct(NodeId(1), secs(5000), at(100));
         assert_eq!(cache.predictor(NodeId(1), at(100)), Some(1.0));
         cache.record_death(NodeId(1), at(150));
-        assert!(cache.contains(NodeId(1)), "dead entries stay for random choice");
+        assert!(
+            cache.contains(NodeId(1)),
+            "dead entries stay for random choice"
+        );
         assert_eq!(cache.predictor(NodeId(1), at(200)), Some(0.0));
         // Random choice still samples it; biased never picks it over a
         // live node.
@@ -487,10 +553,17 @@ mod tests {
         // Stale liveness (older than the death) must NOT resurrect.
         cache.hear_indirect(
             NodeId(3),
-            LivenessInfo { delta_alive: secs(900), delta_since: secs(60), dead: false },
+            LivenessInfo {
+                delta_alive: secs(900),
+                delta_since: secs(60),
+                dead: false,
+            },
             at(110),
         );
-        assert!(cache.get(NodeId(3)).unwrap().dead, "stale news loses to fresh death");
+        assert!(
+            cache.get(NodeId(3)).unwrap().dead,
+            "stale news loses to fresh death"
+        );
         // Fresh direct contact resurrects.
         cache.hear_direct(NodeId(3), secs(5), at(120));
         assert!(!cache.get(NodeId(3)).unwrap().dead);
@@ -518,7 +591,11 @@ mod tests {
         // Old-timer with slightly stale info vs newborn heard just now.
         cache.hear_indirect(
             NodeId(1),
-            LivenessInfo { delta_alive: secs(7000), delta_since: secs(60), dead: false },
+            LivenessInfo {
+                delta_alive: secs(7000),
+                delta_since: secs(60),
+                dead: false,
+            },
             now,
         );
         cache.hear_direct(NodeId(2), secs(120), now);

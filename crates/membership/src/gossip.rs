@@ -63,16 +63,21 @@ impl GossipSim {
     pub fn new<R: Rng>(n: usize, cfg: GossipConfig, rng: &mut R) -> Self {
         assert!(cfg.fanout >= 1, "fanout must be at least 1");
         let caches = (0..n)
-            .map(|i| {
-                NodeCache::bootstrap((0..n).filter(|&j| j != i).map(NodeId::from))
-            })
+            .map(|i| NodeCache::bootstrap((0..n).filter(|&j| j != i).map(NodeId::from)))
             .collect();
         let mut rounds = BinaryHeap::with_capacity(n);
         for i in 0..n {
             let phase = SimDuration(rng.gen_range(0..cfg.interval.as_micros().max(1)));
             rounds.push(Reverse((SimTime::ZERO + phase, i as u32)));
         }
-        GossipSim { caches, rounds, cfg, now: SimTime::ZERO, messages_sent: 0, messages_lost: 0 }
+        GossipSim {
+            caches,
+            rounds,
+            cfg,
+            now: SimTime::ZERO,
+            messages_sent: 0,
+            messages_lost: 0,
+        }
     }
 
     /// The membership cache of `node`.
@@ -248,20 +253,22 @@ mod tests {
         let n = 10;
         let mut rng = StdRng::seed_from_u64(2);
         let horizon = SimTime::from_secs(300);
-        // Node 0 is down for the whole run.
-        let mut schedule = ChurnSchedule::always_up(n, horizon);
-        // Rebuild with node 0 having no sessions: simulate by generating a
-        // custom schedule via pin + manual edit is not exposed; instead use
-        // churn where node 0's sessions are replaced through generate with
-        // extreme distribution. Simplest: always_up then shadow with oracle.
-        // We test the observable behaviour through lost messages instead.
-        let dist = LifetimeDistribution::Uniform { min_secs: 1.0, max_secs: 2.0 };
-        schedule = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
+        // A custom per-node down schedule is not exposed, so use churn so
+        // extreme (1-2 s lifetimes) that targets are often down, and test
+        // the observable behaviour through lost messages instead.
+        let dist = LifetimeDistribution::Uniform {
+            min_secs: 1.0,
+            max_secs: 2.0,
+        };
+        let schedule = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
         let mut gossip = GossipSim::new(n, quick_cfg(), &mut rng);
         gossip.advance(&schedule, horizon, &mut rng);
         // With ~50% availability and random targets, a healthy fraction of
         // messages are lost to down targets.
-        assert!(gossip.messages_lost() > 0, "some gossip must hit down nodes");
+        assert!(
+            gossip.messages_lost() > 0,
+            "some gossip must hit down nodes"
+        );
     }
 
     #[test]
@@ -314,7 +321,10 @@ mod tests {
             biased_frac > random_frac + 0.2,
             "biased {biased_frac:.2} must clearly beat random {random_frac:.2}"
         );
-        assert!(biased_frac > 0.8, "biased picks should be mostly live ({biased_frac:.2})");
+        assert!(
+            biased_frac > 0.8,
+            "biased picks should be mostly live ({biased_frac:.2})"
+        );
     }
 
     #[test]
@@ -324,8 +334,14 @@ mod tests {
         let horizon = SimTime::from_secs(1200);
         // Short sessions, long downtimes: most nodes are gone most of the
         // time after their first session ends.
-        let up = LifetimeDistribution::Uniform { min_secs: 30.0, max_secs: 60.0 };
-        let down = LifetimeDistribution::Uniform { min_secs: 5000.0, max_secs: 6000.0 };
+        let up = LifetimeDistribution::Uniform {
+            min_secs: 30.0,
+            max_secs: 60.0,
+        };
+        let down = LifetimeDistribution::Uniform {
+            min_secs: 5000.0,
+            max_secs: 6000.0,
+        };
         let schedule = ChurnSchedule::generate(n, &up, &down, horizon, &mut rng);
         let cfg = GossipConfig {
             interval: SimDuration::from_secs(10),
@@ -337,7 +353,9 @@ mod tests {
         gossip.advance(&schedule, horizon, &mut rng);
         // Any node still gossiping at the end should have evicted most of
         // the network (all down and silent for ~18 minutes).
-        let survivor = (0..n).map(NodeId::from).find(|&i| schedule.is_up(i, horizon));
+        let survivor = (0..n)
+            .map(NodeId::from)
+            .find(|&i| schedule.is_up(i, horizon));
         if let Some(s) = survivor {
             assert!(
                 gossip.cache(s).len() < n / 2,
@@ -360,8 +378,10 @@ mod tests {
             let mut fingerprint = Vec::new();
             for i in 0..n {
                 let cache = gossip.cache(NodeId::from(i));
-                let mut entries: Vec<_> =
-                    cache.entries().map(|(n, e)| (n, e.delta_alive, e.t_last)).collect();
+                let mut entries: Vec<_> = cache
+                    .entries()
+                    .map(|(n, e)| (n, e.delta_alive, e.t_last))
+                    .collect();
                 entries.sort_by_key(|&(n, ..)| n);
                 fingerprint.push(entries);
             }

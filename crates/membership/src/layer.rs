@@ -101,14 +101,20 @@ mod tests {
         let n = 32;
         let horizon = SimTime::from_secs(600);
         let dist = LifetimeDistribution::pareto_with_median(300.0);
-        for cfg in [MembershipConfig::default(), MembershipConfig::onehop_default()] {
+        for cfg in [
+            MembershipConfig::default(),
+            MembershipConfig::onehop_default(),
+        ] {
             let mut rng = StdRng::seed_from_u64(1);
             let schedule = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
             let mut layer = MembershipLayer::new(n, cfg, &mut rng);
             layer.advance(&schedule, horizon, &mut rng);
             assert_eq!(layer.cache(NodeId(0)).len(), n - 1, "{}", cfg.label());
             layer.cache_mut(NodeId(0)).record_death(NodeId(1), horizon);
-            assert_eq!(layer.cache(NodeId(0)).predictor(NodeId(1), horizon), Some(0.0));
+            assert_eq!(
+                layer.cache(NodeId(0)).predictor(NodeId(1), horizon),
+                Some(0.0)
+            );
         }
     }
 

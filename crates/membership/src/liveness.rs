@@ -20,12 +20,20 @@ pub struct LivenessInfo {
 impl LivenessInfo {
     /// A fresh alive observation.
     pub fn alive(delta_alive: SimDuration, delta_since: SimDuration) -> Self {
-        LivenessInfo { delta_alive, delta_since, dead: false }
+        LivenessInfo {
+            delta_alive,
+            delta_since,
+            dead: false,
+        }
     }
 
     /// A death notice of the given age.
     pub fn death(age: SimDuration) -> Self {
-        LivenessInfo { delta_alive: SimDuration::ZERO, delta_since: age, dead: true }
+        LivenessInfo {
+            delta_alive: SimDuration::ZERO,
+            delta_since: age,
+            dead: true,
+        }
     }
 }
 
@@ -89,7 +97,10 @@ mod tests {
 
     #[test]
     fn zero_uptime_scores_zero() {
-        assert_eq!(predictor(SimDuration::ZERO, SimDuration::from_secs(10)), 0.0);
+        assert_eq!(
+            predictor(SimDuration::ZERO, SimDuration::from_secs(10)),
+            0.0
+        );
         assert_eq!(predictor(SimDuration::ZERO, SimDuration::ZERO), 0.0);
     }
 
@@ -162,7 +173,10 @@ mod tests {
         use rand::SeedableRng;
         use simnet::LifetimeDistribution;
 
-        let dist = LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 100.0 };
+        let dist = LifetimeDistribution::Pareto {
+            alpha: 1.0,
+            beta_secs: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let aged = 500.0;
         let extra = 500.0;
@@ -177,7 +191,10 @@ mod tests {
             }
         }
         let empirical = survived_both as f64 / survived_aged as f64;
-        let q = predictor(SimDuration::from_secs_f64(aged), SimDuration::from_secs_f64(extra));
+        let q = predictor(
+            SimDuration::from_secs_f64(aged),
+            SimDuration::from_secs_f64(extra),
+        );
         let predicted = survival_probability(q, 1.0);
         assert!(
             (empirical - predicted).abs() < 0.02,

@@ -161,7 +161,8 @@ impl OneHopSim {
                 });
             }
         }
-        self.deliveries.sort_by_key(|d| (d.deliver_at, d.recipient.0, d.subject.0));
+        self.deliveries
+            .sort_by_key(|d| (d.deliver_at, d.recipient.0, d.subject.0));
         self.prepared = true;
     }
 
@@ -233,9 +234,18 @@ mod tests {
     #[test]
     fn next_tick_math() {
         let p = SimDuration::from_secs(10);
-        assert_eq!(OneHopSim::next_tick(SimTime::from_secs(0), p, 0), SimTime::from_secs(0));
-        assert_eq!(OneHopSim::next_tick(SimTime::from_secs(1), p, 0), SimTime::from_secs(10));
-        assert_eq!(OneHopSim::next_tick(SimTime::from_secs(10), p, 0), SimTime::from_secs(10));
+        assert_eq!(
+            OneHopSim::next_tick(SimTime::from_secs(0), p, 0),
+            SimTime::from_secs(0)
+        );
+        assert_eq!(
+            OneHopSim::next_tick(SimTime::from_secs(1), p, 0),
+            SimTime::from_secs(10)
+        );
+        assert_eq!(
+            OneHopSim::next_tick(SimTime::from_secs(10), p, 0),
+            SimTime::from_secs(10)
+        );
         // Phase 3 s: ticks at 3, 13, 23, ...
         let phase = 3_000_000u64;
         assert_eq!(
@@ -354,7 +364,10 @@ mod tests {
             }
         }
         let frac = live as f64 / total as f64;
-        assert!(frac > 0.85, "OneHop biased picks should be mostly live ({frac:.2})");
+        assert!(
+            frac > 0.85,
+            "OneHop biased picks should be mostly live ({frac:.2})"
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 
 /// XOR `data` in place with the ChaCha20 keystream starting at block
 /// `initial_counter`. Encryption and decryption are the same operation.
-pub fn xor_stream(key: &[u8; KEY_LEN], initial_counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
     let mut counter = initial_counter;
     for chunk in data.chunks_mut(64) {
         let ks = block(key, counter, nonce);
@@ -64,7 +69,12 @@ pub fn xor_stream(key: &[u8; KEY_LEN], initial_counter: u32, nonce: &[u8; NONCE_
 }
 
 /// Encrypt (allocating convenience wrapper over [`xor_stream`]).
-pub fn encrypt(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+pub fn encrypt(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    plaintext: &[u8],
+) -> Vec<u8> {
     let mut out = plaintext.to_vec();
     xor_stream(key, counter, nonce, &mut out);
     out

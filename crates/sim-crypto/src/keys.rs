@@ -23,7 +23,11 @@ pub struct KeyPair {
 
 impl std::fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PublicKey({:02x}{:02x}..{:02x})", self.0[0], self.0[1], self.0[31])
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}..{:02x})",
+            self.0[0], self.0[1], self.0[31]
+        )
     }
 }
 
@@ -103,7 +107,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = KeyPair::generate(&mut rng);
         let b = KeyPair::generate(&mut rng);
-        assert_eq!(a.secret.diffie_hellman(&b.public), b.secret.diffie_hellman(&a.public));
+        assert_eq!(
+            a.secret.diffie_hellman(&b.public),
+            b.secret.diffie_hellman(&a.public)
+        );
         assert_ne!(a.public, b.public);
     }
 

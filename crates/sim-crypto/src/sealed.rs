@@ -24,7 +24,11 @@ pub const TAG_LEN: usize = 16;
 /// Ciphertext expansion of a sealed box: ephemeral key + tag.
 pub const OVERHEAD: usize = 32 + TAG_LEN;
 
-fn derive_keys(eph_pub: &[u8; 32], recipient: &PublicKey, shared: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+fn derive_keys(
+    eph_pub: &[u8; 32],
+    recipient: &PublicKey,
+    shared: &[u8; 32],
+) -> ([u8; 32], [u8; 32]) {
     let mut salt = [0u8; 64];
     salt[..32].copy_from_slice(eph_pub);
     salt[32..].copy_from_slice(&recipient.0);
@@ -120,7 +124,11 @@ mod tests {
         for i in [0usize, 16, 31, 32, boxed.len() - 1] {
             let mut bad = boxed.clone();
             bad[i] ^= 0x80;
-            assert_eq!(unseal(&kp.secret, &bad), Err(CryptoError::BadTag), "byte {i}");
+            assert_eq!(
+                unseal(&kp.secret, &bad),
+                Err(CryptoError::BadTag),
+                "byte {i}"
+            );
         }
     }
 
@@ -141,6 +149,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let kp = KeyPair::generate(&mut rng);
         let boxed = seal(&kp.public, b"", &mut rng);
-        assert_eq!(unseal(&kp.secret, &boxed[..OVERHEAD - 1]), Err(CryptoError::Truncated));
+        assert_eq!(
+            unseal(&kp.secret, &boxed[..OVERHEAD - 1]),
+            Err(CryptoError::Truncated)
+        );
     }
 }

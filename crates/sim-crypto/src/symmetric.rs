@@ -104,7 +104,11 @@ mod tests {
         for i in 0..ct.len() {
             let mut bad = ct.clone();
             bad[i] ^= 0x01;
-            assert_eq!(sym_decrypt(&key, &bad), Err(CryptoError::BadTag), "byte {i}");
+            assert_eq!(
+                sym_decrypt(&key, &bad),
+                Err(CryptoError::BadTag),
+                "byte {i}"
+            );
         }
     }
 
@@ -112,7 +116,10 @@ mod tests {
     fn truncated_rejected() {
         let (key, mut rng) = key_and_rng();
         let ct = sym_encrypt(&key, b"", &mut rng);
-        assert_eq!(sym_decrypt(&key, &ct[..OVERHEAD - 1]), Err(CryptoError::Truncated));
+        assert_eq!(
+            sym_decrypt(&key, &ct[..OVERHEAD - 1]),
+            Err(CryptoError::Truncated)
+        );
         assert_eq!(sym_decrypt(&key, &[]), Err(CryptoError::Truncated));
     }
 
@@ -122,6 +129,9 @@ mod tests {
         let a = sym_encrypt(&key, b"same message", &mut rng);
         let b = sym_encrypt(&key, b"same message", &mut rng);
         assert_ne!(a, b);
-        assert_eq!(sym_decrypt(&key, &a).unwrap(), sym_decrypt(&key, &b).unwrap());
+        assert_eq!(
+            sym_decrypt(&key, &a).unwrap(),
+            sym_decrypt(&key, &b).unwrap()
+        );
     }
 }

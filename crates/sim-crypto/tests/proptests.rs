@@ -5,7 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_crypto::hmac::{hkdf, hmac_sha256};
 use sim_crypto::sha256::{sha256, Sha256};
-use sim_crypto::{chacha20, seal, sym_decrypt, sym_encrypt, unseal, CryptoError, KeyPair, SymmetricKey};
+use sim_crypto::{
+    chacha20, seal, sym_decrypt, sym_encrypt, unseal, CryptoError, KeyPair, SymmetricKey,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

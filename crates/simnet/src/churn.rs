@@ -41,22 +41,32 @@ pub enum LifetimeDistribution {
 
 impl LifetimeDistribution {
     /// The paper's default churn: Pareto α = 1, β = 1800 s (median 1 h).
-    pub const PAPER_DEFAULT: LifetimeDistribution =
-        LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 1800.0 };
+    pub const PAPER_DEFAULT: LifetimeDistribution = LifetimeDistribution::Pareto {
+        alpha: 1.0,
+        beta_secs: 1800.0,
+    };
 
     /// The Gnutella fit from Figure 1: Pareto α = 0.83, β = 1560 s.
-    pub const GNUTELLA_FIT: LifetimeDistribution =
-        LifetimeDistribution::Pareto { alpha: 0.83, beta_secs: 1560.0 };
+    pub const GNUTELLA_FIT: LifetimeDistribution = LifetimeDistribution::Pareto {
+        alpha: 0.83,
+        beta_secs: 1560.0,
+    };
 
     /// Pareto with α = 1 and the given median (β = median / 2): how Table 3
     /// sweeps churn rates.
     pub fn pareto_with_median(median_secs: f64) -> Self {
-        LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: median_secs / 2.0 }
+        LifetimeDistribution::Pareto {
+            alpha: 1.0,
+            beta_secs: median_secs / 2.0,
+        }
     }
 
     /// Table 4's uniform distribution: 6 minutes to 114 minutes, mean 1 h.
     pub fn paper_uniform() -> Self {
-        LifetimeDistribution::Uniform { min_secs: 360.0, max_secs: 6840.0 }
+        LifetimeDistribution::Uniform {
+            min_secs: 360.0,
+            max_secs: 6840.0,
+        }
     }
 
     /// Table 4's exponential distribution: mean 1 h.
@@ -110,9 +120,7 @@ impl LifetimeDistribution {
     /// Median lifetime in seconds.
     pub fn median_secs(&self) -> f64 {
         match *self {
-            LifetimeDistribution::Pareto { alpha, beta_secs } => {
-                beta_secs * 2f64.powf(1.0 / alpha)
-            }
+            LifetimeDistribution::Pareto { alpha, beta_secs } => beta_secs * 2f64.powf(1.0 / alpha),
             LifetimeDistribution::Exponential { mean_secs } => mean_secs * std::f64::consts::LN_2,
             LifetimeDistribution::Uniform { min_secs, max_secs } => (min_secs + max_secs) / 2.0,
         }
@@ -198,16 +206,24 @@ impl ChurnSchedule {
 
     /// Every node up for the whole horizon (no churn).
     pub fn always_up(n: usize, horizon: SimTime) -> Self {
-        let s = Session { start: SimTime::ZERO, end: horizon };
-        ChurnSchedule { sessions: vec![vec![s]; n], horizon }
+        let s = Session {
+            start: SimTime::ZERO,
+            end: horizon,
+        };
+        ChurnSchedule {
+            sessions: vec![vec![s]; n],
+            horizon,
+        }
     }
 
     /// Pin a node up for the whole run (paper's Table 2 pins the initiator
     /// and responder). The session end is placed far beyond the horizon so
     /// pinned nodes never register as failing.
     pub fn pin_up(&mut self, node: NodeId) {
-        self.sessions[node.index()] =
-            vec![Session { start: SimTime::ZERO, end: SimTime(u64::MAX / 2) }];
+        self.sessions[node.index()] = vec![Session {
+            start: SimTime::ZERO,
+            end: SimTime(u64::MAX / 2),
+        }];
     }
 
     /// Number of nodes.
@@ -235,7 +251,9 @@ impl ChurnSchedule {
         let sessions = &self.sessions[node.index()];
         // Sessions are sorted by start; binary search for the candidate.
         let idx = sessions.partition_point(|s| s.start <= t);
-        idx.checked_sub(1).map(|i| &sessions[i]).filter(|s| s.contains(t))
+        idx.checked_sub(1)
+            .map(|i| &sessions[i])
+            .filter(|s| s.contains(t))
     }
 
     /// Whether the node is up at `t`.
@@ -327,13 +345,19 @@ mod tests {
                 .filter(|_| dist.sample(&mut rng).as_secs_f64() < median)
                 .count();
             let frac = below as f64 / 20_000.0;
-            assert!((frac - 0.5).abs() < 0.02, "{dist:?}: empirical median frac {frac}");
+            assert!(
+                (frac - 0.5).abs() < 0.02,
+                "{dist:?}: empirical median frac {frac}"
+            );
         }
     }
 
     #[test]
     fn pareto_minimum_is_beta() {
-        let dist = LifetimeDistribution::Pareto { alpha: 1.0, beta_secs: 100.0 };
+        let dist = LifetimeDistribution::Pareto {
+            alpha: 1.0,
+            beta_secs: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1000 {
             assert!(dist.sample(&mut rng).as_secs_f64() >= 100.0);
@@ -362,7 +386,10 @@ mod tests {
             assert!(!sessions.is_empty());
             assert_eq!(sessions[0].start, SimTime::ZERO, "all nodes join at t=0");
             for w in sessions.windows(2) {
-                assert!(w[0].end < w[1].start, "sessions must be separated by downtime");
+                assert!(
+                    w[0].end < w[1].start,
+                    "sessions must be separated by downtime"
+                );
             }
             for s in sessions {
                 assert!(s.end <= horizon);
@@ -400,8 +427,14 @@ mod tests {
     fn up_through_detects_mid_interval_failure() {
         let mut sched = ChurnSchedule {
             sessions: vec![vec![
-                Session { start: SimTime::ZERO, end: SimTime::from_secs(10) },
-                Session { start: SimTime::from_secs(20), end: SimTime::from_secs(30) },
+                Session {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(10),
+                },
+                Session {
+                    start: SimTime::from_secs(20),
+                    end: SimTime::from_secs(30),
+                },
             ]],
             horizon: SimTime::from_secs(40),
         };
@@ -424,15 +457,17 @@ mod tests {
     fn transitions_are_ordered_and_paired() {
         let mut rng = StdRng::seed_from_u64(5);
         let dist = LifetimeDistribution::pareto_with_median(300.0);
-        let sched =
-            ChurnSchedule::generate(8, &dist, &dist, SimTime::from_secs(3600), &mut rng);
+        let sched = ChurnSchedule::generate(8, &dist, &dist, SimTime::from_secs(3600), &mut rng);
         let events = sched.transitions();
         for w in events.windows(2) {
             assert!(w[0].0 <= w[1].0, "transitions must be time-ordered");
         }
         // Every node's first transition is a join at t=0.
         for i in 0..8usize {
-            let first = events.iter().find(|&&(_, n, _)| n == NodeId::from(i)).unwrap();
+            let first = events
+                .iter()
+                .find(|&&(_, n, _)| n == NodeId::from(i))
+                .unwrap();
             assert_eq!((first.0, first.2), (SimTime::ZERO, true));
         }
     }

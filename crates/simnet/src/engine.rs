@@ -36,7 +36,10 @@ impl<W> Ord for Scheduled<W> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the BinaryHeap (a max-heap) pops the earliest event;
         // seq breaks ties FIFO.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -76,6 +79,8 @@ pub struct Engine<W> {
     seq: u64,
     queue: BinaryHeap<Scheduled<W>>,
     processed: u64,
+    cancelled: u64,
+    max_pending: usize,
 }
 
 impl<W> Default for Engine<W> {
@@ -87,7 +92,14 @@ impl<W> Default for Engine<W> {
 impl<W> Engine<W> {
     /// Fresh engine at time zero.
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+            cancelled: 0,
+            max_pending: 0,
+        }
     }
 
     /// Current simulated time.
@@ -105,6 +117,17 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
+    /// Lifetime counters for this engine: how much work flowed through the
+    /// event queue and how deep it got. Cheap to call at any point.
+    pub fn counters(&self) -> crate::trace::EngineCounters {
+        crate::trace::EngineCounters {
+            scheduled: self.seq,
+            processed: self.processed,
+            cancelled: self.cancelled,
+            max_pending: self.max_pending as u64,
+        }
+    }
+
     /// Schedule `handler` at absolute time `at`. Scheduling in the past
     /// (before `now`) fires the handler at `now` instead — the event queue
     /// never travels backwards.
@@ -116,7 +139,13 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, cancelled: None, handler: Box::new(handler) });
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            cancelled: None,
+            handler: Box::new(handler),
+        });
+        self.max_pending = self.max_pending.max(self.queue.len());
     }
 
     /// Schedule `handler` after a relative delay.
@@ -144,6 +173,7 @@ impl<W> Engine<W> {
             cancelled: Some(flag.clone()),
             handler: Box::new(handler),
         });
+        self.max_pending = self.max_pending.max(self.queue.len());
         EventHandle { cancelled: flag }
     }
 
@@ -172,8 +202,11 @@ impl<W> Engine<W> {
     /// empty.
     pub fn step(&mut self, world: &mut W) -> bool {
         loop {
-            let Some(ev) = self.queue.pop() else { return false };
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
             if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                self.cancelled += 1;
                 continue;
             }
             debug_assert!(ev.at >= self.now, "event queue went backwards");
@@ -253,6 +286,23 @@ mod tests {
         engine.run(&mut world);
         assert_eq!(world, vec![2]);
         assert_eq!(engine.events_processed(), 1);
+    }
+
+    #[test]
+    fn counters_track_queue_activity() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let mut world = Vec::new();
+        for i in 0..4 {
+            engine.schedule_at(SimTime::from_secs(i), |w: &mut Vec<u32>, _| w.push(0));
+        }
+        let h = engine.schedule_cancellable(SimTime::from_secs(9), |w: &mut Vec<u32>, _| w.push(1));
+        h.cancel();
+        engine.run(&mut world);
+        let c = engine.counters();
+        assert_eq!(c.scheduled, 5);
+        assert_eq!(c.processed, 4);
+        assert_eq!(c.cancelled, 1);
+        assert_eq!(c.max_pending, 5);
     }
 
     #[test]

@@ -32,8 +32,9 @@ impl LatencyMatrix {
     pub fn synthetic<R: Rng>(n: usize, avg_rtt_ms: f64, rng: &mut R) -> Self {
         assert!(n >= 1, "need at least one node");
         assert!(avg_rtt_ms > 0.0, "average RTT must be positive");
-        let coords: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
 
         let mut owd = vec![0f64; n * n];
         let mut sum = 0f64;
@@ -55,7 +56,11 @@ impl LatencyMatrix {
         }
         // Mean one-way delay should be half the target RTT.
         let target_owd_ms = avg_rtt_ms / 2.0;
-        let scale = if pairs == 0 { 1.0 } else { target_owd_ms / (sum / pairs as f64) };
+        let scale = if pairs == 0 {
+            1.0
+        } else {
+            target_owd_ms / (sum / pairs as f64)
+        };
         let mut owd_us: Vec<u32> = owd
             .iter()
             .map(|&ms| ((ms * scale * 1000.0).round() as u32).max(1))
@@ -69,7 +74,10 @@ impl LatencyMatrix {
     /// Constant-delay matrix (testing and analytic experiments).
     pub fn uniform(n: usize, owd: SimDuration) -> Self {
         let us = u32::try_from(owd.as_micros()).expect("delay too large");
-        LatencyMatrix { n, owd_us: vec![us; n * n] }
+        LatencyMatrix {
+            n,
+            owd_us: vec![us; n * n],
+        }
     }
 
     /// Number of nodes.

@@ -167,7 +167,10 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
         assert_eq!(t.as_secs_f64(), 10.5);
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_millis(500));
-        assert_eq!(SimTime::from_secs(3).since(SimTime::from_secs(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(3).since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(SimTime::from_millis(1234).to_string(), "1.234s");
-        assert_eq!(format!("{:?}", SimDuration::from_micros_test(1)), "0.000001s");
+        assert_eq!(
+            format!("{:?}", SimDuration::from_micros_test(1)),
+            "0.000001s"
+        );
     }
 
     impl SimDuration {

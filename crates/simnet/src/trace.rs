@@ -1,5 +1,31 @@
 //! Statistics accumulators for the evaluation framework.
 
+/// Lifetime event-queue counters snapshotted from an engine run.
+///
+/// Captured per experiment run and surfaced in run traces so regressions in
+/// scheduling volume or queue depth are visible across commits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events ever scheduled (including later-cancelled ones).
+    pub scheduled: u64,
+    /// Events whose handlers actually ran.
+    pub processed: u64,
+    /// Events popped after their cancellation flag was set.
+    pub cancelled: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_pending: u64,
+}
+
+impl EngineCounters {
+    /// Accumulate another run's counters (max-pending keeps the max).
+    pub fn absorb(&mut self, other: &EngineCounters) {
+        self.scheduled += other.scheduled;
+        self.processed += other.processed;
+        self.cancelled += other.cancelled;
+        self.max_pending = self.max_pending.max(other.max_pending);
+    }
+}
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
@@ -13,7 +39,13 @@ pub struct Summary {
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -93,7 +125,10 @@ pub struct Samples {
 impl Samples {
     /// Empty sample store.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Record one observation.
@@ -114,7 +149,8 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::trace::{Samples, Summary};
-use simnet::{ChurnSchedule, Engine, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime};
+use simnet::{
+    ChurnSchedule, Engine, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

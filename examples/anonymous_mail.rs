@@ -28,8 +28,12 @@ fn main() {
     let relays = vec![NodeId(3), NodeId(7), NodeId(11)];
     let hops = vec![net.hops(&relays, bob_id)];
     let construction = alice.construct_paths(&hops, &mut rng);
-    let RouteOutcome::ConstructionDone { from, sid, session_key, .. } =
-        net.route_construction(alice_id, &construction[0]).unwrap()
+    let RouteOutcome::ConstructionDone {
+        from,
+        sid,
+        session_key,
+        ..
+    } = net.route_construction(alice_id, &construction[0]).unwrap()
     else {
         panic!("construction failed")
     };
@@ -41,14 +45,23 @@ fn main() {
     // ---- Mail 1: to Bob, replied to hours later -------------------------
     let mid1 = MessageId(100);
     let mail = b"Subject: meet\n\nThe usual place, midnight.".to_vec();
-    let out = alice.send_message(mid1, &mail, &codec, None, &mut rng).unwrap();
+    let out = alice
+        .send_message(mid1, &mail, &codec, None, &mut rng)
+        .unwrap();
     let RouteOutcome::Delivered { layer, .. } = net.route_payload(alice_id, &out[0]).unwrap()
     else {
         panic!("mail lost")
     };
-    let PayloadLayer::Deliver { mid, segment } = layer else { panic!("bad layer") };
-    let delivered = bob.accept_segment(from, sid, session_key, mid, segment, &codec).unwrap();
-    println!("bob received: {:?}", String::from_utf8_lossy(&delivered.unwrap()));
+    let PayloadLayer::Deliver { mid, segment } = layer else {
+        panic!("bad layer")
+    };
+    let delivered = bob
+        .accept_segment(from, sid, session_key, mid, segment, &codec)
+        .unwrap();
+    println!(
+        "bob received: {:?}",
+        String::from_utf8_lossy(&delivered.unwrap())
+    );
 
     // Time passes; payload traffic keeps the relay state alive (§4.3: the
     // payload doubles as the refresh message).
@@ -63,18 +76,31 @@ fn main() {
             RouteOutcome::Delivered { .. }
         ));
     }
-    println!("path kept alive across {} of simulated time", SimDuration::from_secs(270));
+    println!(
+        "path kept alive across {} of simulated time",
+        SimDuration::from_secs(270)
+    );
 
     // The delayed reply travels the reverse path.
     let reply = b"Subject: re: meet\n\nConfirmed.".to_vec();
     let replies = bob.reply(mid1, &reply, &codec, &mut rng).unwrap();
-    let RouteOutcome::ReachedInitiator { sid: rsid, blob } =
-        net.route_reverse(bob_id, replies[0].to, replies[0].sid, replies[0].blob.clone(), alice_id).unwrap()
+    let RouteOutcome::ReachedInitiator { sid: rsid, blob } = net
+        .route_reverse(
+            bob_id,
+            replies[0].to,
+            replies[0].sid,
+            replies[0].blob.clone(),
+            alice_id,
+        )
+        .unwrap()
     else {
         panic!("reply lost")
     };
     let (_, decoded) = alice.handle_reply(rsid, &blob, &codec).unwrap().unwrap();
-    println!("alice received reply: {:?}", String::from_utf8_lossy(&decoded));
+    println!(
+        "alice received reply: {:?}",
+        String::from_utf8_lossy(&decoded)
+    );
     assert_eq!(decoded, reply);
 
     // ---- Mail 2: to Carol, REUSING the same path (§4.4) -----------------

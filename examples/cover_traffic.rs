@@ -42,11 +42,7 @@ fn main() {
         mean_interval: SimDuration::from_secs(10),
         segment_bytes: segments[0].len(),
     };
-    let cover_plan = random_cover_plan(
-        &[NodeId(10), NodeId(11), NodeId(12)],
-        NodeId(13),
-        &mut rng,
-    );
+    let cover_plan = random_cover_plan(&[NodeId(10), NodeId(11), NodeId(12)], NodeId(13), &mut rng);
     let cover = build_cover_message(&cover_plan, &cfg, &mut rng);
 
     println!("real segment onion:  {} bytes", real_blob.len());
@@ -57,7 +53,11 @@ fn main() {
     // Byte-level distinguishability sanity check: both look uniformly
     // random (rough chi-square-free check: mean byte value near 127.5).
     let mean = |b: &[u8]| b.iter().map(|&x| x as f64).sum::<f64>() / b.len() as f64;
-    println!("mean byte value: real {:.1}, cover {:.1} (both ~127.5)", mean(&real_blob), mean(&cover.blob));
+    println!(
+        "mean byte value: real {:.1}, cover {:.1} (both ~127.5)",
+        mean(&real_blob),
+        mean(&cover.blob)
+    );
 
     // Emission schedule and bandwidth budget.
     let mut total = SimDuration::ZERO;

@@ -33,8 +33,12 @@ fn main() {
     let service_relays = [NodeId(11), NodeId(12), NodeId(13)];
     let hops = vec![net.hops(&service_relays, rendezvous_id)];
     let cons = service_endpoint.construct_paths(&hops, &mut rng);
-    let RouteOutcome::ConstructionDone { from, sid, session_key, .. } =
-        net.route_construction(service_id, &cons[0]).unwrap()
+    let RouteOutcome::ConstructionDone {
+        from,
+        sid,
+        session_key,
+        ..
+    } = net.route_construction(service_id, &cons[0]).unwrap()
     else {
         panic!("service path construction failed")
     };
@@ -47,7 +51,10 @@ fn main() {
     let mut rendezvous = RendezvousPoint::new();
     rendezvous.register(hidden.cookie(), from, sid, session_key);
     let ad = hidden.advertisement();
-    println!("hidden service registered at rendezvous {} (cookie {:016x})", ad.rendezvous, ad.cookie);
+    println!(
+        "hidden service registered at rendezvous {} (cookie {:016x})",
+        ad.rendezvous, ad.cookie
+    );
     println!("its own address never appears in the advertisement\n");
 
     // --- Alice connects anonymously --------------------------------------
@@ -67,9 +74,10 @@ fn main() {
     let wrapped = wrap_for_hidden_responder(&ad, &Segment::new(0, request.clone()), &mut rng);
     let codec = ReplicationCodec::new(1).unwrap();
     let mid = MessageId(4242);
-    let out = alice.send_message(mid, &wrapped.data, &codec, None, &mut rng).unwrap();
-    let RouteOutcome::Delivered { at, layer, .. } =
-        net.route_payload(alice_id, &out[0]).unwrap()
+    let out = alice
+        .send_message(mid, &wrapped.data, &codec, None, &mut rng)
+        .unwrap();
+    let RouteOutcome::Delivered { at, layer, .. } = net.route_payload(alice_id, &out[0]).unwrap()
     else {
         panic!("request lost")
     };
@@ -77,7 +85,13 @@ fn main() {
     println!("request delivered to the rendezvous through alice's onion path");
 
     // --- The rendezvous pivots it backward down the service's path -------
-    let PayloadLayer::Deliver { mid: got_mid, segment } = layer else { panic!("bad layer") };
+    let PayloadLayer::Deliver {
+        mid: got_mid,
+        segment,
+    } = layer
+    else {
+        panic!("bad layer")
+    };
     let inner = codec.decode(&[segment]).unwrap();
     let (cookie, sealed_seg) = unwrap_at_rendezvous(&Segment::new(0, inner)).unwrap();
     let (back_to, back_sid, blob) = rendezvous

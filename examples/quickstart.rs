@@ -27,13 +27,24 @@ fn main() {
         vec![NodeId(1), NodeId(2), NodeId(3)],
         vec![NodeId(4), NodeId(5), NodeId(6)],
     ];
-    let hop_lists: Vec<_> = relay_sets.iter().map(|p| net.hops(p, responder_id)).collect();
+    let hop_lists: Vec<_> = relay_sets
+        .iter()
+        .map(|p| net.hops(p, responder_id))
+        .collect();
     let construction = alice.construct_paths(&hop_lists, &mut rng);
     println!("constructing {} disjoint paths:", construction.len());
     let mut reply_handles = Vec::new();
     for (i, msg) in construction.iter().enumerate() {
-        match net.route_construction(initiator_id, msg).expect("routing works") {
-            RouteOutcome::ConstructionDone { at, from, sid, session_key } => {
+        match net
+            .route_construction(initiator_id, msg)
+            .expect("routing works")
+        {
+            RouteOutcome::ConstructionDone {
+                at,
+                from,
+                sid,
+                session_key,
+            } => {
                 println!("  path {i}: onion unwrapped hop-by-hop, terminated at {at}");
                 alice.mark_established(msg.sid);
                 reply_handles.push((from, sid, session_key));
@@ -47,7 +58,9 @@ fn main() {
     let codec = ErasureCodec::new(1, 2).unwrap();
     let mid = MessageId(1);
     let request = b"GET /secret-plans HTTP/1.0".to_vec();
-    let outgoing = alice.send_message(mid, &request, &codec, None, &mut rng).unwrap();
+    let outgoing = alice
+        .send_message(mid, &request, &codec, None, &mut rng)
+        .unwrap();
 
     // Fail path 1's middle relay before the segments fly.
     net.set_down(NodeId(5), true);
@@ -56,7 +69,9 @@ fn main() {
     let mut got = None;
     for (i, msg) in outgoing.iter().enumerate() {
         match net.route_payload(initiator_id, msg).expect("routing works") {
-            RouteOutcome::Delivered { from, sid, layer, .. } => {
+            RouteOutcome::Delivered {
+                from, sid, layer, ..
+            } => {
                 let PayloadLayer::Deliver { mid, segment } = layer else {
                     panic!("expected a deliver layer")
                 };
@@ -66,8 +81,9 @@ fn main() {
                     .map(|(_, _, k)| *k)
                     .expect("terminal link known");
                 println!("  segment {} delivered over path {i}", segment.index);
-                if let Some(message) =
-                    bob.accept_segment(from, sid, key, mid, segment, &codec).unwrap()
+                if let Some(message) = bob
+                    .accept_segment(from, sid, key, mid, segment, &codec)
+                    .unwrap()
                 {
                     got = Some((mid, message));
                 }
@@ -77,7 +93,10 @@ fn main() {
         }
     }
     let (mid, message) = got.expect("one surviving path suffices (k(1-1/r) tolerance)");
-    println!("\nresponder reconstructed: {:?}", String::from_utf8_lossy(&message));
+    println!(
+        "\nresponder reconstructed: {:?}",
+        String::from_utf8_lossy(&message)
+    );
     assert_eq!(message, request);
 
     // --- Reply over the surviving reverse path --------------------------
@@ -93,7 +112,10 @@ fn main() {
         {
             RouteOutcome::ReachedInitiator { sid, blob } => {
                 if let Some((_, reply)) = alice.handle_reply(sid, &blob, &codec).unwrap() {
-                    println!("initiator decoded reply: {:?}", String::from_utf8_lossy(&reply));
+                    println!(
+                        "initiator decoded reply: {:?}",
+                        String::from_utf8_lossy(&reply)
+                    );
                     assert_eq!(reply, response);
                     answered = true;
                     break;

@@ -19,7 +19,11 @@ fn main() {
     println!("node availability pa = {pa}, path length L = {l}");
     println!("per-path success p = pa^L = {p:.4}\n");
 
-    let model = BandwidthModel { msg_bytes: 1024, l, pa };
+    let model = BandwidthModel {
+        msg_bytes: 1024,
+        l,
+        pa,
+    };
     println!(
         "{:>3} {:>10} {:>12} {:>14} {:>18}",
         "r", "p*r", "regime", "best k (<=20)", "bandwidth @best k"

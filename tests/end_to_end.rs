@@ -38,25 +38,42 @@ fn establish(n: usize, k: usize, seed: u64) -> Session {
     let mut terminal = Vec::new();
     for msg in &cons {
         match net.route_construction(alice_id, msg).unwrap() {
-            RouteOutcome::ConstructionDone { from, sid, session_key, .. } => {
+            RouteOutcome::ConstructionDone {
+                from,
+                sid,
+                session_key,
+                ..
+            } => {
                 alice.mark_established(msg.sid);
                 terminal.push((from, sid, session_key));
             }
             other => panic!("construction failed: {other:?}"),
         }
     }
-    Session { net, alice, bob, alice_id, bob_id, terminal }
+    Session {
+        net,
+        alice,
+        bob,
+        alice_id,
+        bob_id,
+        terminal,
+    }
 }
 
 /// Push all outgoing segments; feed deliveries to the responder; return
 /// the reconstructed message if any.
 fn deliver(s: &mut Session, mid: MessageId, msg: &[u8], codec: &dyn Codec) -> Option<Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(777);
-    let out = s.alice.send_message(mid, msg, codec, None, &mut rng).unwrap();
+    let out = s
+        .alice
+        .send_message(mid, msg, codec, None, &mut rng)
+        .unwrap();
     let mut result = None;
     for m in &out {
         match s.net.route_payload(s.alice_id, m).unwrap() {
-            RouteOutcome::Delivered { from, sid, layer, .. } => {
+            RouteOutcome::Delivered {
+                from, sid, layer, ..
+            } => {
                 let PayloadLayer::Deliver { mid, segment } = layer else {
                     panic!("expected deliver")
                 };
@@ -66,8 +83,10 @@ fn deliver(s: &mut Session, mid: MessageId, msg: &[u8], codec: &dyn Codec) -> Op
                     .find(|(f, ss, _)| (*f, *ss) == (from, sid))
                     .map(|(_, _, k)| *k)
                     .unwrap();
-                if let Some(got) =
-                    s.bob.accept_segment(from, sid, key, mid, segment, codec).unwrap()
+                if let Some(got) = s
+                    .bob
+                    .accept_segment(from, sid, key, mid, segment, codec)
+                    .unwrap()
                 {
                     result = Some(got);
                 }
@@ -120,7 +139,9 @@ fn large_message_many_segments() {
     let mut s = establish(20, 4, 4);
     // 8 segments over 4 paths: 2 segments per path, round-robin.
     let codec = ErasureCodec::new(4, 8).unwrap();
-    let msg: Vec<u8> = (0..u16::MAX as usize / 7).map(|i| (i % 251) as u8).collect();
+    let msg: Vec<u8> = (0..u16::MAX as usize / 7)
+        .map(|i| (i % 251) as u8)
+        .collect();
     let got = deliver(&mut s, MessageId(4), &msg, &codec).expect("all up");
     assert_eq!(got, msg);
 }
@@ -133,7 +154,10 @@ fn reply_round_trip_over_all_paths() {
     deliver(&mut s, MessageId(6), &msg, &codec).expect("delivered");
 
     let mut rng = StdRng::seed_from_u64(6);
-    let replies = s.bob.reply(MessageId(6), b"pong", &codec, &mut rng).unwrap();
+    let replies = s
+        .bob
+        .reply(MessageId(6), b"pong", &codec, &mut rng)
+        .unwrap();
     let mut decoded = None;
     for r in &replies {
         match s
@@ -166,7 +190,10 @@ fn relay_state_expires_without_refresh() {
 
     // Sending now dies at the first relay with UnknownStream.
     let mut rng = StdRng::seed_from_u64(8);
-    let out = s.alice.send_message(MessageId(8), b"after", &codec, None, &mut rng).unwrap();
+    let out = s
+        .alice
+        .send_message(MessageId(8), b"after", &codec, None, &mut rng)
+        .unwrap();
     let err = s.net.route_payload(s.alice_id, &out[0]).unwrap_err();
     assert_eq!(err, p2p_anon::anon::AnonError::UnknownStream);
 }

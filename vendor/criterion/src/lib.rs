@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple calibrated wall-clock timing loop instead of
+//! criterion's statistical machinery. Results print as `name  time: <mean>`
+//! lines; there are no HTML reports or regression comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Measured-phase iteration budget chosen during calibration.
+    budget: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first calibrating an iteration count so the
+    /// measured phase runs long enough to be meaningful.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find how many iterations fit in ~50ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(50) || n >= (1 << 24) {
+                let per_iter = took.as_nanos().max(1) / n as u128;
+                self.budget = ((200_000_000 / per_iter) as u64).clamp(1, 1 << 26);
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        // Measured phase: ~200ms worth of iterations.
+        let start = Instant::now();
+        for _ in 0..self.budget {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.budget;
+    }
+
+    fn per_iter_nanos(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Abstract elements handled per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    fn rate(&self, ns_per_iter: f64) -> String {
+        let per_sec = |count: u64| count as f64 / (ns_per_iter / 1_000_000_000.0);
+        match self {
+            Throughput::Bytes(b) => {
+                let rate = per_sec(*b);
+                if rate >= 1e9 {
+                    format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+                } else {
+                    format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+                }
+            }
+            Throughput::Elements(e) => format!("{:.2} Melem/s", per_sec(*e) / 1e6),
+        }
+    }
+}
+
+/// Composite benchmark identifier: `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Identifier named `function` with a display-formatted `parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier distinguished only by `parameter`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F, I>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<F, I, T>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Harness honouring a `--bench <filter>`-style substring filter from
+    /// the command line (extra cargo-bench flags are ignored).
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus possibly a filter string; keep
+        // the first free-standing non-flag argument as a name filter.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+                break;
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: 1,
+        };
+        f(&mut bencher);
+        let ns = bencher.per_iter_nanos();
+        let mut line = format!("{name:<48} time: {:>12}", fmt_nanos(ns));
+        if let Some(tp) = throughput {
+            line.push_str(&format!("   thrpt: {}", tp.rate(ns)));
+        }
+        println!("{line}");
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Finalize (no-op in the shim; criterion prints summaries here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: 1,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+        });
+        assert!(b.iters > 0);
+        assert!(b.per_iter_nanos() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("engine", 128).to_string(), "engine/128");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn throughput_rates_format() {
+        let tp = Throughput::Bytes(1 << 20);
+        let s = tp.rate(1_000_000.0); // 1 MiB per ms -> ~1 GiB/s
+        assert!(s.ends_with("/s"), "{s}");
+        let tp = Throughput::Elements(1000);
+        assert!(tp.rate(1_000.0).contains("Melem/s"));
+    }
+}

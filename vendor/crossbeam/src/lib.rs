@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses scoped threads (`crossbeam::scope`), which
+//! std has provided natively since 1.63 — this shim delegates to
+//! [`std::thread::scope`] and keeps crossbeam's `Result`-of-panic return
+//! contract. Spawn closures take no argument (std style): write
+//! `s.spawn(|| ...)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+pub use std::thread::{Scope, ScopedJoinHandle};
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. Returns `Err` with the panic payload if any spawned (and
+/// unjoined) thread panicked, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope re-raises child panics in the parent after all
+    // threads joined; catch that to preserve crossbeam's Result API.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| std::thread::scope(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let out = scope(|s| {
+            s.spawn(|| panic!("worker died"));
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|s| {
+            let h = s.spawn(|| 21);
+            h.join().expect("no panic") * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

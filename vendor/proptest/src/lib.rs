@@ -1,0 +1,413 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`,
+//! [`any`] for primitive types and byte arrays, integer/float range
+//! strategies, [`collection::vec`], [`sample::Index`] and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each test runs `cases` deterministic randomized cases (seed
+//! derived from the test name, overridable with `PROPTEST_SEED`; case
+//! count overridable with `PROPTEST_CASES`). On failure the offending
+//! inputs are printed. There is no shrinking — rerun with the printed
+//! inputs to debug.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator driving test-case synthesis (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name (stable across runs) xor `PROPTEST_SEED`.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h ^= extra;
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be non-zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Something that can generate values for a test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values spanning many magnitudes (no NaN/inf: the tests
+        // here assert arithmetic identities).
+        let mag = rng.below(600) as i32 - 300;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * rng.unit_f64() * 10f64.powi(mag / 10)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `elem`, length uniform in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().pick(rng);
+            (0..n).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index into a collection of yet-unknown size.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete collection size (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// `prop::` module path alias (mirrors upstream's re-export layout).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running randomized cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut rng);)+
+                    let inputs = [
+                        $(format!("{} = {:?}", stringify!($arg), &$arg)),+
+                    ].join(", ");
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest '{}' failed at case {case}/{cases}: {msg}\n  inputs: {inputs}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("y");
+        let _ = c.next_u64(); // different name -> (almost surely) different stream
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u8..9, b in 10usize..20, x in -5i32..5, f in 0.5f64..2.5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((10..20).contains(&b));
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_length(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(ix in any::<prop::sample::Index>(), len in 1usize..40) {
+            prop_assert!(ix.index(len) < len);
+        }
+
+        #[test]
+        fn arrays_fill(bytes in any::<[u8; 32]>()) {
+            // Not all zero, essentially always.
+            prop_assert!(bytes.len() == 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails'")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(v in 0u8..4) {
+                prop_assert!(v > 200, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}
