@@ -186,6 +186,89 @@ fn bench_runner(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    use anon_core::protocols::runner::{run_recovery_experiment, RecoveryConfig, RecoveryParams};
+    use anon_core::protocols::ProtocolKind;
+    use experiments::experiments::Scale;
+    use simnet::{FaultConfig, FaultPlan, NodeId};
+
+    let mut g = c.benchmark_group("recovery");
+
+    // The ack-timer hot path: arm a deadline per in-flight segment, then
+    // cancel most of them (the common case — acks beat timeouts).
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("arm_and_cancel_10k_timers", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            let handles: Vec<_> = (0..10_000u64)
+                .map(|i| engine.schedule_cancellable(SimTime(i * 131), |w, _| *w += 1))
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                if i % 8 != 0 {
+                    h.cancel();
+                }
+            }
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+
+    // Per-packet fault-plan lookup: one hash-derived drop decision plus
+    // one latency scaling per link traversal.
+    let plan = FaultPlan::new(
+        1024,
+        FaultConfig {
+            link_drop: 0.05,
+            spike_prob: 0.05,
+            spike_factor: 4.0,
+            crashes_per_hour: 1.0,
+            view_staleness: SimDuration::from_secs(60),
+        },
+        SimTime::from_secs(7200),
+        42,
+    );
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fault_plan_per_link_decision", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let from = NodeId((i % 1024) as u32);
+            let to = NodeId(((i * 7) % 1024) as u32);
+            let at = SimTime((i * 977) % 7_200_000_000);
+            black_box((
+                plan.drops(from, to, at),
+                plan.scale_owd(SimDuration::from_millis(38), from, to, at),
+            ))
+        })
+    });
+
+    // End-to-end: a short recovery run with retransmissions — the full
+    // ack/timeout/localize/rebuild/resend loop over the event engine.
+    g.sample_size(10);
+    g.bench_function("recovery_run_12_messages", |b| {
+        let cfg = RecoveryConfig {
+            world: Scale::Quick.world(7),
+            protocol: ProtocolKind::SimEra { k: 4, r: 2 },
+            strategy: anon_core::mix::MixStrategy::Biased,
+            faults: FaultConfig {
+                link_drop: 0.08,
+                spike_prob: 0.05,
+                spike_factor: 4.0,
+                crashes_per_hour: 1.0,
+                view_staleness: SimDuration::from_secs(60),
+            },
+            recovery: RecoveryParams::default(),
+            warmup: Scale::Quick.warmup(),
+            msg_interval: SimDuration::from_secs(20),
+            msg_bytes: 1024,
+            messages: 12,
+        };
+        b.iter(|| black_box(run_recovery_experiment(&cfg).delivered))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
@@ -193,6 +276,7 @@ criterion_group!(
     bench_latency,
     bench_gossip,
     bench_mix_choice,
-    bench_runner
+    bench_runner,
+    bench_recovery
 );
 criterion_main!(benches);

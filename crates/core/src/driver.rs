@@ -12,13 +12,18 @@
 
 use crate::endpoint::{Initiator, Outgoing};
 use crate::ids::{MessageId, StreamId};
-use crate::onion::PayloadLayer;
+use crate::onion::{build_reverse_payload, peel_reverse_payload, PathPlan, PayloadLayer};
 use crate::relay::{Relay, RelayAction};
+use erasure::Segment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_crypto::{KeyPair, PublicKey, SymmetricKey};
-use simnet::{ChurnSchedule, Engine, LatencyMatrix, NodeId, SimTime};
+use simnet::{ChurnSchedule, Engine, EventHandle, FaultPlan, LatencyMatrix, NodeId, SimTime};
 use std::collections::HashMap;
+
+/// Sentinel message id carried by construction acks (reverse onions the
+/// responder sends when a path finishes forming under auto-ack).
+pub const CONSTRUCT_ACK: MessageId = MessageId(u64::MAX);
 
 /// A record of a segment arriving at the responder.
 #[derive(Clone, Debug)]
@@ -50,6 +55,17 @@ pub struct ConstructionRecord {
     pub session_key: SymmetricKey,
 }
 
+/// A record of an end-to-end segment ack arriving back at the initiator.
+#[derive(Clone, Copy, Debug)]
+pub struct AckRecord {
+    /// Message the acked segment belongs to.
+    pub mid: MessageId,
+    /// Acked segment index.
+    pub index: usize,
+    /// When the ack reached the initiator.
+    pub at: SimTime,
+}
+
 /// The event-driven world: relays plus ground truth plus outcome logs.
 pub struct DriverWorld {
     relays: HashMap<NodeId, Relay>,
@@ -58,17 +74,41 @@ pub struct DriverWorld {
     pub schedule: ChurnSchedule,
     /// Pairwise one-way delays.
     pub latency: LatencyMatrix,
+    /// Injected faults (drops, latency spikes, crash-restarts); the empty
+    /// plan reproduces pre-fault behavior event for event.
+    pub faults: FaultPlan,
     /// RNG for relay-side stream ids.
     pub rng: StdRng,
     /// Segments that reached the responder.
     pub deliveries: Vec<DeliveryRecord>,
     /// Constructions that reached the responder.
     pub constructions: Vec<ConstructionRecord>,
+    /// End-to-end acks that made it back to the initiator.
+    pub acks: Vec<AckRecord>,
+    /// Ack deadlines that fired before the ack arrived.
+    pub ack_timeouts: Vec<(MessageId, usize, SimTime)>,
+    /// Construction acks received at the initiator (path stream id, when).
+    pub established: Vec<(StreamId, SimTime)>,
     /// Messages swallowed by down nodes.
     pub lost: u64,
     /// Messages dropped due to missing relay state (e.g. the path never
     /// finished constructing).
     pub stateless_drops: u64,
+    /// Messages eaten by injected link-drop faults.
+    pub fault_drops: u64,
+    /// Crash-restart events applied (each wipes one relay's soft state).
+    pub crash_wipes: u64,
+    /// When the responder acks traffic end to end (reverse onions for
+    /// every delivery and construction completion).
+    pub auto_ack: bool,
+    initiator: NodeId,
+    /// Initiator-side path plans keyed by initiator stream id, needed to
+    /// peel reverse onions arriving back at the initiator.
+    plans: HashMap<StreamId, PathPlan>,
+    /// Armed ack-deadline timers, cancelled when the ack arrives first.
+    pending_acks: HashMap<(MessageId, usize), EventHandle>,
+    /// Per-node cursor into the fault plan's crash schedule.
+    crash_cursor: Vec<usize>,
 }
 
 impl DriverWorld {
@@ -98,6 +138,10 @@ enum Wire {
     },
     /// Payload onion.
     Payload { blob: Vec<u8> },
+    /// Reverse (response/ack) blob travelling back towards the initiator.
+    Reverse { blob: Vec<u8> },
+    /// Explicit path teardown propagating hop by hop (§4.3).
+    Release,
 }
 
 /// The event-driven protocol driver for one initiator.
@@ -131,17 +175,81 @@ impl Driver {
             relays,
             schedule,
             latency,
+            faults: FaultPlan::none(),
             rng,
             deliveries: Vec::new(),
             constructions: Vec::new(),
+            acks: Vec::new(),
+            ack_timeouts: Vec::new(),
+            established: Vec::new(),
             lost: 0,
             stateless_drops: 0,
+            fault_drops: 0,
+            crash_wipes: 0,
+            auto_ack: false,
+            initiator: initiator_id,
+            plans: HashMap::new(),
+            pending_acks: HashMap::new(),
+            crash_cursor: vec![0; n],
         };
         Driver {
             engine: Engine::new(),
             world,
             initiator_id,
         }
+    }
+
+    /// Inject a fault plan (link drops, latency spikes, crash-restarts).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.world.faults = faults;
+        self
+    }
+
+    /// Make the responder ack every delivery and construction completion
+    /// with a real reverse onion.
+    pub fn with_auto_ack(mut self) -> Self {
+        self.world.auto_ack = true;
+        self
+    }
+
+    /// Register an initiator-side path plan so reverse onions arriving on
+    /// its stream id can be peeled (required for auto-ack traffic).
+    pub fn register_path(&mut self, sid: StreamId, plan: PathPlan) {
+        self.world.plans.insert(sid, plan);
+    }
+
+    /// Forget a torn-down path's plan and drop any acks pending on it.
+    pub fn unregister_path(&mut self, sid: StreamId) {
+        self.world.plans.remove(&sid);
+    }
+
+    /// Arm an end-to-end ack deadline for `(mid, index)`: if no ack
+    /// arrives by `deadline`, a timeout is recorded. An ack arriving
+    /// first cancels the timer.
+    pub fn arm_ack_timer(&mut self, mid: MessageId, index: usize, deadline: SimTime) {
+        let handle = self.engine.schedule_cancellable(
+            deadline,
+            move |w: &mut DriverWorld, e: &mut Engine<DriverWorld>| {
+                w.pending_acks.remove(&(mid, index));
+                w.ack_timeouts.push((mid, index, e.now()));
+            },
+        );
+        if let Some(old) = self.world.pending_acks.insert((mid, index), handle) {
+            old.cancel();
+        }
+    }
+
+    /// Schedule an explicit teardown to leave the initiator at `at`,
+    /// releasing state hop by hop along the path (§4.3).
+    pub fn launch_release(&mut self, first_hop: NodeId, sid: StreamId, at: SimTime) {
+        Self::send(
+            &mut self.engine,
+            self.initiator_id,
+            first_hop,
+            sid,
+            Wire::Release,
+            at,
+        );
     }
 
     /// Schedule a construction onion (from [`Initiator::construct_paths`])
@@ -194,8 +302,13 @@ impl Driver {
         engine.schedule_at(
             depart,
             move |w: &mut DriverWorld, e: &mut Engine<DriverWorld>| {
-                let arrive = e.now() + w.latency.owd(from, to);
-                e.schedule_at(arrive, move |w, e| {
+                let now = e.now();
+                if w.faults.drops(from, to, now) {
+                    w.fault_drops += 1;
+                    return;
+                }
+                let owd = w.faults.scale_owd(w.latency.owd(from, to), from, to, now);
+                e.schedule_at(now + owd, move |w, e| {
                     Self::receive(w, e, from, to, sid, wire);
                 });
             },
@@ -216,6 +329,49 @@ impl Driver {
         if !w.schedule.is_up(to, now) {
             w.lost += 1;
             return;
+        }
+        // Lazily apply crash-restarts from the fault plan: the first time
+        // a crashed node is asked to act after a crash instant, its soft
+        // state is gone (one wipe per crash event).
+        if let Some(cursor) = w.crash_cursor.get_mut(to.index()) {
+            let times = w.faults.crash_times(to);
+            let mut fired = 0u64;
+            while *cursor < times.len() && times[*cursor] <= now {
+                *cursor += 1;
+                fired += 1;
+            }
+            if fired > 0 {
+                w.crash_wipes += fired;
+                w.relays.get_mut(&to).expect("known node").crash();
+            }
+        }
+        // Reverse traffic terminating at the initiator: peel all layers
+        // with the registered path plan and log the ack.
+        if to == w.initiator {
+            if let Wire::Reverse { blob } = wire {
+                let Some(plan) = w.plans.get(&sid) else {
+                    w.stateless_drops += 1;
+                    return;
+                };
+                match peel_reverse_payload(plan, &blob, None) {
+                    Ok((mid, segment)) => {
+                        if mid == CONSTRUCT_ACK {
+                            w.established.push((sid, now));
+                        } else {
+                            if let Some(timer) = w.pending_acks.remove(&(mid, segment.index)) {
+                                timer.cancel();
+                            }
+                            w.acks.push(AckRecord {
+                                mid,
+                                index: segment.index,
+                                at: now,
+                            });
+                        }
+                    }
+                    Err(_) => w.stateless_drops += 1,
+                }
+                return;
+            }
         }
         let relay = w.relays.get_mut(&to).expect("known node");
         match wire {
@@ -243,6 +399,15 @@ impl Driver {
                         sid,
                         session_key,
                     });
+                    if w.auto_ack {
+                        let blob = build_reverse_payload(
+                            &session_key,
+                            CONSTRUCT_ACK,
+                            &Segment::new(0, Vec::new()),
+                            &mut w.rng,
+                        );
+                        Self::send(e, to, from, sid, Wire::Reverse { blob }, now);
+                    }
                 }
                 Ok(_) => unreachable!("construction actions only"),
                 Err(_) => w.stateless_drops += 1,
@@ -258,18 +423,49 @@ impl Driver {
                     }
                     Ok(RelayAction::Delivered { layer }) => match layer {
                         PayloadLayer::Deliver { mid, segment } => {
+                            let index = segment.index;
                             w.deliveries.push(DeliveryRecord {
                                 mid,
-                                index: segment.index,
+                                index,
                                 at: now,
                                 from,
                                 sid,
                             });
+                            if w.auto_ack {
+                                let key = w.relays[&to]
+                                    .terminal_key(from, sid)
+                                    .expect("terminal entry just used");
+                                let blob = build_reverse_payload(
+                                    &key,
+                                    mid,
+                                    &Segment::new(index, Vec::new()),
+                                    &mut w.rng,
+                                );
+                                Self::send(e, to, from, sid, Wire::Reverse { blob }, now);
+                            }
                         }
                         other => panic!("unexpected terminal layer {other:?}"),
                     },
                     Ok(_) => unreachable!("payload actions only"),
                     Err(_) => w.stateless_drops += 1,
+                }
+            }
+            Wire::Reverse { blob } => {
+                match relay.handle_reverse(from, sid, &blob, now, &mut w.rng) {
+                    Ok(RelayAction::ForwardReverse {
+                        to: prev,
+                        sid: psid,
+                        blob: wrapped,
+                    }) => {
+                        Self::send(e, to, prev, psid, Wire::Reverse { blob: wrapped }, now);
+                    }
+                    Ok(_) => unreachable!("reverse actions only"),
+                    Err(_) => w.stateless_drops += 1,
+                }
+            }
+            Wire::Release => {
+                if let Some((next, nsid)) = relay.release(from, sid) {
+                    Self::send(e, to, next, nsid, Wire::Release, now);
                 }
             }
         }
@@ -323,7 +519,7 @@ pub fn run_message_level(
 mod tests {
     use super::*;
     use erasure::ErasureCodec;
-    use simnet::{LifetimeDistribution, SimDuration};
+    use simnet::{FaultConfig, LifetimeDistribution, SimDuration};
 
     fn always_up(n: usize) -> (ChurnSchedule, LatencyMatrix) {
         let horizon = SimTime::from_secs(10_000);
@@ -379,6 +575,221 @@ mod tests {
             assert_eq!(d.mid, MessageId(5));
             assert_eq!(d.at, SimTime::from_secs(2) + SimDuration::from_millis(80));
         }
+    }
+
+    #[test]
+    fn auto_ack_round_trip_and_timer_cancellation() {
+        let (schedule, latency) = always_up(8);
+        let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1).with_auto_ack();
+        let mut initiator = Initiator::new(NodeId(0));
+        let mut rng = StdRng::seed_from_u64(2);
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let msgs = initiator.construct_paths(&hops, &mut rng);
+        let sid = initiator.paths()[0].sid;
+        driver.register_path(sid, initiator.paths()[0].plan.clone());
+        driver.launch_construction(&msgs[0], SimTime::from_secs(1));
+        driver.run_until(SimTime::from_secs(2));
+
+        // Construct ack: 4 links out + 4 links back at 20 ms each.
+        assert_eq!(driver.world.established.len(), 1);
+        assert_eq!(driver.world.established[0].0, sid);
+        assert_eq!(
+            driver.world.established[0].1,
+            SimTime::from_secs(1) + SimDuration::from_millis(160)
+        );
+
+        // Payload ack beats its deadline: the timer is cancelled.
+        let codec = ErasureCodec::new(1, 1).unwrap();
+        let out = initiator
+            .send_message(MessageId(9), b"hi", &codec, None, &mut rng)
+            .unwrap();
+        driver.launch_payload(&out[0], SimTime::from_secs(2));
+        driver.arm_ack_timer(MessageId(9), 0, SimTime::from_secs(3));
+        driver.run_until(SimTime::from_secs(5));
+        assert_eq!(driver.world.acks.len(), 1);
+        assert_eq!(driver.world.acks[0].mid, MessageId(9));
+        assert_eq!(
+            driver.world.acks[0].at,
+            SimTime::from_secs(2) + SimDuration::from_millis(160)
+        );
+        assert!(driver.world.ack_timeouts.is_empty());
+        assert_eq!(driver.engine.counters().cancelled, 1, "timer cancelled");
+    }
+
+    #[test]
+    fn ack_deadline_fires_when_the_path_never_formed() {
+        let (schedule, latency) = always_up(8);
+        let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1).with_auto_ack();
+        let mut initiator = Initiator::new(NodeId(0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        initiator.construct_paths(&hops, &mut rng);
+        driver.register_path(initiator.paths()[0].sid, initiator.paths()[0].plan.clone());
+        // Never launch the construction: the payload dies statelessly and
+        // the deadline fires.
+        let codec = ErasureCodec::new(1, 1).unwrap();
+        let out = initiator
+            .send_message(MessageId(7), b"x", &codec, None, &mut rng)
+            .unwrap();
+        driver.launch_payload(&out[0], SimTime::from_secs(1));
+        driver.arm_ack_timer(MessageId(7), 0, SimTime::from_secs(2));
+        driver.run_until(SimTime::from_secs(5));
+        assert!(driver.world.acks.is_empty());
+        assert_eq!(driver.world.ack_timeouts.len(), 1);
+        assert_eq!(driver.world.ack_timeouts[0].0, MessageId(7));
+        assert_eq!(driver.world.ack_timeouts[0].2, SimTime::from_secs(2));
+        assert!(driver.world.stateless_drops >= 1);
+    }
+
+    #[test]
+    fn link_drop_faults_eat_traffic_without_touching_churn_loss() {
+        let (schedule, latency) = always_up(8);
+        let faults = FaultPlan::new(
+            8,
+            FaultConfig {
+                link_drop: 1.0,
+                ..FaultConfig::NONE
+            },
+            SimTime::from_secs(10_000),
+            7,
+        );
+        let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1).with_faults(faults);
+        let mut initiator = Initiator::new(NodeId(0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let msgs = initiator.construct_paths(&hops, &mut rng);
+        driver.launch_construction(&msgs[0], SimTime::from_secs(1));
+        driver.run_until(SimTime::from_secs(5));
+        assert_eq!(driver.world.constructions.len(), 0);
+        assert_eq!(driver.world.fault_drops, 1, "died on the first link");
+        assert_eq!(driver.world.lost, 0, "no churn losses involved");
+    }
+
+    #[test]
+    fn crash_restart_wipes_relay_state() {
+        let (schedule, latency) = always_up(8);
+        // Mean one crash per second: by t = 500 s every relay on the path
+        // has crashed at least once since construction.
+        let faults = FaultPlan::new(
+            8,
+            FaultConfig {
+                crashes_per_hour: 3600.0,
+                ..FaultConfig::NONE
+            },
+            SimTime::from_secs(1_000),
+            11,
+        );
+        let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1).with_faults(faults);
+        let mut initiator = Initiator::new(NodeId(0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let msgs = initiator.construct_paths(&hops, &mut rng);
+        driver.launch_construction(&msgs[0], SimTime::from_millis(1));
+        driver.run_until(SimTime::from_secs(1));
+
+        let codec = ErasureCodec::new(1, 1).unwrap();
+        let out = initiator
+            .send_message(MessageId(1), b"x", &codec, None, &mut rng)
+            .unwrap();
+        driver.launch_payload(&out[0], SimTime::from_secs(500));
+        driver.run_until(SimTime::from_secs(600));
+        assert!(driver.world.crash_wipes > 0, "crashes were applied");
+        assert_eq!(driver.world.deliveries.len(), 0);
+        assert!(
+            driver.world.stateless_drops >= 1,
+            "payload died at a crashed relay"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let (schedule, latency) = always_up(12);
+        let paths = [
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+        ];
+        let codec = ErasureCodec::new(1, 2).unwrap();
+        let times = [(MessageId(5), SimTime::from_secs(2))];
+        let run = |faulted: bool| {
+            let (schedule, latency) = (schedule.clone(), latency.clone());
+            let mut driver = Driver::new(12, schedule, latency, NodeId(0), 3);
+            if faulted {
+                driver = driver.with_faults(FaultPlan::none());
+            }
+            let mut initiator = Initiator::new(NodeId(0));
+            let mut rng = StdRng::seed_from_u64(0x51ed ^ 3);
+            let hop_lists: Vec<Vec<(NodeId, PublicKey)>> = paths
+                .iter()
+                .map(|p| driver.world.hops(p, NodeId(11)))
+                .collect();
+            for msg in initiator.construct_paths(&hop_lists, &mut rng) {
+                driver.launch_construction(&msg, SimTime::from_secs(1));
+            }
+            let payload = vec![0xEEu8; 1024];
+            for &(mid, at) in &times {
+                let out = initiator
+                    .send_message(mid, &payload, &codec, None, &mut rng)
+                    .unwrap();
+                for msg in &out {
+                    driver.launch_payload(msg, at);
+                }
+            }
+            driver.run_until(SimTime::from_secs(100));
+            (
+                driver.engine.counters(),
+                driver
+                    .world
+                    .deliveries
+                    .iter()
+                    .map(|d| d.at)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true), "empty plan is event-for-event inert");
+    }
+
+    #[test]
+    fn release_tears_down_relay_state_hop_by_hop() {
+        let (schedule, latency) = always_up(8);
+        let mut driver = Driver::new(8, schedule, latency, NodeId(0), 1);
+        let mut initiator = Initiator::new(NodeId(0));
+        let mut rng = StdRng::seed_from_u64(6);
+        let hops = vec![driver
+            .world
+            .hops(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(7))];
+        let msgs = initiator.construct_paths(&hops, &mut rng);
+        let sid = initiator.paths()[0].sid;
+        driver.launch_construction(&msgs[0], SimTime::from_secs(1));
+        driver.run_until(SimTime::from_secs(2));
+        assert_eq!(driver.world.constructions.len(), 1);
+
+        driver.launch_release(NodeId(1), sid, SimTime::from_secs(3));
+        driver.run_until(SimTime::from_secs(4));
+        for node in [1u32, 2, 3, 7] {
+            assert_eq!(
+                driver.world.relays[&NodeId(node)].cached_paths(),
+                0,
+                "node {node} state released"
+            );
+        }
+
+        // A payload after teardown dies with a stateless drop.
+        let codec = ErasureCodec::new(1, 1).unwrap();
+        let out = initiator
+            .send_message(MessageId(2), b"late", &codec, None, &mut rng)
+            .unwrap();
+        driver.launch_payload(&out[0], SimTime::from_secs(5));
+        driver.run_until(SimTime::from_secs(6));
+        assert_eq!(driver.world.deliveries.len(), 0);
+        assert!(driver.world.stateless_drops >= 1);
     }
 
     #[test]

@@ -202,6 +202,42 @@ impl Initiator {
         Ok(out)
     }
 
+    /// Re-send only the segments with the given `indices` (erasure-aware
+    /// retransmission, §4.5): after an ack timeout the initiator needs
+    /// just enough missing segments to reach `m`, never the whole
+    /// message. Retransmits are spread round-robin over the *current*
+    /// path set — which may differ from the original allocation if
+    /// failed paths were torn down and replaced — so a retry naturally
+    /// avoids concentrating on the slot that just failed.
+    pub fn resend_segments<R: Rng + CryptoRng>(
+        &mut self,
+        mid: MessageId,
+        message: &[u8],
+        codec: &dyn Codec,
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<Outgoing>, AnonError> {
+        if self.paths.is_empty() {
+            return Err(AnonError::InvalidParameters("no paths constructed".into()));
+        }
+        let segments = codec.encode(message);
+        let k = self.paths.len();
+        let mut out = Vec::with_capacity(indices.len());
+        for (slot, &idx) in indices.iter().enumerate() {
+            let seg = segments.get(idx).ok_or(AnonError::InvalidParameters(
+                "segment index out of range".into(),
+            ))?;
+            let path = &self.paths[slot % k];
+            let (blob, _) = build_payload_onion(&path.plan, mid, seg, None, rng);
+            out.push(Outgoing {
+                to: path.plan.first_hop(),
+                sid: path.sid,
+                blob,
+            });
+        }
+        Ok(out)
+    }
+
     /// Process a reverse (reply) blob arriving on stream `sid`; feeds the
     /// reassembler and returns the reconstructed reply once `m` segments of
     /// its `MID` are in.
@@ -486,6 +522,32 @@ mod tests {
         assert_eq!(out[1].to, NodeId(20));
         assert_eq!(out[2].to, NodeId(10));
         assert_eq!(out[3].to, NodeId(20));
+    }
+
+    #[test]
+    fn resend_targets_only_missing_indices() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut initiator = Initiator::new(NodeId(0));
+        let kp1 = sim_crypto::KeyPair::generate(&mut rng);
+        let kp2 = sim_crypto::KeyPair::generate(&mut rng);
+        let paths = vec![
+            vec![(NodeId(10), kp1.public)],
+            vec![(NodeId(20), kp2.public)],
+        ];
+        initiator.construct_paths(&paths, &mut rng);
+        let codec = ErasureCodec::new(2, 4).unwrap();
+        // Only segments 1 and 3 went missing: exactly two retransmits,
+        // spread round-robin from path 0.
+        let out = initiator
+            .resend_segments(MessageId(4), b"partial loss", &codec, &[1, 3], &mut rng)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].to, NodeId(10));
+        assert_eq!(out[1].to, NodeId(20));
+        // Out-of-range index is an error, not a panic.
+        assert!(initiator
+            .resend_segments(MessageId(4), b"partial loss", &codec, &[9], &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::sim::{World, WorldConfig};
 use crate::AnonError;
 use rand::Rng;
 use simnet::trace::EngineCounters;
-use simnet::{NodeId, SimDuration, SimTime};
+use simnet::{FaultConfig, NodeId, SimDuration, SimTime};
 
 /// Execution statistics for one experiment run, captured by the `_traced`
 /// drivers and surfaced in run traces.
@@ -36,6 +36,28 @@ pub struct RunStats {
     pub traversals: u64,
     /// Total links walked (includes partial traversal of failed paths).
     pub links: u64,
+    /// Messages swallowed by down nodes (message-level runs; zero on
+    /// trajectory-level runs, which have no wire messages).
+    pub lost: u64,
+    /// Messages dropped for missing relay state (unformed/torn paths,
+    /// crash-wiped caches).
+    pub stateless_drops: u64,
+    /// Messages eaten by injected link-drop faults.
+    pub fault_drops: u64,
+    /// Crash-restart events applied by the fault plan.
+    pub crash_wipes: u64,
+    /// First-transmission segments launched end to end.
+    pub segments_sent: u64,
+    /// Segments re-sent by the recovery layer.
+    pub retransmits: u64,
+    /// End-to-end segment acks received back at the initiator.
+    pub acks: u64,
+    /// Ack deadlines that expired before their ack.
+    pub ack_timeouts: u64,
+    /// §4.5 failure-localization probes issued.
+    pub probes: u64,
+    /// Paths torn down and reconstructed by the recovery layer.
+    pub paths_rebuilt: u64,
 }
 
 /// Configuration of the setup-rate experiment (§6.2 "Path Construction").
@@ -124,6 +146,7 @@ pub fn run_setup_experiment_traced(cfg: &SetupConfig) -> (ProtocolMetrics, RunSt
     }
     stats.traversals = world.stats.traversals();
     stats.links = world.stats.links();
+    stats.probes = world.stats.probes();
     (metrics, stats)
 }
 
@@ -335,11 +358,478 @@ pub fn run_performance_experiment_traced(cfg: &PerfConfig) -> (PerfResult, RunSt
     stats.engine.max_pending = 1;
     stats.traversals = world.stats.traversals();
     stats.links = world.stats.links();
+    stats.probes = world.stats.probes();
     (
         PerfResult {
             metrics,
             episodes,
             attempts,
+        },
+        stats,
+    )
+}
+
+/// Recovery-layer knobs (§4.5 made concrete and configurable).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryParams {
+    /// End-to-end per-segment ack deadline for the first transmission.
+    pub ack_timeout: SimDuration,
+    /// Retransmission rounds allowed per message (0 = fire and forget).
+    pub retry_budget: u32,
+    /// Deadline multiplier applied each retry round (exponential backoff).
+    pub backoff: f64,
+    /// §4.5 localization timeout per silent hop.
+    pub probe_timeout: SimDuration,
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        RecoveryParams {
+            ack_timeout: SimDuration::from_secs(2),
+            retry_budget: 2,
+            backoff: 2.0,
+            probe_timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Configuration of the message-level recovery experiment: a pinned
+/// initiator/responder pair runs real onions over the event-driven
+/// [`crate::driver::Driver`] under an injected [`FaultConfig`], with
+/// end-to-end acks, timeout-driven localization, path repair and
+/// erasure-aware retransmission.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Network parameters (kept small: this layer runs real cryptography).
+    pub world: WorldConfig,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Mix choice.
+    pub strategy: MixStrategy,
+    /// Injected fault intensities ([`FaultConfig::NONE`] = churn only).
+    pub faults: FaultConfig,
+    /// Recovery knobs.
+    pub recovery: RecoveryParams,
+    /// Measurement starts after this warm-up.
+    pub warmup: SimTime,
+    /// Message cadence.
+    pub msg_interval: SimDuration,
+    /// Message size in bytes.
+    pub msg_bytes: usize,
+    /// Number of messages to attempt.
+    pub messages: usize,
+}
+
+/// Result of a recovery run.
+#[derive(Clone, Debug)]
+pub struct RecoveryResult {
+    /// Delivery/latency/bandwidth metrics (message = delivered when the
+    /// responder reconstructed it: `m` distinct segments arrived).
+    pub metrics: ProtocolMetrics,
+    /// Messages fully delivered.
+    pub delivered: u64,
+    /// Messages that ended partially delivered (some but fewer than `m`
+    /// distinct segments) after the retry budget ran out.
+    pub partial: u64,
+    /// First-transmission segments launched.
+    pub segments_sent: u64,
+    /// Segments re-sent by the recovery layer.
+    pub retransmits: u64,
+    /// Paths torn down and successfully reconstructed mid-stream.
+    pub paths_rebuilt: u64,
+    /// Path-construction rounds run (initial + repair).
+    pub construction_rounds: u64,
+}
+
+impl RecoveryResult {
+    /// Fraction of messages the responder reconstructed.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.metrics.messages_sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.metrics.messages_sent as f64
+        }
+    }
+
+    /// Retransmitted segments per first-transmission segment — the
+    /// recovery layer's bandwidth overhead.
+    pub fn retransmit_overhead(&self) -> f64 {
+        if self.segments_sent == 0 {
+            0.0
+        } else {
+            self.retransmits as f64 / self.segments_sent as f64
+        }
+    }
+}
+
+/// Construction rounds a message will wait for its path set before
+/// giving up and sending over whatever formed.
+const MAX_CONSTRUCT_ROUNDS: usize = 4;
+
+/// Relays an initiator remembers as recently blamed (explicit avoidance
+/// on top of the membership cache's death records).
+const BLAME_MEMORY: usize = 16;
+
+/// Run the recovery experiment.
+pub fn run_recovery_experiment(cfg: &RecoveryConfig) -> RecoveryResult {
+    run_recovery_experiment_traced(cfg).0
+}
+
+/// [`run_recovery_experiment`] plus per-run execution statistics.
+///
+/// Hybrid of the two fidelity layers: the trajectory-level [`World`]
+/// supplies membership, (stale) gossip, biased mix choice and §4.5
+/// localization against ground truth, while the message-level
+/// [`crate::driver::Driver`] actually carries every onion, ack and
+/// teardown over the event engine with the fault plan applied per link.
+pub fn run_recovery_experiment_traced(cfg: &RecoveryConfig) -> (RecoveryResult, RunStats) {
+    use crate::driver::Driver;
+    use crate::endpoint::Initiator;
+    use crate::ids::{MessageId, StreamId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simnet::FaultPlan;
+    use std::collections::{HashMap, HashSet};
+
+    let mut stats = RunStats::default();
+    let mut world = World::new(cfg.world.clone());
+    world.detection = crate::sim::FailureDetection::Timed {
+        probe_timeout: cfg.recovery.probe_timeout,
+    };
+    let initiator_id = NodeId(0);
+    let responder_id = NodeId(1);
+    world.pin_up(&[initiator_id, responder_id]);
+
+    let faults = FaultPlan::new(
+        cfg.world.n,
+        cfg.faults,
+        cfg.world.horizon + cfg.world.schedule_margin,
+        cfg.world.seed ^ 0xFA17,
+    );
+    let mut driver = Driver::new(
+        cfg.world.n,
+        world.schedule.clone(),
+        world.latency.clone(),
+        initiator_id,
+        cfg.world.seed ^ 0xD21F,
+    )
+    .with_faults(faults.clone())
+    .with_auto_ack();
+    let mut initiator = Initiator::new(initiator_id);
+    let mut proto_rng = StdRng::seed_from_u64(cfg.world.seed ^ 0x9E37);
+
+    let codec = cfg.protocol.codec().expect("valid protocol parameters");
+    let k = cfg.protocol.paths();
+    let needed = cfg.protocol.success_rule().needed();
+    let l = cfg.world.l;
+    let payload = vec![0xABu8; cfg.msg_bytes];
+    let per_path_bytes = cfg.protocol.per_path_bytes(cfg.msg_bytes);
+
+    let mut metrics = ProtocolMetrics::new();
+    let mut delivered_msgs = 0u64;
+    let mut partial_msgs = 0u64;
+    let mut segments_sent = 0u64;
+    let mut retransmits = 0u64;
+    let mut paths_rebuilt = 0u64;
+    let mut construction_rounds = 0u64;
+    let mut acks_total = 0u64;
+    let mut timeouts_total = 0u64;
+    let mut blamed: Vec<NodeId> = Vec::new();
+    let mut timeout_streak: HashMap<StreamId, u32> = HashMap::new();
+
+    // One construction round: pick `want` replacement paths avoiding
+    // `blamed` + live path relays, launch the onions, wait one ack
+    // deadline, keep what the responder acked. Returns (formed, new now).
+    let construct_round = |world: &mut World,
+                           driver: &mut Driver,
+                           initiator: &mut Initiator,
+                           proto_rng: &mut StdRng,
+                           blamed: &[NodeId],
+                           want: usize,
+                           t: SimTime|
+     -> (usize, SimTime) {
+        let mut picked: Vec<Vec<NodeId>> = Vec::new();
+        for _ in 0..want {
+            let mut exclude: Vec<NodeId> = blamed.to_vec();
+            for p in initiator.paths() {
+                exclude.extend_from_slice(&p.plan.hops[..p.plan.hops.len() - 1]);
+            }
+            for p in &picked {
+                exclude.extend_from_slice(p);
+            }
+            match world.pick_replacement_path(initiator_id, responder_id, &exclude, cfg.strategy, t)
+            {
+                Ok(p) => picked.push(p),
+                Err(_) => break,
+            }
+        }
+        if picked.is_empty() {
+            return (0, t + cfg.recovery.ack_timeout);
+        }
+        let hop_lists: Vec<_> = picked
+            .iter()
+            .map(|p| driver.world.hops(p, responder_id))
+            .collect();
+        let before = initiator.paths().len();
+        let msgs = initiator.construct_paths(&hop_lists, proto_rng);
+        for (j, m) in msgs.iter().enumerate() {
+            driver.register_path(m.sid, initiator.paths()[before + j].plan.clone());
+            driver.launch_construction(m, t);
+        }
+        let deadline = t + cfg.recovery.ack_timeout;
+        driver.run_until(deadline);
+        let drained: Vec<(StreamId, SimTime)> = std::mem::take(&mut driver.world.established);
+        let mut formed = 0usize;
+        let mut latest = t;
+        for (sid, at) in drained {
+            if initiator.mark_established(sid) {
+                formed += 1;
+                if at > latest {
+                    latest = at;
+                }
+            }
+        }
+        let dead: Vec<StreamId> = initiator
+            .paths()
+            .iter()
+            .filter(|p| !p.established)
+            .map(|p| p.sid)
+            .collect();
+        for sid in dead {
+            initiator.drop_path(sid);
+            driver.unregister_path(sid);
+        }
+        let now = if formed == picked.len() {
+            latest
+        } else {
+            deadline
+        };
+        (formed, now)
+    };
+
+    let mut t = cfg.warmup;
+    for msg_i in 0..cfg.messages {
+        let mid = MessageId(1000 + msg_i as u64);
+        world.advance_gossip(faults.stale_view_time(t));
+
+        // ---- Ensure k established paths (initial or repaired set). ----
+        let mut rounds = 0usize;
+        while initiator.paths().len() < k && rounds < MAX_CONSTRUCT_ROUNDS {
+            rounds += 1;
+            construction_rounds += 1;
+            let want = k - initiator.paths().len();
+            let (_, now) = construct_round(
+                &mut world,
+                &mut driver,
+                &mut initiator,
+                &mut proto_rng,
+                &blamed,
+                want,
+                t,
+            );
+            t = now;
+            world.advance_gossip(faults.stale_view_time(t));
+        }
+        if initiator.paths().is_empty() {
+            metrics.record_message(false, None, 0.0);
+            t += cfg.msg_interval;
+            continue;
+        }
+
+        // ---- First transmission: one onion per segment, each with an
+        // armed end-to-end ack deadline. ----
+        let send_t = t;
+        let out = initiator
+            .send_message(mid, &payload, codec.as_ref(), None, &mut proto_rng)
+            .expect("paths exist");
+        let n_seg = out.len();
+        segments_sent += n_seg as u64;
+        let mut msg_wire_segments = n_seg as u64;
+        let mut seg_sid: HashMap<usize, StreamId> = HashMap::new();
+        let mut deadline = t + cfg.recovery.ack_timeout;
+        for (i, o) in out.iter().enumerate() {
+            driver.launch_payload(o, t);
+            driver.arm_ack_timer(mid, i, deadline);
+            seg_sid.insert(i, o.sid);
+        }
+
+        let mut acked: HashSet<usize> = HashSet::new();
+        let mut attempt = 0u32;
+        loop {
+            driver.run_until(deadline);
+            for a in driver.world.acks.drain(..) {
+                acks_total += 1;
+                if a.mid == mid {
+                    acked.insert(a.index);
+                }
+            }
+            timeouts_total += driver.world.ack_timeouts.len() as u64;
+            driver.world.ack_timeouts.clear();
+            if acked.len() >= needed || attempt >= cfg.recovery.retry_budget {
+                break;
+            }
+            attempt += 1;
+
+            // ---- §4.5: localize failures on the paths that carried the
+            // missing segments; localizations run concurrently, so the
+            // wall-clock cost is the slowest one. ----
+            let mut t_now = deadline;
+            let missing: Vec<usize> = (0..n_seg).filter(|i| !acked.contains(i)).collect();
+            let suspects: HashSet<StreamId> = missing
+                .iter()
+                .filter_map(|i| seg_sid.get(i))
+                .copied()
+                .collect();
+            let mut recovery_done = t_now;
+            let mut to_drop: Vec<StreamId> = Vec::new();
+            for sid in suspects {
+                let Some(path) = initiator.paths().iter().find(|p| p.sid == sid) else {
+                    continue;
+                };
+                let relays: Vec<NodeId> = path.plan.hops[..path.plan.hops.len() - 1].to_vec();
+                let (hop, done) = world.localize_failure(
+                    initiator_id,
+                    &relays,
+                    responder_id,
+                    t_now,
+                    cfg.recovery.probe_timeout,
+                );
+                if done > recovery_done {
+                    recovery_done = done;
+                }
+                let streak = timeout_streak.entry(sid).or_insert(0);
+                *streak += 1;
+                match hop {
+                    Some(h) => {
+                        if h < relays.len() {
+                            blamed.push(relays[h]);
+                        }
+                        to_drop.push(sid);
+                    }
+                    // Every hop answered the probe, yet the segment died:
+                    // a transient injected drop — retry over the same path
+                    // once, but treat repeated unexplained loss (e.g. a
+                    // crash-wiped relay cache) as a dead path.
+                    None if *streak >= 2 => to_drop.push(sid),
+                    None => {}
+                }
+            }
+            if blamed.len() > BLAME_MEMORY {
+                let excess = blamed.len() - BLAME_MEMORY;
+                blamed.drain(..excess);
+            }
+            for sid in &to_drop {
+                timeout_streak.remove(sid);
+                if let Some(p) = initiator.paths().iter().find(|p| p.sid == *sid) {
+                    driver.launch_release(p.plan.first_hop(), *sid, recovery_done);
+                }
+                initiator.drop_path(*sid);
+                driver.unregister_path(*sid);
+            }
+            t_now = recovery_done;
+            world.advance_gossip(faults.stale_view_time(t_now));
+
+            // ---- Repair: rebuild what was torn down. ----
+            if !to_drop.is_empty() {
+                construction_rounds += 1;
+                let want = k - initiator.paths().len();
+                let (formed, now) = construct_round(
+                    &mut world,
+                    &mut driver,
+                    &mut initiator,
+                    &mut proto_rng,
+                    &blamed,
+                    want,
+                    t_now,
+                );
+                paths_rebuilt += formed as u64;
+                t_now = now;
+                world.advance_gossip(faults.stale_view_time(t_now));
+            }
+            if initiator.paths().is_empty() {
+                break;
+            }
+
+            // ---- Erasure-aware retransmission: only the segments still
+            // needed, with an exponentially backed-off deadline. ----
+            for a in driver.world.acks.drain(..) {
+                acks_total += 1;
+                if a.mid == mid {
+                    acked.insert(a.index);
+                }
+            }
+            let still_missing: Vec<usize> = (0..n_seg).filter(|i| !acked.contains(i)).collect();
+            if still_missing.is_empty() {
+                break;
+            }
+            let retx = initiator
+                .resend_segments(
+                    mid,
+                    &payload,
+                    codec.as_ref(),
+                    &still_missing,
+                    &mut proto_rng,
+                )
+                .expect("paths exist");
+            retransmits += retx.len() as u64;
+            msg_wire_segments += retx.len() as u64;
+            let wait = SimDuration::from_secs_f64(
+                cfg.recovery.ack_timeout.as_secs_f64() * cfg.recovery.backoff.powi(attempt as i32),
+            );
+            deadline = t_now + wait;
+            for (j, o) in retx.iter().enumerate() {
+                driver.launch_payload(o, t_now);
+                driver.arm_ack_timer(mid, still_missing[j], deadline);
+                seg_sid.insert(still_missing[j], o.sid);
+            }
+        }
+
+        // ---- Outcome from responder ground truth: the message counts as
+        // delivered when `m` distinct segments arrived. ----
+        let mut distinct: HashSet<usize> = HashSet::new();
+        let mut arrivals: Vec<SimTime> = Vec::new();
+        for d in driver.world.deliveries.iter().filter(|d| d.mid == mid) {
+            if distinct.insert(d.index) {
+                arrivals.push(d.at);
+            }
+        }
+        arrivals.sort_unstable();
+        let ok = distinct.len() >= needed;
+        let latency = ok.then(|| arrivals[needed - 1] - send_t);
+        let bytes = per_path_bytes * (l + 1) as f64 * msg_wire_segments as f64;
+        metrics.record_message(ok, latency, bytes);
+        if ok {
+            delivered_msgs += 1;
+        } else if !distinct.is_empty() {
+            partial_msgs += 1;
+        }
+
+        let engine_now = driver.engine.now();
+        t = (send_t + cfg.msg_interval).max(engine_now);
+    }
+
+    stats.engine = driver.engine.counters();
+    stats.traversals = world.stats.traversals();
+    stats.links = world.stats.links();
+    stats.probes = world.stats.probes();
+    stats.lost = driver.world.lost;
+    stats.stateless_drops = driver.world.stateless_drops;
+    stats.fault_drops = driver.world.fault_drops;
+    stats.crash_wipes = driver.world.crash_wipes;
+    stats.segments_sent = segments_sent;
+    stats.retransmits = retransmits;
+    stats.acks = acks_total;
+    stats.ack_timeouts = timeouts_total;
+    stats.paths_rebuilt = paths_rebuilt;
+    (
+        RecoveryResult {
+            metrics,
+            delivered: delivered_msgs,
+            partial: partial_msgs,
+            segments_sent,
+            retransmits,
+            paths_rebuilt,
+            construction_rounds,
         },
         stats,
     )
@@ -591,6 +1081,138 @@ mod tests {
             "prediction should not hurt delivery: {} vs {}",
             with.metrics.delivery_rate(),
             without.metrics.delivery_rate()
+        );
+    }
+
+    fn recovery_cfg(protocol: ProtocolKind, faults: FaultConfig, seed: u64) -> RecoveryConfig {
+        RecoveryConfig {
+            world: small_world(seed, 1800.0),
+            protocol,
+            strategy: MixStrategy::Biased,
+            faults,
+            recovery: RecoveryParams::default(),
+            warmup: SimTime::from_secs(600),
+            msg_interval: SimDuration::from_secs(20),
+            msg_bytes: 1024,
+            messages: 25,
+        }
+    }
+
+    fn moderate_faults() -> FaultConfig {
+        FaultConfig {
+            link_drop: 0.06,
+            spike_prob: 0.05,
+            spike_factor: 4.0,
+            crashes_per_hour: 0.5,
+            view_staleness: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn recovery_run_produces_coherent_metrics() {
+        let cfg = recovery_cfg(ProtocolKind::SimEra { k: 4, r: 2 }, moderate_faults(), 11);
+        let (res, stats) = run_recovery_experiment_traced(&cfg);
+        assert_eq!(res.metrics.messages_sent, cfg.messages as u64);
+        assert_eq!(
+            res.metrics.messages_delivered, res.delivered,
+            "metrics and ground truth must agree"
+        );
+        assert!(res.delivered + res.partial <= cfg.messages as u64);
+        assert!(res.segments_sent >= res.metrics.messages_sent * 4 - 4 * 4);
+        assert!(stats.acks > 0, "auto-acks must flow back");
+        assert!(stats.fault_drops > 0, "injected faults must bite");
+        assert!(stats.segments_sent == res.segments_sent);
+        assert!(stats.engine.processed <= stats.engine.scheduled);
+        let rate = res.delivery_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(res.retransmit_overhead() >= 0.0);
+    }
+
+    #[test]
+    fn recovery_run_is_deterministic() {
+        let cfg = recovery_cfg(ProtocolKind::SimRep { k: 2 }, moderate_faults(), 12);
+        let (a, sa) = run_recovery_experiment_traced(&cfg);
+        let (b, sb) = run_recovery_experiment_traced(&cfg);
+        assert_eq!(sa, sb, "identical configs must replay event-for-event");
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.partial, b.partial);
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.metrics.latency_ms.mean(), b.metrics.latency_ms.mean());
+    }
+
+    #[test]
+    fn retries_recover_messages_that_faults_would_kill() {
+        let faults = FaultConfig {
+            link_drop: 0.10,
+            ..moderate_faults()
+        };
+        let base = recovery_cfg(ProtocolKind::SimEra { k: 4, r: 2 }, faults, 13);
+        let no_retry = RecoveryConfig {
+            recovery: RecoveryParams {
+                retry_budget: 0,
+                ..RecoveryParams::default()
+            },
+            ..base.clone()
+        };
+        let with = run_recovery_experiment(&base);
+        let without = run_recovery_experiment(&no_retry);
+        assert_eq!(without.retransmits, 0, "budget 0 must never retransmit");
+        assert!(
+            with.delivery_rate() >= without.delivery_rate(),
+            "retries must not hurt: with {:.3}, without {:.3}",
+            with.delivery_rate(),
+            without.delivery_rate()
+        );
+        assert!(with.retransmits > 0, "a 10% drop rate must trigger retries");
+    }
+
+    #[test]
+    fn clean_network_needs_no_recovery() {
+        // Long-lived relays + no injected faults: everything delivers on
+        // the first transmission and the recovery machinery stays idle.
+        let mut cfg = recovery_cfg(ProtocolKind::CurMix, FaultConfig::NONE, 14);
+        cfg.world.lifetime = LifetimeDistribution::pareto_with_median(1_000_000.0);
+        cfg.world.downtime = LifetimeDistribution::pareto_with_median(1.0);
+        let (res, stats) = run_recovery_experiment_traced(&cfg);
+        assert_eq!(res.delivered, res.metrics.messages_sent);
+        assert_eq!(res.retransmits, 0);
+        assert_eq!(stats.fault_drops, 0);
+        assert_eq!(stats.crash_wipes, 0);
+    }
+
+    #[test]
+    fn erasure_ordering_holds_under_moderate_faults() {
+        // The fixed-2x-overhead comparison set under injected faults:
+        // per-segment success sits well above the binomial crossover, so
+        // redundancy (SimRep/SimEra) must clearly beat the single path.
+        // The SimEra-vs-SimRep gap at that operating point is small, so at
+        // unit-test scale (75 messages) it is asserted with a sampling
+        // tolerance; the strict ordering shows at experiment scale.
+        let faults = FaultConfig {
+            link_drop: 0.08,
+            ..moderate_faults()
+        };
+        let mut rates = [0.0f64; 3];
+        let protos = [
+            ProtocolKind::CurMix,
+            ProtocolKind::SimRep { k: 2 },
+            ProtocolKind::SimEra { k: 4, r: 2 },
+        ];
+        for seed in [21u64, 22, 23] {
+            for (i, p) in protos.iter().enumerate() {
+                let mut cfg = recovery_cfg(*p, faults, seed);
+                cfg.recovery.retry_budget = 0;
+                rates[i] += run_recovery_experiment(&cfg).delivery_rate();
+            }
+        }
+        let (cur, rep, era) = (rates[0] / 3.0, rates[1] / 3.0, rates[2] / 3.0);
+        assert!(
+            rep > cur && era > cur,
+            "redundancy must beat the single path: cur {cur:.3} rep {rep:.3} era {era:.3}"
+        );
+        assert!(
+            era >= rep - 0.05,
+            "SimEra must match SimRep within tolerance: rep {rep:.3} era {era:.3}"
         );
     }
 }

@@ -371,6 +371,18 @@ impl Relay {
         }
     }
 
+    /// Crash-restart: the node stays reachable but loses all soft path
+    /// state, the failure mode injected by `simnet::FaultPlan`. Unlike
+    /// [`Relay::sweep`], this is invisible to TTL accounting — upstream
+    /// hops only find out when their next payload dies with
+    /// [`AnonError::UnknownStream`]. Returns the number of entries wiped.
+    pub fn crash(&mut self) -> usize {
+        let wiped = self.forward.len();
+        self.forward.clear();
+        self.reverse.clear();
+        wiped
+    }
+
     /// Reclaim expired path state (§4.3's answer to orphaned entries).
     /// Returns the number of entries removed.
     pub fn sweep(&mut self, now: SimTime) -> usize {
@@ -633,6 +645,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_wipes_state_and_breaks_the_path() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = build_net(&mut rng, 2);
+        let links = run_construction(&mut net, NodeId(1000), &mut rng, SimTime::ZERO);
+        let (from, sid) = links[0];
+        assert_eq!(net.relays[0].crash(), 1);
+        assert_eq!(net.relays[0].cached_paths(), 0);
+        let seg = Segment::new(0, vec![9]);
+        let (blob, _) = build_payload_onion(&net.plan, MessageId(2), &seg, None, &mut rng);
+        let err = net.relays[0]
+            .handle_payload(from, sid, &blob, SimTime::ZERO, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, AnonError::UnknownStream);
     }
 
     #[test]

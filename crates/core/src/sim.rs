@@ -8,7 +8,7 @@
 //! semantics the message-level implementation exhibits, minus the
 //! cryptography (benchmarked separately; it does not affect who wins).
 
-use crate::mix::{choose_disjoint_paths, MixStrategy};
+use crate::mix::{choose_disjoint_paths, choose_path, MixStrategy};
 use crate::AnonError;
 use membership::{MembershipConfig, MembershipLayer, NodeCache};
 use rand::rngs::StdRng;
@@ -25,6 +25,7 @@ use std::cell::Cell;
 pub struct WorldStats {
     traversals: Cell<u64>,
     links: Cell<u64>,
+    probes: Cell<u64>,
 }
 
 impl WorldStats {
@@ -38,6 +39,28 @@ impl WorldStats {
     pub fn links(&self) -> u64 {
         self.links.get()
     }
+
+    /// Failure-localization probes issued (§4.5 timeout/retry rounds).
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+}
+
+/// How an initiator learns which hop of a failed path is dead (§4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureDetection {
+    /// Instant, free knowledge of the failed hop — the seed experiments'
+    /// simplification (mix choice gets failure information at the moment
+    /// of the failure, with no probing cost).
+    Oracle,
+    /// The paper's timeout/retry localization: the initiator probes hops
+    /// in path order; each live hop costs one probe round trip over the
+    /// path prefix, and the dead hop costs a full `probe_timeout` wait.
+    Timed {
+        /// How long the initiator waits on a silent hop before declaring
+        /// it dead.
+        probe_timeout: SimDuration,
+    },
 }
 
 /// Parameters of a simulated network.
@@ -133,6 +156,10 @@ pub struct World {
     pub rng: StdRng,
     /// Evaluation counters (traversals, links walked).
     pub stats: WorldStats,
+    /// Failure-detection model; defaults to the historical
+    /// [`FailureDetection::Oracle`] so existing experiments are
+    /// bit-identical, recovery experiments switch to `Timed`.
+    pub detection: FailureDetection,
 }
 
 impl World {
@@ -155,6 +182,7 @@ impl World {
             membership,
             rng,
             stats: WorldStats::default(),
+            detection: FailureDetection::Oracle,
         }
     }
 
@@ -207,6 +235,14 @@ impl World {
     /// §4.5 failure detection: after a failed traversal the initiator
     /// localizes the dead hop by timeout/retry and records the death in its
     /// own cache, so subsequent (especially biased) mix choices avoid it.
+    ///
+    /// Returns when the localization finishes. Under
+    /// [`FailureDetection::Oracle`] that is `now` — knowledge is free, the
+    /// historical behavior. Under [`FailureDetection::Timed`] the
+    /// initiator is charged the §4.5 cost (one probe round trip per live
+    /// prefix hop, then a `probe_timeout` wait on the silent one) and the
+    /// death is only recorded at that later instant, so biased mix choice
+    /// no longer gets failure knowledge for free.
     pub fn report_failure(
         &mut self,
         initiator: NodeId,
@@ -214,13 +250,92 @@ impl World {
         responder: NodeId,
         failed_hop: usize,
         now: SimTime,
-    ) {
+    ) -> SimTime {
         let node = if failed_hop < relays.len() {
             relays[failed_hop]
         } else {
             responder
         };
-        self.membership.cache_mut(initiator).record_death(node, now);
+        let detected_at = match self.detection {
+            FailureDetection::Oracle => now,
+            FailureDetection::Timed { probe_timeout } => {
+                let mut t = now;
+                let mut prefix = SimDuration::ZERO;
+                let mut prev = initiator;
+                for (i, &hop) in relays.iter().chain(std::iter::once(&responder)).enumerate() {
+                    prefix += self.latency.owd(prev, hop);
+                    self.stats.probes.set(self.stats.probes.get() + 1);
+                    if i < failed_hop {
+                        t += prefix + prefix; // live hop: probe echo round trip
+                    } else {
+                        t += probe_timeout; // silent hop: wait out the timeout
+                        break;
+                    }
+                    prev = hop;
+                }
+                t
+            }
+        };
+        self.membership
+            .cache_mut(initiator)
+            .record_death(node, detected_at);
+        detected_at
+    }
+
+    /// §4.5 localization against ground truth: probe the path's hops in
+    /// order starting at `now` and return `(first dead hop index, when the
+    /// procedure finishes)`. Unlike [`World::report_failure`] — which is
+    /// told who failed and only accounts the cost — this *discovers* the
+    /// dead hop by probing liveness at each probe's arrival instant, so a
+    /// transiently dropped segment (injected fault, not churn) yields
+    /// `None`: every hop answers and the initiator knows to simply retry.
+    pub fn localize_failure(
+        &mut self,
+        initiator: NodeId,
+        relays: &[NodeId],
+        responder: NodeId,
+        now: SimTime,
+        probe_timeout: SimDuration,
+    ) -> (Option<usize>, SimTime) {
+        let mut t = now;
+        let mut prefix = SimDuration::ZERO;
+        let mut prev = initiator;
+        for (i, &hop) in relays.iter().chain(std::iter::once(&responder)).enumerate() {
+            prefix += self.latency.owd(prev, hop);
+            self.stats.probes.set(self.stats.probes.get() + 1);
+            if self.schedule.is_up(hop, t + prefix) {
+                t += prefix + prefix;
+            } else {
+                t += probe_timeout;
+                let node = if i < relays.len() {
+                    relays[i]
+                } else {
+                    responder
+                };
+                self.membership.cache_mut(initiator).record_death(node, t);
+                return (Some(i), t);
+            }
+            prev = hop;
+        }
+        (None, t)
+    }
+
+    /// Pick one replacement path avoiding `exclude` (torn-down relays,
+    /// endpoints), using the same mix choice as initial construction —
+    /// §4.5's repair step.
+    pub fn pick_replacement_path(
+        &mut self,
+        initiator: NodeId,
+        responder: NodeId,
+        exclude: &[NodeId],
+        strategy: MixStrategy,
+        now: SimTime,
+    ) -> Result<Vec<NodeId>, AnonError> {
+        let l = self.cfg.l;
+        let mut avoid = vec![initiator, responder];
+        avoid.extend_from_slice(exclude);
+        let cache = self.membership.cache(initiator);
+        choose_path(cache, l, &avoid, strategy, now, &mut self.rng)
     }
 
     /// Hop-by-hop traversal: each hop must be up at its arrival instant
@@ -476,6 +591,78 @@ mod tests {
         w.send_over_path(NodeId(0), &relays, NodeId(4), SimTime::from_secs(20));
         assert_eq!(w.stats.traversals(), 2);
         assert_eq!(w.stats.links(), 8, "two full 4-link traversals");
+    }
+
+    #[test]
+    fn oracle_report_failure_is_instant() {
+        let mut w = tiny_world(9);
+        let t = SimTime::from_secs(500);
+        let detected = w.report_failure(
+            NodeId(0),
+            &[NodeId(2), NodeId(3), NodeId(4)],
+            NodeId(1),
+            1,
+            t,
+        );
+        assert_eq!(detected, t, "oracle knowledge is free");
+    }
+
+    #[test]
+    fn timed_report_failure_charges_probe_cost() {
+        let mut w = tiny_world(9);
+        let timeout = SimDuration::from_secs(2);
+        w.detection = FailureDetection::Timed {
+            probe_timeout: timeout,
+        };
+        let t = SimTime::from_secs(500);
+        let relays = [NodeId(2), NodeId(3), NodeId(4)];
+        // First hop dead: exactly one timeout, no echo round trips.
+        let d0 = w.report_failure(NodeId(0), &relays, NodeId(1), 0, t);
+        assert_eq!(d0, t + timeout);
+        // Deeper failures cost strictly more (echo RTTs accumulate).
+        let d2 = w.report_failure(NodeId(0), &relays, NodeId(1), 2, t);
+        assert!(d2 > d0);
+        assert!(w.stats.probes() >= 4, "1 + 3 probes issued");
+    }
+
+    #[test]
+    fn localize_failure_finds_the_down_hop_or_clears_the_path() {
+        let mut w = tiny_world(10);
+        w.pin_up(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        let t = SimTime::from_secs(1000);
+        let timeout = SimDuration::from_secs(2);
+        // All-up path: no hop blamed, cost = echo RTTs only.
+        let (hop, done) =
+            w.localize_failure(NodeId(0), &[NodeId(2), NodeId(3)], NodeId(4), t, timeout);
+        assert_eq!(hop, None);
+        assert!(done > t && done < t + timeout);
+        // Path through a node that is down around t: blamed with a timeout.
+        let down = (5..64)
+            .map(NodeId)
+            .find(|&n| {
+                !w.schedule.is_up(n, t) && !w.schedule.is_up(n, t + SimDuration::from_secs(5))
+            })
+            .expect("someone is down under churn");
+        let (hop, done) = w.localize_failure(NodeId(0), &[down, NodeId(3)], NodeId(4), t, timeout);
+        assert_eq!(hop, Some(0));
+        assert_eq!(done, t + timeout, "first probe waited out the timeout");
+    }
+
+    #[test]
+    fn replacement_path_avoids_excluded_relays() {
+        let mut w = tiny_world(11);
+        let t = SimTime::from_secs(300);
+        w.advance_gossip(t);
+        let bad: Vec<NodeId> = (2..8).map(NodeId).collect();
+        let path = w
+            .pick_replacement_path(NodeId(0), NodeId(1), &bad, MixStrategy::Biased, t)
+            .unwrap();
+        assert_eq!(path.len(), 3);
+        for hop in &path {
+            assert!(!bad.contains(hop));
+            assert_ne!(*hop, NodeId(0));
+            assert_ne!(*hop, NodeId(1));
+        }
     }
 
     #[test]

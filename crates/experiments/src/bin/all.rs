@@ -19,6 +19,7 @@ fn main() {
         "tab4",
         "eq4",
         "validate",
+        "recovery",
         "extensions",
         "membership_ablation",
         "attack",

@@ -11,14 +11,15 @@ use anon_core::anonymity;
 use anon_core::metrics::ProtocolMetrics;
 use anon_core::mix::MixStrategy;
 use anon_core::protocols::runner::{
-    run_performance_experiment_traced, run_setup_experiment_traced, PerfConfig, SetupConfig,
+    run_performance_experiment_traced, run_recovery_experiment_traced, run_setup_experiment_traced,
+    PerfConfig, RecoveryConfig, RecoveryParams, SetupConfig,
 };
 use anon_core::protocols::ProtocolKind;
 use anon_core::sim::WorldConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::trace::Samples;
-use simnet::{LifetimeDistribution, SimTime};
+use simnet::{FaultConfig, LifetimeDistribution, SimDuration, SimTime};
 
 /// Scale of an experiment run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -533,6 +534,175 @@ pub struct Eq4Row {
     pub simulated: f64,
     /// Effective anonymity-set size (`1 / exact`).
     pub set_size: f64,
+}
+
+// ----------------------------------------------------------- Recovery sweep
+
+/// One aggregated row of the recovery experiment: a
+/// `(protocol, fault level, retry budget)` point, averaged across seeds.
+#[derive(Clone, Debug)]
+pub struct RecoveryRow {
+    /// `protocol/fault/budget` label.
+    pub label: String,
+    /// Fraction of messages the responder reconstructed.
+    pub delivery: f64,
+    /// Fraction that ended with some but fewer than `m` segments.
+    pub partial: f64,
+    /// Mean delivery latency (ms) over delivered messages.
+    pub latency_ms: f64,
+    /// Retransmitted segments per first-transmission segment.
+    pub retransmit_overhead: f64,
+    /// Mean paths torn down and rebuilt per run.
+    pub paths_rebuilt: f64,
+    /// Mean injected link drops per run (fault-intensity sanity check).
+    pub fault_drops: f64,
+}
+
+/// The named fault levels the recovery sweep visits.
+pub fn recovery_fault_levels() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("clean", FaultConfig::NONE),
+        (
+            "moderate",
+            FaultConfig {
+                link_drop: 0.05,
+                spike_prob: 0.05,
+                spike_factor: 4.0,
+                crashes_per_hour: 0.5,
+                view_staleness: SimDuration::from_secs(60),
+            },
+        ),
+        (
+            "heavy",
+            FaultConfig {
+                link_drop: 0.12,
+                spike_prob: 0.10,
+                spike_factor: 6.0,
+                crashes_per_hour: 2.0,
+                view_staleness: SimDuration::from_secs(300),
+            },
+        ),
+    ]
+}
+
+/// Recovery experiment: fault intensity × protocol (fixed 2× overhead
+/// comparison set) × retry budget, every `(point, seed)` one sharded job.
+pub fn recovery_data(scale: Scale, threads: usize) -> Traced<Vec<RecoveryRow>> {
+    let protocols = [
+        ProtocolKind::CurMix,
+        ProtocolKind::SimRep { k: 2 },
+        ProtocolKind::SimEra { k: 4, r: 2 },
+    ];
+    let budgets = [0u32, 2];
+    let messages = match scale {
+        Scale::Full => 50,
+        Scale::Quick => 12,
+    };
+    let seeds = scale.seeds();
+
+    let mut points: Vec<(String, RecoveryConfig)> = Vec::new();
+    for (fault_name, faults) in recovery_fault_levels() {
+        for protocol in protocols {
+            for budget in budgets {
+                let label = format!("{}/{}/b{}", protocol.label(), fault_name, budget);
+                let cfg = RecoveryConfig {
+                    world: scale.world(0),
+                    protocol,
+                    strategy: MixStrategy::Biased,
+                    faults,
+                    recovery: RecoveryParams {
+                        retry_budget: budget,
+                        ..RecoveryParams::default()
+                    },
+                    warmup: scale.warmup(),
+                    msg_interval: SimDuration::from_secs(20),
+                    msg_bytes: 1024,
+                    messages,
+                };
+                points.push((label, cfg));
+            }
+        }
+    }
+
+    // Flat per-run tuple collected back from the pool:
+    // (delivery, partial, latency_ms, retx_overhead, paths_rebuilt, fault_drops).
+    type RecoveryRun = (f64, f64, f64, f64, f64, f64);
+
+    let jobs: Vec<RunSpec<RecoveryConfig>> = points
+        .iter()
+        .flat_map(|(label, base)| {
+            seeds.iter().map(move |&seed| RunSpec {
+                label: label.clone(),
+                seed,
+                payload: RecoveryConfig {
+                    world: WorldConfig {
+                        seed,
+                        ..base.world.clone()
+                    },
+                    ..base.clone()
+                },
+            })
+        })
+        .collect();
+
+    let (results, traces) = run_all("recovery", jobs, threads, |spec| {
+        let (res, stats) = run_recovery_experiment_traced(&spec.payload);
+        let partial_rate = if res.metrics.messages_sent == 0 {
+            0.0
+        } else {
+            res.partial as f64 / res.metrics.messages_sent as f64
+        };
+        let values = vec![
+            ("delivery_rate".to_string(), res.delivery_rate()),
+            ("partial_rate".to_string(), partial_rate),
+            ("latency_ms".to_string(), res.metrics.latency_ms.mean()),
+            ("retransmit_overhead".to_string(), res.retransmit_overhead()),
+            ("paths_rebuilt".to_string(), res.paths_rebuilt as f64),
+            ("fault_drops".to_string(), stats.fault_drops as f64),
+        ];
+        (
+            (
+                res.delivery_rate(),
+                partial_rate,
+                res.metrics.latency_ms.mean(),
+                res.retransmit_overhead(),
+                res.paths_rebuilt as f64,
+                stats.fault_drops as f64,
+            ),
+            stats,
+            values,
+        )
+    });
+
+    let s = seeds.len();
+    let data = points
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| {
+            let runs: &[RecoveryRun] = &results[i * s..(i + 1) * s];
+            let mean = |f: fn(&RecoveryRun) -> f64| runs.iter().map(f).sum::<f64>() / s as f64;
+            RecoveryRow {
+                label: label.clone(),
+                delivery: mean(|r| r.0),
+                partial: mean(|r| r.1),
+                // Latency means can be NaN for runs that delivered nothing;
+                // average only the finite ones.
+                latency_ms: {
+                    let finite: Vec<f64> =
+                        runs.iter().map(|r| r.2).filter(|v| v.is_finite()).collect();
+                    if finite.is_empty() {
+                        f64::NAN
+                    } else {
+                        finite.iter().sum::<f64>() / finite.len() as f64
+                    }
+                },
+                retransmit_overhead: mean(|r| r.3),
+                paths_rebuilt: mean(|r| r.4),
+                fault_drops: mean(|r| r.5),
+            }
+        })
+        .collect();
+    Traced { data, traces }
 }
 
 /// §5: `P(x = I)` for `N = 1024`, `L = 3` over a sweep of `f`.

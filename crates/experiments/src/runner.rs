@@ -227,6 +227,10 @@ impl TraceSet {
                 "    {{\"label\": {}, \"seed\": {}, \"wall_ms\": {:.3}, \
                  \"engine\": {{\"scheduled\": {}, \"processed\": {}, \"cancelled\": {}, \
                  \"max_pending\": {}}}, \"traversals\": {}, \"links\": {}, \
+                 \"loss\": {{\"lost\": {}, \"stateless_drops\": {}, \"fault_drops\": {}, \
+                 \"crash_wipes\": {}}}, \
+                 \"recovery\": {{\"segments_sent\": {}, \"retransmits\": {}, \"acks\": {}, \
+                 \"ack_timeouts\": {}, \"probes\": {}, \"paths_rebuilt\": {}}}, \
                  \"values\": {{{}}}}}",
                 json_str(&t.label),
                 t.seed,
@@ -237,6 +241,16 @@ impl TraceSet {
                 e.max_pending,
                 t.stats.traversals,
                 t.stats.links,
+                t.stats.lost,
+                t.stats.stateless_drops,
+                t.stats.fault_drops,
+                t.stats.crash_wipes,
+                t.stats.segments_sent,
+                t.stats.retransmits,
+                t.stats.acks,
+                t.stats.ack_timeouts,
+                t.stats.probes,
+                t.stats.paths_rebuilt,
                 values.join(", "),
             );
             let _ = writeln!(out, "{}", if i + 1 < self.traces.len() { "," } else { "" });
@@ -266,20 +280,22 @@ impl TraceSet {
     }
 
     /// Long-format CSV: one row per `(run, metric)` pair, engine counters
-    /// repeated per row.
+    /// and loss/recovery accounting repeated per row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "experiment,label,seed,wall_ms,scheduled,processed,cancelled,max_pending,\
-             traversals,links,metric,value\n",
+             traversals,links,lost,stateless_drops,fault_drops,crash_wipes,\
+             segments_sent,retransmits,acks,ack_timeouts,probes,paths_rebuilt,\
+             metric,value\n",
         );
         for t in &self.traces {
             let e = &t.stats.engine;
             for (metric, value) in &t.values {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{:.3},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     self.experiment,
-                    t.label,
+                    csv_field(&t.label),
                     t.seed,
                     t.wall_ms,
                     e.scheduled,
@@ -288,6 +304,16 @@ impl TraceSet {
                     e.max_pending,
                     t.stats.traversals,
                     t.stats.links,
+                    t.stats.lost,
+                    t.stats.stateless_drops,
+                    t.stats.fault_drops,
+                    t.stats.crash_wipes,
+                    t.stats.segments_sent,
+                    t.stats.retransmits,
+                    t.stats.acks,
+                    t.stats.ack_timeouts,
+                    t.stats.probes,
+                    t.stats.paths_rebuilt,
                     metric,
                     value,
                 );
@@ -304,7 +330,7 @@ impl TraceSet {
             let _ = writeln!(
                 out,
                 "{},{},{},{},{},{},{}",
-                row.label,
+                csv_field(&row.label),
                 row.metric,
                 s.count(),
                 s.mean(),
@@ -359,6 +385,16 @@ impl TraceSet {
                 s.count(),
             );
         }
+    }
+}
+
+/// RFC-4180 quoting for label fields: protocol labels such as
+/// `SimEra(k=4,r=2)` contain commas and would otherwise shift columns.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -478,6 +514,23 @@ mod tests {
             1 + 4,
             "header plus one line per run-metric"
         );
+        let header = csv.lines().next().unwrap();
+        for col in [
+            "lost",
+            "fault_drops",
+            "retransmits",
+            "ack_timeouts",
+            "probes",
+        ] {
+            assert!(header.contains(col), "loss accounting column {col} missing");
+        }
+        assert_eq!(
+            header.split(',').count(),
+            csv.lines().nth(1).unwrap().split(',').count(),
+            "every row must carry every column"
+        );
+        assert!(json.contains("\"loss\""));
+        assert!(json.contains("\"recovery\""));
         let agg_csv = set.aggregate_csv();
         assert_eq!(agg_csv.lines().count(), 1 + 3);
     }
@@ -499,6 +552,13 @@ mod tests {
         assert!(results.is_empty());
         assert!(set.traces.is_empty());
         assert!(set.aggregate().is_empty());
+    }
+
+    #[test]
+    fn csv_label_quoting() {
+        assert_eq!(csv_field("CurMix/biased"), "CurMix/biased");
+        assert_eq!(csv_field("SimEra(k=4,r=2)/b0"), "\"SimEra(k=4,r=2)/b0\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Deterministic, seed-derived fault injection.
+//!
+//! A [`FaultPlan`] composes four adversarial ingredients on top of the
+//! churn schedule's up/down ground truth:
+//!
+//! * **per-link message drops** — every link transmission is dropped with
+//!   probability `link_drop`;
+//! * **latency spikes** — with probability `spike_prob` a transmission's
+//!   one-way delay is stretched by a jittered factor in
+//!   `[1, spike_factor]`;
+//! * **relay crash-restarts** — each node carries a pre-generated Poisson
+//!   schedule of crash instants; a crash wipes the relay's soft state
+//!   (path caches) while the node itself stays up, the failure mode that
+//!   state TTLs and sweeping cannot observe from the outside;
+//! * **stale membership views** — gossip is held back by `view_staleness`,
+//!   so mix choice runs on old liveness information.
+//!
+//! All decisions are *pure functions* of `(seed, link, instant)` — drop and
+//! spike outcomes come from a splitmix-style hash, crash schedules are
+//! pre-generated per node from a seed-derived RNG. No call order, thread
+//! count or query interleaving can change an injected fault sequence, which
+//! keeps every faulted experiment bit-replayable.
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault intensities; [`FaultConfig::NONE`] disables every ingredient.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that any single link transmission is dropped.
+    pub link_drop: f64,
+    /// Probability that a transmission suffers a latency spike.
+    pub spike_prob: f64,
+    /// Maximum one-way-delay multiplier of a spike (jittered in
+    /// `[1, spike_factor]`); values `<= 1` disable spikes.
+    pub spike_factor: f64,
+    /// Mean crash-restarts per node per hour (Poisson).
+    pub crashes_per_hour: f64,
+    /// How far membership views lag behind real time.
+    pub view_staleness: SimDuration,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub const NONE: FaultConfig = FaultConfig {
+        link_drop: 0.0,
+        spike_prob: 0.0,
+        spike_factor: 1.0,
+        crashes_per_hour: 0.0,
+        view_staleness: SimDuration::ZERO,
+    };
+
+    /// Whether every ingredient is disabled.
+    pub fn is_none(&self) -> bool {
+        self.link_drop <= 0.0
+            && (self.spike_prob <= 0.0 || self.spike_factor <= 1.0)
+            && self.crashes_per_hour <= 0.0
+            && self.view_staleness == SimDuration::ZERO
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// A deterministic fault schedule over `n` nodes (see module docs).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    seed: u64,
+    crashes: Vec<Vec<SimTime>>,
+}
+
+const TAG_DROP: u64 = 0xD20F;
+const TAG_SPIKE: u64 = 0x57E1;
+const TAG_JITTER: u64 = 0x1177;
+const TAG_CRASH: u64 = 0xC2A5;
+
+/// One round of splitmix64 finalization.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash `(seed, tag, a, b)` to a uniform `[0, 1)` value.
+fn unit(seed: u64, tag: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix(splitmix(splitmix(seed ^ tag).wrapping_add(a)).wrapping_add(b));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn link_word(from: NodeId, to: NodeId) -> u64 {
+    ((from.0 as u64) << 32) | to.0 as u64
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing.
+    pub fn none() -> Self {
+        FaultPlan {
+            cfg: FaultConfig::NONE,
+            seed: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Build a plan for `n` nodes covering `[0, horizon)`. Identical
+    /// `(n, cfg, horizon, seed)` inputs yield an identical plan.
+    pub fn new(n: usize, cfg: FaultConfig, horizon: SimTime, seed: u64) -> Self {
+        let crashes = (0..n)
+            .map(|i| {
+                if cfg.crashes_per_hour <= 0.0 {
+                    return Vec::new();
+                }
+                let mut rng = StdRng::seed_from_u64(splitmix(seed ^ TAG_CRASH) ^ i as u64);
+                let mean_secs = 3600.0 / cfg.crashes_per_hour;
+                let mut t = SimTime::ZERO;
+                let mut out = Vec::new();
+                loop {
+                    let u: f64 = 1.0 - rng.gen::<f64>();
+                    t += SimDuration::from_secs_f64(-mean_secs * u.ln());
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+                out
+            })
+            .collect();
+        FaultPlan { cfg, seed, crashes }
+    }
+
+    /// The intensities this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.cfg.is_none()
+    }
+
+    /// Whether the transmission departing on `(from → to)` at `depart` is
+    /// dropped.
+    pub fn drops(&self, from: NodeId, to: NodeId, depart: SimTime) -> bool {
+        self.cfg.link_drop > 0.0
+            && unit(self.seed, TAG_DROP, link_word(from, to), depart.as_micros())
+                < self.cfg.link_drop
+    }
+
+    /// The (possibly spiked) one-way delay for a transmission departing on
+    /// `(from → to)` at `depart`; returns `owd` unchanged when no spike
+    /// fires.
+    pub fn scale_owd(
+        &self,
+        owd: SimDuration,
+        from: NodeId,
+        to: NodeId,
+        depart: SimTime,
+    ) -> SimDuration {
+        if self.cfg.spike_prob <= 0.0 || self.cfg.spike_factor <= 1.0 {
+            return owd;
+        }
+        let link = link_word(from, to);
+        if unit(self.seed, TAG_SPIKE, link, depart.as_micros()) >= self.cfg.spike_prob {
+            return owd;
+        }
+        let jitter = unit(self.seed, TAG_JITTER, link, depart.as_micros());
+        let factor = 1.0 + (self.cfg.spike_factor - 1.0) * jitter;
+        SimDuration((owd.as_micros() as f64 * factor).round() as u64)
+    }
+
+    /// The pre-generated crash instants of `node` (sorted ascending;
+    /// empty for nodes beyond the plan's size).
+    pub fn crash_times(&self, node: NodeId) -> &[SimTime] {
+        self.crashes
+            .get(node.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total crash events across all nodes.
+    pub fn total_crashes(&self) -> usize {
+        self.crashes.iter().map(Vec::len).sum()
+    }
+
+    /// The instant membership views reflect when real time is `now`
+    /// (lagged by `view_staleness`, floored at zero).
+    pub fn stale_view_time(&self, now: SimTime) -> SimTime {
+        SimTime(
+            now.as_micros()
+                .saturating_sub(self.cfg.view_staleness.as_micros()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harsh() -> FaultConfig {
+        FaultConfig {
+            link_drop: 0.2,
+            spike_prob: 0.3,
+            spike_factor: 4.0,
+            crashes_per_hour: 2.0,
+            view_staleness: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let owd = SimDuration::from_millis(40);
+        for i in 0..200u64 {
+            let t = SimTime::from_secs(i);
+            assert!(!plan.drops(NodeId(1), NodeId(2), t));
+            assert_eq!(plan.scale_owd(owd, NodeId(1), NodeId(2), t), owd);
+        }
+        assert_eq!(plan.total_crashes(), 0);
+        assert_eq!(
+            plan.stale_view_time(SimTime::from_secs(9)),
+            SimTime::from_secs(9)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let horizon = SimTime::from_secs(7200);
+        let a = FaultPlan::new(32, harsh(), horizon, 99);
+        let b = FaultPlan::new(32, harsh(), horizon, 99);
+        for i in 0..32 {
+            assert_eq!(a.crash_times(NodeId(i)), b.crash_times(NodeId(i)));
+        }
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(i * 37);
+            let (x, y) = (NodeId((i % 7) as u32), NodeId((i % 11) as u32));
+            assert_eq!(a.drops(x, y, t), b.drops(x, y, t));
+            let owd = SimDuration::from_millis(40);
+            assert_eq!(a.scale_owd(owd, x, y, t), b.scale_owd(owd, x, y, t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let horizon = SimTime::from_secs(7200);
+        let a = FaultPlan::new(16, harsh(), horizon, 1);
+        let b = FaultPlan::new(16, harsh(), horizon, 2);
+        let mut differs = false;
+        for i in 0..2000u64 {
+            let t = SimTime::from_millis(i * 13);
+            if a.drops(NodeId(0), NodeId(1), t) != b.drops(NodeId(0), NodeId(1), t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "independent seeds must produce different drops");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(
+            4,
+            FaultConfig {
+                link_drop: 0.25,
+                ..FaultConfig::NONE
+            },
+            SimTime::from_secs(10),
+            5,
+        );
+        let trials = 20_000u64;
+        let dropped = (0..trials)
+            .filter(|&i| plan.drops(NodeId(0), NodeId(1), SimTime(i * 101)))
+            .count();
+        let rate = dropped as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn spikes_bounded_by_factor() {
+        let plan = FaultPlan::new(
+            4,
+            FaultConfig {
+                spike_prob: 1.0,
+                spike_factor: 3.0,
+                ..FaultConfig::NONE
+            },
+            SimTime::from_secs(10),
+            6,
+        );
+        let owd = SimDuration::from_millis(50);
+        let mut spiked = 0;
+        for i in 0..1000u64 {
+            let scaled = plan.scale_owd(owd, NodeId(2), NodeId(3), SimTime(i * 7));
+            assert!(scaled >= owd, "spikes never shorten delays");
+            assert!(scaled.as_micros() <= owd.as_micros() * 3 + 1);
+            if scaled > owd {
+                spiked += 1;
+            }
+        }
+        assert!(spiked > 900, "spike_prob = 1 must nearly always spike");
+    }
+
+    #[test]
+    fn crash_schedule_in_horizon_and_sorted() {
+        let horizon = SimTime::from_secs(3600);
+        let plan = FaultPlan::new(24, harsh(), horizon, 7);
+        assert!(plan.total_crashes() > 0, "2/hour over 24 nodes must crash");
+        for i in 0..24 {
+            let times = plan.crash_times(NodeId(i));
+            for w in times.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(times.iter().all(|&t| t < horizon));
+        }
+        assert!(plan.crash_times(NodeId(999)).is_empty());
+    }
+
+    #[test]
+    fn stale_view_lags_and_floors() {
+        let plan = FaultPlan::new(2, harsh(), SimTime::from_secs(100), 8);
+        assert_eq!(
+            plan.stale_view_time(SimTime::from_secs(90)),
+            SimTime::from_secs(30)
+        );
+        assert_eq!(plan.stale_view_time(SimTime::from_secs(10)), SimTime::ZERO);
+    }
+}

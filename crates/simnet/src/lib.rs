@@ -16,6 +16,8 @@
 //! * [`latency`] — synthetic pairwise one-way-delay matrix calibrated to a
 //!   target average RTT (the paper's network averages 152 ms RTT).
 //! * [`churn`] — lifetime distributions and per-node session schedules.
+//! * [`fault`] — deterministic seed-derived fault injection (link drops,
+//!   latency spikes, relay crash-restarts, stale membership views).
 //! * [`node`] — node identifiers.
 //! * [`trace`] — statistics accumulators used by the evaluation framework.
 
@@ -24,6 +26,7 @@
 
 pub mod churn;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod node;
 pub mod time;
@@ -31,6 +34,7 @@ pub mod trace;
 
 pub use churn::{ChurnSchedule, LifetimeDistribution, Session};
 pub use engine::{Engine, EventHandle};
+pub use fault::{FaultConfig, FaultPlan};
 pub use latency::LatencyMatrix;
 pub use node::NodeId;
 pub use time::{SimDuration, SimTime};

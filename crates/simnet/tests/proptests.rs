@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::trace::{Samples, Summary};
 use simnet::{
-    ChurnSchedule, Engine, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime,
+    ChurnSchedule, Engine, FaultConfig, FaultPlan, LatencyMatrix, LifetimeDistribution, NodeId,
+    SimDuration, SimTime,
 };
 
 proptest! {
@@ -151,6 +152,87 @@ proptest! {
         // three families (the Pareto CDF is left-discontinuous at β).
         let at_median = dist.cdf(dist.median_secs() + 1e-9);
         prop_assert!((at_median - 0.5).abs() < 1e-3, "cdf(median) = {}", at_median);
+    }
+
+    /// Up/down sessions strictly alternate, and `fails_at` names exactly
+    /// the end of the session containing the query instant.
+    #[test]
+    fn churn_fails_at_matches_sessions(
+        n in 1usize..16,
+        median in 60.0f64..2000.0,
+        seed in any::<u64>(),
+        probe in 0u64..3000,
+    ) {
+        let horizon = SimTime::from_secs(3000);
+        let dist = LifetimeDistribution::pareto_with_median(median);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
+        let t = SimTime::from_secs(probe);
+        for i in 0..n {
+            let node = NodeId::from(i);
+            let containing = sched
+                .sessions(node)
+                .iter()
+                .find(|s| s.start <= t && t < s.end)
+                .copied();
+            match containing {
+                Some(s) => {
+                    prop_assert!(sched.is_up(node, t));
+                    prop_assert_eq!(sched.fails_at(node, t), Some(s.end));
+                }
+                None => {
+                    prop_assert!(!sched.is_up(node, t));
+                    prop_assert_eq!(sched.fails_at(node, t), None);
+                }
+            }
+        }
+    }
+
+    /// A fault plan is a pure function of (seed, config): two plans built
+    /// from the same inputs agree on every drop decision, every latency
+    /// scaling and every crash schedule.
+    #[test]
+    fn fault_plan_is_seed_deterministic(
+        n in 2usize..32,
+        seed in any::<u64>(),
+        drop in 0.0f64..0.5,
+        spike in 0.0f64..0.5,
+        crashes in 0.0f64..5.0,
+        probes in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let cfg = FaultConfig {
+            link_drop: drop,
+            spike_prob: spike,
+            spike_factor: 5.0,
+            crashes_per_hour: crashes,
+            view_staleness: SimDuration::from_secs(30),
+        };
+        let horizon = SimTime::from_secs(7200);
+        let a = FaultPlan::new(n, cfg, horizon, seed);
+        let b = FaultPlan::new(n, cfg, horizon, seed);
+        let owd = SimDuration::from_millis(40);
+        for &raw in &probes {
+            // Unpack one random word into a (from, to, time) probe.
+            let from = NodeId((raw % n as u64) as u32);
+            let to = NodeId(((raw >> 8) % n as u64) as u32);
+            let at = SimTime((raw >> 16) % 7_200_000_000);
+            prop_assert_eq!(a.drops(from, to, at), b.drops(from, to, at));
+            prop_assert_eq!(a.scale_owd(owd, from, to, at), b.scale_owd(owd, from, to, at));
+            // Spikes only ever lengthen a link, bounded by the factor.
+            let scaled = a.scale_owd(owd, from, to, at);
+            prop_assert!(scaled >= owd);
+            prop_assert!(scaled.as_micros() <= (owd.as_micros() as f64 * 5.0).ceil() as u64 + 1);
+        }
+        for node in 0..n {
+            let node = NodeId::from(node);
+            prop_assert_eq!(a.crash_times(node), b.crash_times(node));
+            for w in a.crash_times(node).windows(2) {
+                prop_assert!(w[0] < w[1], "crash schedules are strictly ordered");
+            }
+            for &c in a.crash_times(node) {
+                prop_assert!(c <= horizon);
+            }
+        }
     }
 
     /// SimTime/SimDuration arithmetic is consistent.
