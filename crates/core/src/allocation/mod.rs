@@ -19,6 +19,7 @@
 //! Figure 2/3 plot), the observation classifier, and the bandwidth model
 //! behind Figure 4 / Tables 2–4.
 
+use crate::metrics::SuccessRule;
 use rand::Rng;
 
 /// Which of the paper's three observations applies.
@@ -98,7 +99,7 @@ pub fn p_of_k(k: usize, r: usize, p: f64) -> f64 {
         k >= 1 && k.is_multiple_of(r),
         "k must be a positive multiple of r (got k={k}, r={r})"
     );
-    binomial_tail(k, k / r, p)
+    binomial_tail(k, SuccessRule::Quorum { k, r }.needed(), p)
 }
 
 /// SimRep's delivery probability with `k` full copies: at least one path
@@ -142,7 +143,7 @@ pub fn simulate_p_of_k<R: Rng>(
     rng: &mut R,
 ) -> f64 {
     assert!(k.is_multiple_of(r) && k >= 1);
-    let need = k / r;
+    let need = SuccessRule::Quorum { k, r }.needed();
     let mut successes = 0usize;
     for _ in 0..trials {
         let mut ok_paths = 0usize;

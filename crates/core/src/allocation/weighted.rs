@@ -115,6 +115,7 @@ pub fn allocate_best(n: usize, m: usize, probs: &[f64]) -> (Vec<usize>, f64) {
 mod tests {
     use super::*;
     use crate::allocation::{binomial_tail, p_of_k};
+    use crate::metrics::SuccessRule;
 
     #[test]
     fn dp_matches_binomial_for_homogeneous_paths() {
@@ -123,7 +124,7 @@ mod tests {
         for &(k, r, p) in &[(4usize, 2usize, 0.6f64), (8, 4, 0.343), (6, 3, 0.85)] {
             let alloc = vec![1usize; k];
             let probs = vec![p; k];
-            let m = k / r;
+            let m = SuccessRule::Quorum { k, r }.needed();
             let dp = delivery_probability(&alloc, &probs, m);
             assert!((dp - binomial_tail(k, m, p)).abs() < 1e-12);
             assert!((dp - p_of_k(k, r, p)).abs() < 1e-12);

@@ -12,8 +12,9 @@
 
 use crate::endpoint::{Initiator, Outgoing};
 use crate::ids::{MessageId, StreamId};
-use crate::onion::{build_reverse_payload, peel_reverse_payload, PathPlan, PayloadLayer};
-use crate::relay::{Relay, RelayAction};
+use crate::onion::{build_reverse_payload_into, peel_reverse_payload_in_place, PathPlan};
+use crate::pool::BufferPool;
+use crate::relay::{PeeledAction, Relay, RelayAction};
 use erasure::Segment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,6 +102,10 @@ pub struct DriverWorld {
     /// When the responder acks traffic end to end (reverse onions for
     /// every delivery and construction completion).
     pub auto_ack: bool,
+    /// Recycled message buffers: every in-flight onion is one owned
+    /// `Vec<u8>` peeled/wrapped in place hop to hop, and terminated
+    /// messages return their capacity here for the next launch.
+    pub pool: BufferPool,
     initiator: NodeId,
     /// Initiator-side path plans keyed by initiator stream id, needed to
     /// peel reverse onions arriving back at the initiator.
@@ -187,6 +192,7 @@ impl Driver {
             fault_drops: 0,
             crash_wipes: 0,
             auto_ack: false,
+            pool: BufferPool::new(),
             initiator: initiator_id,
             plans: HashMap::new(),
             pending_acks: HashMap::new(),
@@ -272,7 +278,7 @@ impl Driver {
     /// Schedule a payload onion to leave the initiator at `at`.
     pub fn launch_payload(&mut self, msg: &Outgoing, at: SimTime) {
         let wire = Wire::Payload {
-            blob: msg.blob.clone(),
+            blob: self.world.pool.get_copy(&msg.blob),
         };
         Self::send(
             &mut self.engine,
@@ -305,6 +311,9 @@ impl Driver {
                 let now = e.now();
                 if w.faults.drops(from, to, now) {
                     w.fault_drops += 1;
+                    if let Wire::Payload { blob } | Wire::Reverse { blob } = wire {
+                        w.pool.put(blob);
+                    }
                     return;
                 }
                 let owd = w.faults.scale_owd(w.latency.owd(from, to), from, to, now);
@@ -328,6 +337,9 @@ impl Driver {
         let now = e.now();
         if !w.schedule.is_up(to, now) {
             w.lost += 1;
+            if let Wire::Payload { blob } | Wire::Reverse { blob } = wire {
+                w.pool.put(blob);
+            }
             return;
         }
         // Lazily apply crash-restarts from the fault plan: the first time
@@ -348,28 +360,30 @@ impl Driver {
         // Reverse traffic terminating at the initiator: peel all layers
         // with the registered path plan and log the ack.
         if to == w.initiator {
-            if let Wire::Reverse { blob } = wire {
+            if let Wire::Reverse { mut blob } = wire {
                 let Some(plan) = w.plans.get(&sid) else {
                     w.stateless_drops += 1;
+                    w.pool.put(blob);
                     return;
                 };
-                match peel_reverse_payload(plan, &blob, None) {
-                    Ok((mid, segment)) => {
+                match peel_reverse_payload_in_place(plan, &mut blob, None) {
+                    Ok((mid, index)) => {
                         if mid == CONSTRUCT_ACK {
                             w.established.push((sid, now));
                         } else {
-                            if let Some(timer) = w.pending_acks.remove(&(mid, segment.index)) {
+                            if let Some(timer) = w.pending_acks.remove(&(mid, index)) {
                                 timer.cancel();
                             }
                             w.acks.push(AckRecord {
                                 mid,
-                                index: segment.index,
+                                index,
                                 at: now,
                             });
                         }
                     }
                     Err(_) => w.stateless_drops += 1,
                 }
+                w.pool.put(blob);
                 return;
             }
         }
@@ -400,10 +414,12 @@ impl Driver {
                         session_key,
                     });
                     if w.auto_ack {
-                        let blob = build_reverse_payload(
+                        let mut blob = w.pool.get();
+                        build_reverse_payload_into(
                             &session_key,
                             CONSTRUCT_ACK,
                             &Segment::new(0, Vec::new()),
+                            &mut blob,
                             &mut w.rng,
                         );
                         Self::send(e, to, from, sid, Wire::Reverse { blob }, now);
@@ -412,55 +428,60 @@ impl Driver {
                 Ok(_) => unreachable!("construction actions only"),
                 Err(_) => w.stateless_drops += 1,
             },
-            Wire::Payload { blob } => {
-                match relay.handle_payload(from, sid, &blob, now, &mut w.rng) {
-                    Ok(RelayAction::ForwardPayload {
+            Wire::Payload { mut blob } => {
+                match relay.handle_payload_in_place(from, sid, &mut blob, now, &mut w.rng) {
+                    Ok(PeeledAction::Forward {
                         to: next,
                         sid: nsid,
-                        blob: inner,
                     }) => {
-                        Self::send(e, to, next, nsid, Wire::Payload { blob: inner }, now);
+                        // The peeled inner onion stays in `blob`: forward
+                        // the same buffer, no copy.
+                        Self::send(e, to, next, nsid, Wire::Payload { blob }, now);
                     }
-                    Ok(RelayAction::Delivered { layer }) => match layer {
-                        PayloadLayer::Deliver { mid, segment } => {
-                            let index = segment.index;
-                            w.deliveries.push(DeliveryRecord {
+                    Ok(PeeledAction::Deliver { mid, index }) => {
+                        w.deliveries.push(DeliveryRecord {
+                            mid,
+                            index,
+                            at: now,
+                            from,
+                            sid,
+                        });
+                        if w.auto_ack {
+                            let key = w.relays[&to]
+                                .terminal_key(from, sid)
+                                .expect("terminal entry just used");
+                            // Reuse the delivered onion's buffer for the
+                            // reverse ack travelling back.
+                            build_reverse_payload_into(
+                                &key,
                                 mid,
-                                index,
-                                at: now,
-                                from,
-                                sid,
-                            });
-                            if w.auto_ack {
-                                let key = w.relays[&to]
-                                    .terminal_key(from, sid)
-                                    .expect("terminal entry just used");
-                                let blob = build_reverse_payload(
-                                    &key,
-                                    mid,
-                                    &Segment::new(index, Vec::new()),
-                                    &mut w.rng,
-                                );
-                                Self::send(e, to, from, sid, Wire::Reverse { blob }, now);
-                            }
+                                &Segment::new(index, Vec::new()),
+                                &mut blob,
+                                &mut w.rng,
+                            );
+                            Self::send(e, to, from, sid, Wire::Reverse { blob }, now);
+                        } else {
+                            w.pool.put(blob);
                         }
-                        other => panic!("unexpected terminal layer {other:?}"),
-                    },
-                    Ok(_) => unreachable!("payload actions only"),
-                    Err(_) => w.stateless_drops += 1,
+                    }
+                    Ok(PeeledAction::DeliveredOwned { layer }) => {
+                        panic!("unexpected terminal layer {layer:?}")
+                    }
+                    Err(_) => {
+                        w.stateless_drops += 1;
+                        w.pool.put(blob);
+                    }
                 }
             }
-            Wire::Reverse { blob } => {
-                match relay.handle_reverse(from, sid, &blob, now, &mut w.rng) {
-                    Ok(RelayAction::ForwardReverse {
-                        to: prev,
-                        sid: psid,
-                        blob: wrapped,
-                    }) => {
-                        Self::send(e, to, prev, psid, Wire::Reverse { blob: wrapped }, now);
+            Wire::Reverse { mut blob } => {
+                match relay.handle_reverse_in_place(from, sid, &mut blob, now, &mut w.rng) {
+                    Ok((prev, psid)) => {
+                        Self::send(e, to, prev, psid, Wire::Reverse { blob }, now);
                     }
-                    Ok(_) => unreachable!("reverse actions only"),
-                    Err(_) => w.stateless_drops += 1,
+                    Err(_) => {
+                        w.stateless_drops += 1;
+                        w.pool.put(blob);
+                    }
                 }
             }
             Wire::Release => {

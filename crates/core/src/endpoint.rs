@@ -4,7 +4,7 @@
 //! The initiator holds the [`PathPlan`]s for its `k` disjoint paths,
 //! erasure-codes outgoing messages, allocates segments to paths
 //! round-robin (SimEra's even allocation), and strips reverse onions from
-//! replies. The responder is a [`Relay`] whose terminal cache entries feed
+//! replies. The responder is a [`Relay`](crate::relay::Relay) whose terminal cache entries feed
 //! a [`Reassembler`] that reconstructs messages once any `m` segments of a
 //! `MID` have arrived.
 

@@ -53,6 +53,7 @@
 //!   the §7 staying-adversary analysis.
 //! * [`rendezvous`] — §3 mutual anonymity via a rendezvous point.
 //! * [`metrics`] — the four-metric evaluation framework (§6.1).
+//! * [`pool`] — reusable byte-buffer pool backing the driver hot path.
 //! * [`sim`] — trajectory-level world: churn + latency + membership.
 //! * [`protocols`] — CurMix, SimRep, SimEra end-to-end drivers.
 
@@ -70,6 +71,7 @@ pub mod ids;
 pub mod metrics;
 pub mod mix;
 pub mod onion;
+pub mod pool;
 pub mod protocols;
 pub mod relay;
 pub mod rendezvous;

@@ -1,9 +1,19 @@
 //! Mix choice (§4.9): how the initiator picks relay nodes for its paths.
 //!
 //! *Random* choice samples uniformly from the node cache; *biased* choice
-//! ranks candidates by the node-liveness predictor `q` and takes the top
-//! ones, so the first paths are built from the most stable nodes ("biased
-//! mix choice makes the top k/r paths very stable").
+//! ranks candidates by the node-liveness predictor (paper §4.9, Eq. 3)
+//!
+//! ```text
+//! q = Δt_alive / (Δt_alive + Δt_since + (t_now − t_last))
+//! ```
+//!
+//! and takes the top ones. Under the Pareto(α) session-time distribution
+//! measured for deployed P2P systems, the probability that a node stays
+//! alive for a further window conditional on its observed uptime is
+//! `p = q^α` (Eq. 1–2, implemented in `membership::liveness`), so ranking
+//! by `q` ranks by survival probability and the first paths are built from
+//! the most stable nodes ("biased mix choice makes the top k/r paths very
+//! stable").
 //!
 //! Disjointness: the paper spreads coded segments over `k` *node-disjoint*
 //! paths, so one relay failure can break at most one path. We draw `k·L`
@@ -49,6 +59,37 @@ impl MixStrategy {
 ///
 /// Returns `k` relay lists of length `l`. Fails if the cache cannot supply
 /// `k * l` distinct candidates.
+///
+/// ```
+/// use anon_core::mix::{choose_disjoint_paths, MixStrategy};
+/// use membership::{LivenessInfo, NodeCache};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use simnet::{NodeId, SimDuration, SimTime};
+///
+/// // A cache where node i has been up for 100·(i+1) seconds: higher ids
+/// // have higher predictor values q (uptime dominates equal staleness).
+/// let now = SimTime::from_secs(1_000);
+/// let mut cache = NodeCache::new();
+/// for i in 0..12 {
+///     cache.hear_indirect(
+///         NodeId(i),
+///         LivenessInfo::alive(
+///             SimDuration::from_secs(100 * (i as u64 + 1)),
+///             SimDuration::from_secs(50),
+///         ),
+///         now,
+///     );
+/// }
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let paths =
+///     choose_disjoint_paths(&cache, 2, 3, &[NodeId(0)], MixStrategy::Biased, now, &mut rng)
+///         .unwrap();
+/// // Two node-disjoint paths; biased choice concentrates the highest-q
+/// // relays in the first one.
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0], vec![NodeId(11), NodeId(10), NodeId(9)]);
+/// ```
 pub fn choose_disjoint_paths<R: Rng>(
     cache: &NodeCache,
     k: usize,

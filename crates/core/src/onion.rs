@@ -41,7 +41,10 @@ use crate::ids::MessageId;
 use crate::AnonError;
 use erasure::Segment;
 use rand::{CryptoRng, Rng};
-use sim_crypto::{seal, sym_decrypt, sym_encrypt, PublicKey, SecretKey, SymmetricKey};
+use sim_crypto::{
+    seal, sym_decrypt, sym_decrypt_in_place, sym_encrypt, sym_encrypt_in_place, PublicKey,
+    SecretKey, SymmetricKey,
+};
 use simnet::NodeId;
 
 const TAG_RELAY: u8 = 0x01;
@@ -213,6 +216,50 @@ pub enum PayloadLayer {
     },
 }
 
+/// A payload layer peeled *in place*: the variant carries only the parsed
+/// header; the body (inner ciphertext, segment bytes, …) stays in the
+/// caller's buffer. The allocation-free counterpart of [`PayloadLayer`],
+/// used on the per-hop forwarding hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeeledPayload {
+    /// Relay: the buffer now holds the next hop's ciphertext.
+    Forward,
+    /// Responder: the buffer now holds the coded segment's bytes.
+    Deliver {
+        /// Message id correlating segments across paths.
+        mid: MessageId,
+        /// Segment index within the erasure-coded message.
+        index: usize,
+    },
+    /// Last relay, path reuse: the buffer now holds the ciphertext for the
+    /// overriding destination.
+    Redirect {
+        /// Overriding destination.
+        new_dest: NodeId,
+    },
+    /// New responder, path reuse: the buffer now holds
+    /// `sealed_key || inner`; split it at `sealed_len`.
+    DeliverWithKey {
+        /// Length of the sealed-key prefix in the buffer.
+        sealed_len: usize,
+    },
+}
+
+/// Shift `buf`'s tail left so the first `header` bytes disappear.
+fn strip_prefix_in_place(buf: &mut Vec<u8>, header: usize) {
+    buf.copy_within(header.., 0);
+    buf.truncate(buf.len() - header);
+}
+
+/// Grow `buf` by one byte and plant `tag` at the front (the `Forward`
+/// framing) without allocating when capacity suffices.
+fn prepend_tag_in_place(buf: &mut Vec<u8>, tag: u8) {
+    let len = buf.len();
+    buf.resize(len + 1, 0);
+    buf.copy_within(..len, 1);
+    buf[0] = tag;
+}
+
 fn deliver_plaintext(mid: MessageId, segment: &Segment) -> Vec<u8> {
     let mut p = Vec::with_capacity(13 + segment.data.len());
     p.push(TAG_DELIVER);
@@ -220,6 +267,16 @@ fn deliver_plaintext(mid: MessageId, segment: &Segment) -> Vec<u8> {
     p.extend_from_slice(&(segment.index as u32).to_be_bytes());
     p.extend_from_slice(&segment.data);
     p
+}
+
+/// Write a `Deliver` plaintext into `buf` (cleared first), avoiding the
+/// fresh vector [`deliver_plaintext`] allocates.
+fn deliver_plaintext_into(buf: &mut Vec<u8>, mid: MessageId, segment: &Segment) {
+    buf.clear();
+    buf.push(TAG_DELIVER);
+    buf.extend_from_slice(&mid.to_bytes());
+    buf.extend_from_slice(&(segment.index as u32).to_be_bytes());
+    buf.extend_from_slice(&segment.data);
 }
 
 /// Build a payload onion along `plan` carrying one coded segment.
@@ -238,46 +295,35 @@ pub fn build_payload_onion<R: Rng + CryptoRng>(
     rng: &mut R,
 ) -> (Vec<u8>, Option<SymmetricKey>) {
     let num_relays = plan.num_relays();
-    let (mut blob, reuse_key) = match redirect {
-        None => {
-            // Innermost: Deliver under the responder's session key.
-            let inner = deliver_plaintext(mid, segment);
-            (
-                sym_encrypt(&plan.session_keys[num_relays], &inner, rng),
-                None,
-            )
-        }
-        Some((new_dest, new_dest_pub)) => {
-            // Fresh key for the new responder, sealed to its public key.
-            let fresh = SymmetricKey::generate(rng);
-            let sealed_key = seal(&new_dest_pub, &fresh.to_bytes(), rng);
-            let deliver_ct = sym_encrypt(&fresh, &deliver_plaintext(mid, segment), rng);
-            let mut dwk = Vec::with_capacity(5 + sealed_key.len() + deliver_ct.len());
-            dwk.push(TAG_DELIVER_WITH_KEY);
-            dwk.extend_from_slice(&(sealed_key.len() as u32).to_be_bytes());
-            dwk.extend_from_slice(&sealed_key);
-            dwk.extend_from_slice(&deliver_ct);
-            // Redirect layer for the last relay.
-            let mut redirect_layer = Vec::with_capacity(5 + dwk.len());
-            redirect_layer.push(TAG_REDIRECT);
-            redirect_layer.extend_from_slice(&new_dest.0.to_be_bytes());
-            redirect_layer.extend_from_slice(&dwk);
-            (
-                sym_encrypt(&plan.session_keys[num_relays - 1], &redirect_layer, rng),
-                Some(fresh),
-            )
-        }
+    let Some((new_dest, new_dest_pub)) = redirect else {
+        // Innermost: Deliver under the responder's session key. Shares the
+        // in-place construction path (identical bytes and RNG draws; see
+        // `build_payload_onion_into`).
+        let mut buf = Vec::new();
+        build_payload_onion_into(plan, mid, segment, &mut buf, rng);
+        return (buf, None);
     };
+    // Fresh key for the new responder, sealed to its public key.
+    let fresh = SymmetricKey::generate(rng);
+    let sealed_key = seal(&new_dest_pub, &fresh.to_bytes(), rng);
+    let deliver_ct = sym_encrypt(&fresh, &deliver_plaintext(mid, segment), rng);
+    let mut dwk = Vec::with_capacity(5 + sealed_key.len() + deliver_ct.len());
+    dwk.push(TAG_DELIVER_WITH_KEY);
+    dwk.extend_from_slice(&(sealed_key.len() as u32).to_be_bytes());
+    dwk.extend_from_slice(&sealed_key);
+    dwk.extend_from_slice(&deliver_ct);
+    // Redirect layer for the last relay.
+    let mut redirect_layer = Vec::with_capacity(5 + dwk.len());
+    redirect_layer.push(TAG_REDIRECT);
+    redirect_layer.extend_from_slice(&new_dest.0.to_be_bytes());
+    redirect_layer.extend_from_slice(&dwk);
+    let mut blob = sym_encrypt(&plan.session_keys[num_relays - 1], &redirect_layer, rng);
+    let reuse_key = Some(fresh);
 
-    // Wrap Forward layers for the remaining relays, inner to outer. With a
-    // redirect the last relay's layer is already built, so start one hop
+    // Wrap Forward layers for the remaining relays, inner to outer. The
+    // last relay's layer (the redirect) is already built, so start one hop
     // earlier.
-    let outer_relays = if redirect.is_some() {
-        num_relays - 1
-    } else {
-        num_relays
-    };
-    for i in (0..outer_relays).rev() {
+    for i in (0..num_relays - 1).rev() {
         let mut layer = Vec::with_capacity(1 + blob.len());
         layer.push(TAG_FORWARD);
         layer.extend_from_slice(&blob);
@@ -290,6 +336,77 @@ pub fn build_payload_onion<R: Rng + CryptoRng>(
 pub fn peel_payload_layer(key: &SymmetricKey, blob: &[u8]) -> Result<PayloadLayer, AnonError> {
     let plaintext = sym_decrypt(key, blob)?;
     parse_payload_plaintext(&plaintext)
+}
+
+/// Build a non-redirect payload onion *into* `buf` (cleared first),
+/// reusing its capacity: the deliver plaintext is written once and every
+/// layer is encrypted in place on top of it.
+///
+/// Byte-for-byte and RNG-draw-for-draw identical to
+/// [`build_payload_onion`] with `redirect = None`; that function now
+/// delegates here.
+pub fn build_payload_onion_into<R: Rng + CryptoRng>(
+    plan: &PathPlan,
+    mid: MessageId,
+    segment: &Segment,
+    buf: &mut Vec<u8>,
+    rng: &mut R,
+) {
+    let num_relays = plan.num_relays();
+    deliver_plaintext_into(buf, mid, segment);
+    sym_encrypt_in_place(&plan.session_keys[num_relays], buf, rng);
+    for i in (0..num_relays).rev() {
+        prepend_tag_in_place(buf, TAG_FORWARD);
+        sym_encrypt_in_place(&plan.session_keys[i], buf, rng);
+    }
+}
+
+/// Peel one payload layer *in place*: decrypt `buf` under `key`, strip
+/// the layer header, and leave the body in `buf`. Allocation-free — the
+/// per-hop counterpart of [`peel_payload_layer`], which this mirrors
+/// exactly (same parse rules, same errors). On error `buf` holds the
+/// decrypted-but-unstripped plaintext only if decryption itself
+/// succeeded; callers treat the buffer as dead on any error.
+pub fn peel_payload_layer_in_place(
+    key: &SymmetricKey,
+    buf: &mut Vec<u8>,
+) -> Result<PeeledPayload, AnonError> {
+    sym_decrypt_in_place(key, buf).map_err(AnonError::Crypto)?;
+    match buf.first() {
+        Some(&TAG_FORWARD) => {
+            strip_prefix_in_place(buf, 1);
+            Ok(PeeledPayload::Forward)
+        }
+        Some(&TAG_DELIVER) => {
+            if buf.len() < 13 {
+                return Err(AnonError::Malformed("short deliver layer"));
+            }
+            let mid = MessageId::from_bytes(buf[1..9].try_into().unwrap());
+            let index = u32::from_be_bytes(buf[9..13].try_into().unwrap()) as usize;
+            strip_prefix_in_place(buf, 13);
+            Ok(PeeledPayload::Deliver { mid, index })
+        }
+        Some(&TAG_REDIRECT) => {
+            if buf.len() < 5 {
+                return Err(AnonError::Malformed("short redirect layer"));
+            }
+            let new_dest = NodeId(u32::from_be_bytes(buf[1..5].try_into().unwrap()));
+            strip_prefix_in_place(buf, 5);
+            Ok(PeeledPayload::Redirect { new_dest })
+        }
+        Some(&TAG_DELIVER_WITH_KEY) => {
+            if buf.len() < 5 {
+                return Err(AnonError::Malformed("short deliver-with-key layer"));
+            }
+            let sealed_len = u32::from_be_bytes(buf[1..5].try_into().unwrap()) as usize;
+            if buf.len() < 5 + sealed_len {
+                return Err(AnonError::Malformed("deliver-with-key length mismatch"));
+            }
+            strip_prefix_in_place(buf, 5);
+            Ok(PeeledPayload::DeliverWithKey { sealed_len })
+        }
+        _ => Err(AnonError::Malformed("unknown payload layer tag")),
+    }
 }
 
 /// Parse an already-decrypted payload plaintext (used by the new responder
@@ -345,7 +462,22 @@ pub fn build_reverse_payload<R: Rng + CryptoRng>(
     segment: &Segment,
     rng: &mut R,
 ) -> Vec<u8> {
-    sym_encrypt(responder_key, &deliver_plaintext(mid, segment), rng)
+    let mut buf = Vec::new();
+    build_reverse_payload_into(responder_key, mid, segment, &mut buf, rng);
+    buf
+}
+
+/// [`build_reverse_payload`] into a caller-supplied buffer (cleared
+/// first), reusing its capacity. Identical output bytes and RNG draws.
+pub fn build_reverse_payload_into<R: Rng + CryptoRng>(
+    responder_key: &SymmetricKey,
+    mid: MessageId,
+    segment: &Segment,
+    buf: &mut Vec<u8>,
+    rng: &mut R,
+) {
+    deliver_plaintext_into(buf, mid, segment);
+    sym_encrypt_in_place(responder_key, buf, rng);
 }
 
 /// Relay side on the reverse path: add one layer with the cached session
@@ -359,6 +491,17 @@ pub fn wrap_reverse_layer<R: Rng + CryptoRng>(
     sym_encrypt(key, blob, rng)
 }
 
+/// [`wrap_reverse_layer`] in place: the layer grows `buf` by the
+/// symmetric overhead, reusing its capacity. Identical output bytes and
+/// RNG draws.
+pub fn wrap_reverse_layer_in_place<R: Rng + CryptoRng>(
+    key: &SymmetricKey,
+    buf: &mut Vec<u8>,
+    rng: &mut R,
+) {
+    sym_encrypt_in_place(key, buf, rng);
+}
+
 /// Initiator side: strip all `L + 1` reverse layers and recover the reply
 /// segment. `responder_key_override` replaces the plan's responder key for
 /// reused paths (where a fresh key was generated per message).
@@ -367,19 +510,53 @@ pub fn peel_reverse_payload(
     blob: &[u8],
     responder_key_override: Option<&SymmetricKey>,
 ) -> Result<(MessageId, Segment), AnonError> {
-    let mut current = blob.to_vec();
+    let mut buf = blob.to_vec();
+    let (mid, index) = peel_reverse_payload_in_place(plan, &mut buf, responder_key_override)?;
+    Ok((mid, Segment::new(index, buf)))
+}
+
+/// [`peel_reverse_payload`] in place: strips all `L + 1` layers within
+/// `buf`, leaving the reply segment's bytes there, and returns the
+/// message id and segment index. Allocation-free.
+pub fn peel_reverse_payload_in_place(
+    plan: &PathPlan,
+    buf: &mut Vec<u8>,
+    responder_key_override: Option<&SymmetricKey>,
+) -> Result<(MessageId, usize), AnonError> {
     // Relay layers were added in traversal order P_L .. P_1, so the
     // outermost is P_1's.
     for i in 0..plan.num_relays() {
-        current = sym_decrypt(&plan.session_keys[i], &current)?;
+        sym_decrypt_in_place(&plan.session_keys[i], buf)?;
     }
     let responder_key = responder_key_override.unwrap_or(&plan.session_keys[plan.num_relays()]);
-    let plaintext = sym_decrypt(responder_key, &current)?;
-    match parse_payload_plaintext(&plaintext)? {
-        PayloadLayer::Deliver { mid, segment } => Ok((mid, segment)),
+    sym_decrypt_in_place(responder_key, buf)?;
+    match peel_responder_plaintext(buf)? {
+        PeeledPayload::Deliver { mid, index } => Ok((mid, index)),
         _ => Err(AnonError::Malformed(
             "reverse payload must be a deliver layer",
         )),
+    }
+}
+
+/// Parse and strip an already-decrypted payload header held in `buf`
+/// (shared by the reverse-peel path; the forward path does this inside
+/// [`peel_payload_layer_in_place`]).
+fn peel_responder_plaintext(buf: &mut Vec<u8>) -> Result<PeeledPayload, AnonError> {
+    match buf.first() {
+        Some(&TAG_DELIVER) => {
+            if buf.len() < 13 {
+                return Err(AnonError::Malformed("short deliver layer"));
+            }
+            let mid = MessageId::from_bytes(buf[1..9].try_into().unwrap());
+            let index = u32::from_be_bytes(buf[9..13].try_into().unwrap()) as usize;
+            strip_prefix_in_place(buf, 13);
+            Ok(PeeledPayload::Deliver { mid, index })
+        }
+        Some(&TAG_FORWARD) => {
+            strip_prefix_in_place(buf, 1);
+            Ok(PeeledPayload::Forward)
+        }
+        _ => Err(AnonError::Malformed("unknown payload layer tag")),
     }
 }
 
@@ -590,6 +767,66 @@ mod tests {
         assert!(peel_reverse_payload(&plan, &blob, None).is_err());
         let (_, got) = peel_reverse_payload(&plan, &blob, Some(&fresh)).unwrap();
         assert_eq!(got, seg);
+    }
+
+    #[test]
+    fn in_place_payload_pipeline_matches_allocating_one() {
+        // Build with both APIs under identical RNG streams, peel each hop
+        // with both APIs, and require bit-identical blobs at every stage.
+        let mut setup = StdRng::seed_from_u64(11);
+        let (hops, _) = make_hops(&mut setup, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut setup);
+        let mut rng_a = StdRng::seed_from_u64(10);
+        let mut rng_b = StdRng::seed_from_u64(10);
+        let mid = MessageId(321);
+        let seg = Segment::new(3, b"hot path bytes".to_vec());
+
+        let (blob, _) = build_payload_onion(&plan, mid, &seg, None, &mut rng_a);
+        let mut buf = Vec::new();
+        build_payload_onion_into(&plan, mid, &seg, &mut buf, &mut rng_b);
+        assert_eq!(buf, blob);
+
+        let mut alloc_blob = blob;
+        for i in 0..plan.num_relays() {
+            let peeled = peel_payload_layer_in_place(&plan.session_keys[i], &mut buf).unwrap();
+            assert_eq!(peeled, PeeledPayload::Forward);
+            match peel_payload_layer(&plan.session_keys[i], &alloc_blob).unwrap() {
+                PayloadLayer::Forward { inner } => alloc_blob = inner,
+                other => panic!("expected forward, got {other:?}"),
+            }
+            assert_eq!(buf, alloc_blob, "hop {i} diverged");
+        }
+        let last = plan.num_relays();
+        let peeled = peel_payload_layer_in_place(&plan.session_keys[last], &mut buf).unwrap();
+        assert_eq!(peeled, PeeledPayload::Deliver { mid, index: 3 });
+        assert_eq!(buf, seg.data);
+    }
+
+    #[test]
+    fn in_place_reverse_pipeline_matches_allocating_one() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (hops, _) = make_hops(&mut rng, 4);
+        let (plan, _) = build_construction_onion(&hops, &mut rng);
+        let mid = MessageId(900);
+        let seg = Segment::new(7, b"reply bytes".to_vec());
+
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let blob = build_reverse_payload(&plan.session_keys[3], mid, &seg, &mut rng_a);
+        let mut buf = Vec::new();
+        build_reverse_payload_into(&plan.session_keys[3], mid, &seg, &mut buf, &mut rng_b);
+        assert_eq!(buf, blob);
+
+        let mut alloc = blob;
+        for i in (0..plan.num_relays()).rev() {
+            wrap_reverse_layer_in_place(&plan.session_keys[i], &mut buf, &mut rng_b);
+            alloc = wrap_reverse_layer(&plan.session_keys[i], &alloc, &mut rng_a);
+            // Same RNG draws → same bytes at every wrapping stage.
+            assert_eq!(buf, alloc);
+        }
+        let (got_mid, index) = peel_reverse_payload_in_place(&plan, &mut buf, None).unwrap();
+        assert_eq!((got_mid, index), (mid, 7));
+        assert_eq!(buf, seg.data);
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl ProtocolKind {
                         "SimEra requires k a positive multiple of r (k={k}, r={r})"
                     )));
                 }
-                ErasureCodec::new(k / r, k)
+                ErasureCodec::new(SuccessRule::Quorum { k, r }.needed(), k)
                     .map(|c| Box::new(c) as Box<dyn Codec>)
                     .map_err(Into::into)
             }

@@ -8,12 +8,13 @@
 //! (§4.3) refreshed by payload traffic, and [`Relay::sweep`] reclaims
 //! orphaned state left behind by failed upstream nodes.
 
-use crate::ids::StreamId;
+use crate::ids::{MessageId, StreamId};
 use crate::onion::{
-    peel_construction_layer, peel_payload_layer, wrap_reverse_layer, ConstructionLayer,
-    PayloadLayer,
+    peel_construction_layer, peel_payload_layer, peel_payload_layer_in_place,
+    wrap_reverse_layer_in_place, ConstructionLayer, PayloadLayer, PeeledPayload,
 };
 use crate::AnonError;
+use erasure::Segment;
 use rand::{CryptoRng, Rng};
 use sim_crypto::{KeyPair, PublicKey, SymmetricKey};
 use simnet::{NodeId, SimDuration, SimTime};
@@ -73,6 +74,33 @@ pub enum RelayAction {
         sid: StreamId,
         /// One-layer-wrapped response.
         blob: Vec<u8>,
+    },
+}
+
+/// Allocation-free result of [`Relay::handle_payload_in_place`]: the
+/// processed bytes stay in the caller's buffer; only headers are parsed
+/// out. Cold §4.4 paths fall back to the owned [`PayloadLayer`].
+#[derive(Debug)]
+pub enum PeeledAction {
+    /// Send the buffer (now one layer lighter) downstream.
+    Forward {
+        /// Next hop.
+        to: NodeId,
+        /// Stream id on the downstream link.
+        sid: StreamId,
+    },
+    /// Terminal delivery: the coded segment's bytes are in the buffer.
+    Deliver {
+        /// Message id correlating segments across paths.
+        mid: MessageId,
+        /// Segment index within the erasure-coded message.
+        index: usize,
+    },
+    /// Terminal delivery on a cold path (deliver-with-key / unsolicited
+    /// §4.4 reuse): the fully parsed, owned layer.
+    DeliveredOwned {
+        /// The terminal payload layer.
+        layer: PayloadLayer,
     },
 }
 
@@ -187,6 +215,10 @@ impl Relay {
 
     /// Process a forward payload message (§4.2, §4.4). Refreshes the
     /// entry's TTL (payload traffic doubles as path refresh, §4.3).
+    ///
+    /// Allocating wrapper around [`Relay::handle_payload_in_place`] — the
+    /// behavior (cache updates, RNG draws, errors) is identical; only the
+    /// buffer handling differs.
     pub fn handle_payload<R: Rng + CryptoRng>(
         &mut self,
         from: NodeId,
@@ -195,12 +227,40 @@ impl Relay {
         now: SimTime,
         rng: &mut R,
     ) -> Result<RelayAction, AnonError> {
+        let mut buf = blob.to_vec();
+        match self.handle_payload_in_place(from, sid, &mut buf, now, rng)? {
+            PeeledAction::Forward { to, sid } => {
+                Ok(RelayAction::ForwardPayload { to, sid, blob: buf })
+            }
+            PeeledAction::Deliver { mid, index } => Ok(RelayAction::Delivered {
+                layer: PayloadLayer::Deliver {
+                    mid,
+                    segment: Segment::new(index, buf),
+                },
+            }),
+            PeeledAction::DeliveredOwned { layer } => Ok(RelayAction::Delivered { layer }),
+        }
+    }
+
+    /// [`Relay::handle_payload`] without per-hop allocations: the blob
+    /// arrives in `buf`, is peeled in place, and the surviving bytes
+    /// (inner ciphertext or delivered segment) stay in `buf`. On error the
+    /// buffer contents are unspecified.
+    pub fn handle_payload_in_place<R: Rng + CryptoRng>(
+        &mut self,
+        from: NodeId,
+        sid: StreamId,
+        buf: &mut Vec<u8>,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Result<PeeledAction, AnonError> {
         if !self.forward.contains_key(&(from, sid)) {
             // §4.4 path reuse: an unsolicited DeliverWithKey opens a new
             // terminal stream — the new responder unseals its session key
-            // from the payload and caches [P_L, sid'_L, ⊥, R_{L+1}].
+            // from the payload and caches [P_L, sid'_L, ⊥, R_{L+1}]. Cold
+            // path: allocations here are fine.
             if let Ok(crate::onion::PayloadLayer::DeliverWithKey { sealed_key, inner }) =
-                crate::onion::parse_payload_plaintext(blob)
+                crate::onion::parse_payload_plaintext(buf)
             {
                 let key_bytes = sim_crypto::unseal(&self.keypair.secret, &sealed_key)?;
                 let key_bytes: [u8; 32] = key_bytes
@@ -215,8 +275,17 @@ impl Relay {
                         expires: now + self.state_ttl,
                     },
                 );
-                let layer = peel_payload_layer(&key, &inner)?;
-                return Ok(RelayAction::Delivered { layer });
+                return match peel_payload_layer(&key, &inner)? {
+                    PayloadLayer::Deliver { mid, segment } => {
+                        buf.clear();
+                        buf.extend_from_slice(&segment.data);
+                        Ok(PeeledAction::Deliver {
+                            mid,
+                            index: segment.index,
+                        })
+                    }
+                    layer => Ok(PeeledAction::DeliveredOwned { layer }),
+                };
             }
             return Err(AnonError::UnknownStream);
         }
@@ -230,19 +299,14 @@ impl Relay {
         entry.expires = now + self.state_ttl;
         let key = entry.key;
         let next = entry.next;
-        let layer = peel_payload_layer(&key, blob)?;
-        match (layer, next) {
-            (PayloadLayer::Forward { inner }, Some((to, next_sid))) => {
-                Ok(RelayAction::ForwardPayload {
-                    to,
-                    sid: next_sid,
-                    blob: inner,
-                })
+        match (peel_payload_layer_in_place(&key, buf)?, next) {
+            (PeeledPayload::Forward, Some((to, next_sid))) => {
+                Ok(PeeledAction::Forward { to, sid: next_sid })
             }
-            (PayloadLayer::Forward { .. }, None) => {
+            (PeeledPayload::Forward, None) => {
                 Err(AnonError::Malformed("forward layer at terminal hop"))
             }
-            (PayloadLayer::Redirect { new_dest, inner }, Some(_)) => {
+            (PeeledPayload::Redirect { new_dest }, Some(_)) => {
                 // §4.4: override the cached next hop with the new
                 // destination under a fresh stream id.
                 let new_sid = StreamId::generate(rng);
@@ -252,20 +316,27 @@ impl Relay {
                 }
                 entry.next = Some((new_dest, new_sid));
                 self.reverse.insert((new_dest, new_sid), (from, sid));
-                Ok(RelayAction::ForwardPayload {
+                Ok(PeeledAction::Forward {
                     to: new_dest,
                     sid: new_sid,
-                    blob: inner,
                 })
             }
-            (PayloadLayer::Redirect { .. }, None) => {
+            (PeeledPayload::Redirect { .. }, None) => {
                 Err(AnonError::Malformed("redirect at terminal hop"))
             }
-            (
-                layer @ (PayloadLayer::Deliver { .. } | PayloadLayer::DeliverWithKey { .. }),
-                None,
-            ) => Ok(RelayAction::Delivered { layer }),
-            (PayloadLayer::Deliver { .. } | PayloadLayer::DeliverWithKey { .. }, Some(_)) => {
+            (PeeledPayload::Deliver { mid, index }, None) => {
+                Ok(PeeledAction::Deliver { mid, index })
+            }
+            (PeeledPayload::DeliverWithKey { sealed_len }, None) => {
+                // Cold path: materialise the owned layer for the endpoint.
+                Ok(PeeledAction::DeliveredOwned {
+                    layer: PayloadLayer::DeliverWithKey {
+                        sealed_key: buf[..sealed_len].to_vec(),
+                        inner: buf[sealed_len..].to_vec(),
+                    },
+                })
+            }
+            (PeeledPayload::Deliver { .. } | PeeledPayload::DeliverWithKey { .. }, Some(_)) => {
                 Err(AnonError::Malformed("deliver layer at non-terminal hop"))
             }
         }
@@ -282,6 +353,22 @@ impl Relay {
         now: SimTime,
         rng: &mut R,
     ) -> Result<RelayAction, AnonError> {
+        let mut buf = blob.to_vec();
+        let (to, sid) = self.handle_reverse_in_place(from, sid, &mut buf, now, rng)?;
+        Ok(RelayAction::ForwardReverse { to, sid, blob: buf })
+    }
+
+    /// [`Relay::handle_reverse`] without allocations: wraps one layer in
+    /// place (growing `buf` by the symmetric overhead) and returns the
+    /// upstream hop and stream id to send it on.
+    pub fn handle_reverse_in_place<R: Rng + CryptoRng>(
+        &mut self,
+        from: NodeId,
+        sid: StreamId,
+        buf: &mut Vec<u8>,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Result<(NodeId, StreamId), AnonError> {
         let &(prev, prev_sid) = self
             .reverse
             .get(&(from, sid))
@@ -294,12 +381,8 @@ impl Relay {
             return Err(AnonError::UnknownStream);
         }
         entry.expires = now + self.state_ttl;
-        let wrapped = wrap_reverse_layer(&entry.key, blob, rng);
-        Ok(RelayAction::ForwardReverse {
-            to: prev,
-            sid: prev_sid,
-            blob: wrapped,
-        })
+        wrap_reverse_layer_in_place(&entry.key, buf, rng);
+        Ok((prev, prev_sid))
     }
 
     /// Combined construction + payload in one message (§4.2: "We can

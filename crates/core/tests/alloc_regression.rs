@@ -1,0 +1,115 @@
+//! Allocation-count regression test for the in-place onion pipeline.
+//!
+//! The driver's hot path is one owned buffer per in-flight message, peeled
+//! and wrapped in place hop to hop. This test pins that property: after a
+//! warm-up round trip (which sizes the buffer once), a complete 3-hop
+//! payload round trip — build, per-hop forward peels, terminal delivery,
+//! reverse ack build, per-hop reverse wraps, initiator peel — performs
+//! **zero** heap allocations.
+//!
+//! A counting `GlobalAlloc` makes the assertion exact rather than
+//! statistical. The crate's library forbids `unsafe`; this integration
+//! test is its own crate root, where the allocator shim is allowed.
+
+use anon_core::onion::{
+    build_payload_onion_into, build_reverse_payload_into, peel_payload_layer_in_place,
+    peel_reverse_payload_in_place, wrap_reverse_layer_in_place, PathPlan, PeeledPayload,
+};
+use anon_core::MessageId;
+use erasure::Segment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_crypto::SymmetricKey;
+use simnet::NodeId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One full round trip through the in-place pipeline, reusing `buf`.
+fn round_trip(plan: &PathPlan, buf: &mut Vec<u8>, segment: &Segment, rng: &mut StdRng) {
+    // Forward: build the onion, then peel one layer per relay.
+    build_payload_onion_into(plan, MessageId(7), segment, buf, rng);
+    for i in 0..plan.num_relays() {
+        let peeled = peel_payload_layer_in_place(&plan.session_keys[i], buf).expect("relay peel");
+        assert!(matches!(peeled, PeeledPayload::Forward));
+    }
+    // Terminal hop: the responder's layer delivers the segment.
+    let last = plan.num_relays();
+    match peel_payload_layer_in_place(&plan.session_keys[last], buf).expect("terminal peel") {
+        PeeledPayload::Deliver { mid, index } => {
+            assert_eq!(mid, MessageId(7));
+            assert_eq!(index, segment.index);
+        }
+        other => panic!("unexpected terminal layer {other:?}"),
+    }
+    // Reverse: responder acks into the same buffer, each relay wraps,
+    // the initiator strips all L + 1 layers.
+    let empty = Segment::new(segment.index, Vec::new());
+    build_reverse_payload_into(&plan.session_keys[last], MessageId(7), &empty, buf, rng);
+    for i in (0..plan.num_relays()).rev() {
+        wrap_reverse_layer_in_place(&plan.session_keys[i], buf, rng);
+    }
+    let (mid, index) = peel_reverse_payload_in_place(plan, buf, None).expect("initiator peel");
+    assert_eq!(mid, MessageId(7));
+    assert_eq!(index, segment.index);
+}
+
+#[test]
+fn warm_three_hop_round_trip_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let plan = PathPlan {
+        hops: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(9)],
+        session_keys: (0..4).map(|_| SymmetricKey::generate(&mut rng)).collect(),
+    };
+    let segment = Segment::new(3, vec![0xA5u8; 1024]);
+    let mut buf = Vec::new();
+
+    // Warm-up: the first trip grows `buf` to the onion's full size.
+    round_trip(&plan, &mut buf, &segment, &mut rng);
+    assert!(buf.capacity() > 1024, "warm-up sized the buffer");
+
+    // Steady state: every subsequent round trip reuses that capacity and
+    // must not touch the allocator at all.
+    let before = allocations();
+    for _ in 0..16 {
+        round_trip(&plan, &mut buf, &segment, &mut rng);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up in-place round trips must be allocation-free"
+    );
+}

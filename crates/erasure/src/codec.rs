@@ -67,6 +67,20 @@ pub trait Codec {
 const FRAME_LEN: usize = 4;
 
 /// Erasure-coding message codec: the paper's SimEra substrate.
+///
+/// ```
+/// use erasure::{Codec, ErasureCodec};
+///
+/// // (m, n) = (3, 6): six coded segments, any three reconstruct (r = 2).
+/// let codec = ErasureCodec::new(3, 6).unwrap();
+/// let segments = codec.encode(b"anonymous message");
+/// assert_eq!(segments.len(), 6);
+///
+/// // Lose half the segments — the message still decodes, regardless of
+/// // which m survive or in what order they arrive.
+/// let survivors: Vec<_> = segments.into_iter().step_by(2).rev().collect();
+/// assert_eq!(codec.decode(&survivors).unwrap(), b"anonymous message");
+/// ```
 #[derive(Clone, Debug)]
 pub struct ErasureCodec {
     rs: ReedSolomon,

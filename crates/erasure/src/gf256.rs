@@ -1,6 +1,6 @@
 //! Arithmetic over GF(2^8).
 //!
-//! The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. reduction
+//! The field is GF(2)\[x\] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. reduction
 //! polynomial `0x11d`, with `2` (the polynomial `x`) as multiplicative
 //! generator. Multiplication and division go through log/exp tables built at
 //! compile time, so there is no runtime initialisation and no locking; the

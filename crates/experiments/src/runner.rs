@@ -12,7 +12,7 @@
 //!
 //! Each run additionally yields a [`RunTrace`]: wall-clock time, the
 //! engine/timeline counters from
-//! [`RunStats`](anon_core::protocols::runner::RunStats), and named metric
+//! [`RunStats`], and named metric
 //! values. A [`TraceSet`] bundles the traces of one experiment, aggregates
 //! them (mean ± std across seeds) and persists JSON + CSV under
 //! `results/traces/`.

@@ -4,6 +4,13 @@ use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 
 /// HMAC-SHA-256 of `data` under `key`.
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256_parts(key, &[data])
+}
+
+/// HMAC-SHA-256 over the concatenation of `parts`, streamed into the hash
+/// so callers (notably [`hkdf_expand`]) never materialise the joined
+/// message. Allocation-free.
+fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
     let mut k = [0u8; BLOCK_LEN];
     if key.len() > BLOCK_LEN {
         k[..DIGEST_LEN].copy_from_slice(&crate::sha256::sha256(key));
@@ -18,7 +25,9 @@ pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
     }
     let mut inner = Sha256::new();
     inner.update(&ipad);
-    inner.update(data);
+    for part in parts {
+        inner.update(part);
+    }
     let inner_digest = inner.finalize();
 
     let mut outer = Sha256::new();
@@ -37,19 +46,20 @@ pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit).
 pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
     assert!(out.len() <= 255 * DIGEST_LEN, "HKDF output too long");
-    let mut t: Vec<u8> = Vec::new();
+    // T(i-1) is at most one digest; stream T || info || counter into the
+    // MAC so the key schedule runs without heap allocation (it sits under
+    // every packet of the onion hot path).
+    let mut t = [0u8; DIGEST_LEN];
+    let mut t_len = 0usize;
     let mut counter = 1u8;
     let mut filled = 0;
     while filled < out.len() {
-        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
-        msg.extend_from_slice(&t);
-        msg.extend_from_slice(info);
-        msg.push(counter);
-        let block = hmac_sha256(prk, &msg);
+        let block = hmac_sha256_parts(prk, &[&t[..t_len], info, &[counter]]);
         let take = (out.len() - filled).min(DIGEST_LEN);
         out[filled..filled + take].copy_from_slice(&block[..take]);
         filled += take;
-        t = block.to_vec();
+        t = block;
+        t_len = DIGEST_LEN;
         counter = counter.wrapping_add(1);
     }
 }

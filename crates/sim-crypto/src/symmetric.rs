@@ -49,6 +49,34 @@ pub fn sym_encrypt<R: Rng + CryptoRng>(
     out
 }
 
+/// In-place counterpart of [`sym_encrypt`]: seals the plaintext held in
+/// `buf`, growing it by [`OVERHEAD`] bytes. Produces the identical
+/// `nonce || ciphertext || tag` layout (and draws the same RNG bytes), so
+/// the two variants are interchangeable on the wire; this one reuses
+/// `buf`'s capacity instead of allocating a fresh output vector.
+pub fn sym_encrypt_in_place<R: Rng + CryptoRng>(
+    key: &SymmetricKey,
+    buf: &mut Vec<u8>,
+    rng: &mut R,
+) {
+    let (enc_key, mac_key) = derive_keys(key);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+
+    let plain_len = buf.len();
+    buf.resize(plain_len + OVERHEAD, 0);
+    buf.copy_within(..plain_len, NONCE_LEN);
+    buf[..NONCE_LEN].copy_from_slice(&nonce);
+    chacha20::xor_stream(
+        &enc_key,
+        0,
+        &nonce,
+        &mut buf[NONCE_LEN..NONCE_LEN + plain_len],
+    );
+    let tag = hmac_sha256(&mac_key, &buf[..NONCE_LEN + plain_len]);
+    buf[NONCE_LEN + plain_len..].copy_from_slice(&tag[..TAG_LEN]);
+}
+
 /// Verify and decrypt a ciphertext produced by [`sym_encrypt`].
 pub fn sym_decrypt(key: &SymmetricKey, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
     if ciphertext.len() < OVERHEAD {
@@ -65,6 +93,28 @@ pub fn sym_decrypt(key: &SymmetricKey, ciphertext: &[u8]) -> Result<Vec<u8>, Cry
     let mut plaintext = body[NONCE_LEN..].to_vec();
     chacha20::xor_stream(&enc_key, 0, &nonce, &mut plaintext);
     Ok(plaintext)
+}
+
+/// In-place counterpart of [`sym_decrypt`]: verifies the tag, decrypts
+/// within `buf`, moves the plaintext to the front and truncates off the
+/// [`OVERHEAD`]. On error `buf` is left untouched. Never allocates.
+pub fn sym_decrypt_in_place(key: &SymmetricKey, buf: &mut Vec<u8>) -> Result<(), CryptoError> {
+    if buf.len() < OVERHEAD {
+        return Err(CryptoError::Truncated);
+    }
+    let (enc_key, mac_key) = derive_keys(key);
+    let body_len = buf.len() - TAG_LEN;
+    let (body, tag) = buf.split_at(body_len);
+    let expected = hmac_sha256(&mac_key, body);
+    if !ct_eq(tag, &expected[..TAG_LEN]) {
+        return Err(CryptoError::BadTag);
+    }
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&buf[..NONCE_LEN]);
+    chacha20::xor_stream(&enc_key, 0, &nonce, &mut buf[NONCE_LEN..body_len]);
+    buf.copy_within(NONCE_LEN..body_len, 0);
+    buf.truncate(body_len - NONCE_LEN);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -121,6 +171,53 @@ mod tests {
             Err(CryptoError::Truncated)
         );
         assert_eq!(sym_decrypt(&key, &[]), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let (key, _) = key_and_rng();
+        for len in [0usize, 1, 15, 16, 17, 100, 1024] {
+            let msg = vec![0x5au8; len];
+            // Same RNG seed: both variants must emit identical bytes.
+            let mut rng_a = StdRng::seed_from_u64(7);
+            let mut rng_b = StdRng::seed_from_u64(7);
+            let ct = sym_encrypt(&key, &msg, &mut rng_a);
+            let mut buf = msg.clone();
+            sym_encrypt_in_place(&key, &mut buf, &mut rng_b);
+            assert_eq!(buf, ct, "len {len}");
+            // Cross-decrypt both ways.
+            let mut open = ct.clone();
+            sym_decrypt_in_place(&key, &mut open).unwrap();
+            assert_eq!(open, msg);
+            assert_eq!(sym_decrypt(&key, &buf).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn in_place_decrypt_failure_preserves_buffer() {
+        let (key, mut rng) = key_and_rng();
+        let other = SymmetricKey::generate(&mut rng);
+        let ct = sym_encrypt(&key, b"payload", &mut rng);
+        let mut tampered = ct.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        let snapshot = tampered.clone();
+        assert_eq!(
+            sym_decrypt_in_place(&key, &mut tampered),
+            Err(CryptoError::BadTag)
+        );
+        assert_eq!(tampered, snapshot);
+        let mut wrong_key = ct.clone();
+        assert_eq!(
+            sym_decrypt_in_place(&other, &mut wrong_key),
+            Err(CryptoError::BadTag)
+        );
+        assert_eq!(wrong_key, ct);
+        let mut short = vec![0u8; OVERHEAD - 1];
+        assert_eq!(
+            sym_decrypt_in_place(&key, &mut short),
+            Err(CryptoError::Truncated)
+        );
     }
 
     #[test]

@@ -5,43 +5,17 @@
 //! `&mut Engine<W>` so they can mutate state and schedule follow-up events;
 //! ties break in scheduling order (FIFO at equal timestamps), which keeps
 //! runs deterministic.
+//!
+//! The queue discipline lives behind the [`Scheduler`] trait (see
+//! [`crate::sched`]): the default is the amortised-`O(1)`
+//! [`CalendarQueue`](crate::sched::CalendarQueue), with the original
+//! `BinaryHeap` kept as a reference implementation. Both pop in the same
+//! total order, so the choice affects wall-clock speed only.
 
+use crate::sched::{Scheduled, Scheduler, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 use std::cell::Cell;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
-
-type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
-
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    cancelled: Option<Rc<Cell<bool>>>,
-    handler: Handler<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap (a max-heap) pops the earliest event;
-        // seq breaks ties FIFO.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// Handle for cancelling a scheduled event.
 #[derive(Clone)]
@@ -77,29 +51,53 @@ impl EventHandle {
 pub struct Engine<W> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: Box<dyn Scheduler<W>>,
     processed: u64,
     cancelled: u64,
     max_pending: usize,
 }
 
-impl<W> Default for Engine<W> {
+impl<W: 'static> Default for Engine<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
 impl<W> Engine<W> {
-    /// Fresh engine at time zero.
-    pub fn new() -> Self {
+    /// Fresh engine at time zero, using the process-default scheduler
+    /// ([`SchedulerKind::from_env`]: calendar queue unless
+    /// `P2P_ANON_SCHED=heap`).
+    pub fn new() -> Self
+    where
+        W: 'static,
+    {
+        Self::with_kind(SchedulerKind::from_env())
+    }
+
+    /// Fresh engine using an explicit scheduler kind (the perf harness
+    /// compares kinds within one run this way).
+    pub fn with_kind(kind: SchedulerKind) -> Self
+    where
+        W: 'static,
+    {
+        Self::with_scheduler(kind.build())
+    }
+
+    /// Fresh engine over a caller-built scheduler implementation.
+    pub fn with_scheduler(queue: Box<dyn Scheduler<W>>) -> Self {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue,
             processed: 0,
             cancelled: 0,
             max_pending: 0,
         }
+    }
+
+    /// Name of the scheduler implementation in use.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.queue.name()
     }
 
     /// Current simulated time.
@@ -139,12 +137,7 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            cancelled: None,
-            handler: Box::new(handler),
-        });
+        self.queue.push(Scheduled::new(at, seq, handler));
         self.max_pending = self.max_pending.max(self.queue.len());
     }
 
@@ -167,12 +160,9 @@ impl<W> Engine<W> {
         let flag = Rc::new(Cell::new(false));
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            cancelled: Some(flag.clone()),
-            handler: Box::new(handler),
-        });
+        let mut ev = Scheduled::new(at, seq, handler);
+        ev.cancelled = Some(flag.clone());
+        self.queue.push(ev);
         self.max_pending = self.max_pending.max(self.queue.len());
         EventHandle { cancelled: flag }
     }
@@ -186,12 +176,15 @@ impl<W> Engine<W> {
     /// queued and `now` advances to exactly `until`.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) {
         loop {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= until => {
-                    self.step(world);
-                }
-                _ => break,
+            // Schedulers expose pop, not peek: take the head and push it
+            // back if it lies beyond the horizon (the `(at, seq)` order
+            // makes the push-back lossless).
+            let Some(ev) = self.queue.pop() else { break };
+            if ev.at() > until {
+                self.queue.push(ev);
+                break;
             }
+            self.dispatch(world, ev);
         }
         if self.now < until {
             self.now = until;
@@ -205,22 +198,30 @@ impl<W> Engine<W> {
             let Some(ev) = self.queue.pop() else {
                 return false;
             };
-            if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
-                self.cancelled += 1;
-                continue;
+            if self.dispatch(world, ev) {
+                return true;
             }
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.processed += 1;
-            (ev.handler)(world, self);
-            return true;
         }
+    }
+
+    /// Fire one popped event; returns false if it had been cancelled.
+    fn dispatch(&mut self, world: &mut W, ev: Scheduled<W>) -> bool {
+        if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+            self.cancelled += 1;
+            return false;
+        }
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.processed += 1;
+        (ev.handler)(world, self);
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::SchedulerKind;
 
     #[test]
     fn events_fire_in_time_order() {
@@ -237,13 +238,15 @@ mod tests {
 
     #[test]
     fn equal_timestamps_fire_fifo() {
-        let mut engine: Engine<Vec<u32>> = Engine::new();
-        let mut world = Vec::new();
-        for i in 0..10 {
-            engine.schedule_at(SimTime::from_secs(5), move |w: &mut Vec<u32>, _| w.push(i));
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut engine: Engine<Vec<u32>> = Engine::with_kind(kind);
+            let mut world = Vec::new();
+            for i in 0..10 {
+                engine.schedule_at(SimTime::from_secs(5), move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            engine.run(&mut world);
+            assert_eq!(world, (0..10).collect::<Vec<_>>());
         }
-        engine.run(&mut world);
-        assert_eq!(world, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -263,16 +266,18 @@ mod tests {
 
     #[test]
     fn run_until_respects_horizon() {
-        let mut engine: Engine<Vec<u32>> = Engine::new();
-        let mut world = Vec::new();
-        engine.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
-        engine.schedule_at(SimTime::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
-        engine.run_until(&mut world, SimTime::from_secs(5));
-        assert_eq!(world, vec![1]);
-        assert_eq!(engine.now(), SimTime::from_secs(5));
-        assert_eq!(engine.pending(), 1);
-        engine.run(&mut world);
-        assert_eq!(world, vec![1, 10]);
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut engine: Engine<Vec<u32>> = Engine::with_kind(kind);
+            let mut world = Vec::new();
+            engine.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+            engine.schedule_at(SimTime::from_secs(10), |w: &mut Vec<u32>, _| w.push(10));
+            engine.run_until(&mut world, SimTime::from_secs(5));
+            assert_eq!(world, vec![1]);
+            assert_eq!(engine.now(), SimTime::from_secs(5));
+            assert_eq!(engine.pending(), 1);
+            engine.run(&mut world);
+            assert_eq!(world, vec![1, 10]);
+        }
     }
 
     #[test]
@@ -317,5 +322,13 @@ mod tests {
         });
         engine.run(&mut world);
         assert_eq!(world, vec![5_000_000]);
+    }
+
+    #[test]
+    fn default_scheduler_is_calendar_queue() {
+        let engine: Engine<()> = Engine::new();
+        assert_eq!(engine.scheduler_name(), "calendar-queue");
+        let heap: Engine<()> = Engine::with_kind(SchedulerKind::Heap);
+        assert_eq!(heap.scheduler_name(), "binary-heap");
     }
 }

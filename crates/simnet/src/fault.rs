@@ -68,6 +68,23 @@ impl Default for FaultConfig {
 }
 
 /// A deterministic fault schedule over `n` nodes (see module docs).
+///
+/// ```
+/// use simnet::{FaultConfig, FaultPlan, NodeId, SimTime};
+///
+/// let cfg = FaultConfig { link_drop: 0.5, ..FaultConfig::NONE };
+/// let plan = FaultPlan::new(8, cfg, SimTime::from_secs(3600), 42);
+///
+/// // Drop decisions are pure functions of (seed, link, instant): asking
+/// // twice — in any order, from any thread — gives the same answer.
+/// let t = SimTime::from_secs(7);
+/// let first = plan.drops(NodeId(0), NodeId(1), t);
+/// assert_eq!(plan.drops(NodeId(0), NodeId(1), t), first);
+///
+/// // An identically-parameterised plan replays the same fault sequence.
+/// let replay = FaultPlan::new(8, cfg, SimTime::from_secs(3600), 42);
+/// assert_eq!(replay.drops(NodeId(0), NodeId(1), t), first);
+/// ```
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     cfg: FaultConfig,

@@ -96,6 +96,30 @@ impl LatencyMatrix {
         SimDuration(self.owd_us[a.index() * self.n + b.index()] as u64)
     }
 
+    /// Borrowed view of source `a`'s row, for fan-out loops that query
+    /// many destinations from one fixed source.
+    ///
+    /// Resolves the row slice once, so each per-destination lookup is a
+    /// single bounds-checked index instead of recomputing
+    /// `a.index() * n + b.index()` against the full backing vector.
+    ///
+    /// ```
+    /// use simnet::{LatencyMatrix, NodeId, SimDuration};
+    ///
+    /// let m = LatencyMatrix::uniform(4, SimDuration::from_millis(5));
+    /// let row = m.row(NodeId(1));
+    /// for j in 0..4u32 {
+    ///     assert_eq!(row.owd(NodeId(j)), m.owd(NodeId(1), NodeId(j)));
+    /// }
+    /// ```
+    #[inline]
+    pub fn row(&self, a: NodeId) -> LatencyRow<'_> {
+        let start = a.index() * self.n;
+        LatencyRow {
+            owd_us: &self.owd_us[start..start + self.n],
+        }
+    }
+
     /// Round-trip time between `a` and `b`.
     pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
         self.owd(a, b) + self.owd(b, a)
@@ -109,15 +133,30 @@ impl LatencyMatrix {
         let mut sum = 0u64;
         let mut count = 0u64;
         for i in 0..self.n {
+            let row = self.row(NodeId::from(i));
             for j in 0..self.n {
                 if i != j {
-                    sum += self.owd_us[i * self.n + j] as u64;
+                    sum += row.owd(NodeId::from(j)).0;
                     count += 1;
                 }
             }
         }
         // Mean RTT = 2 * mean OWD over ordered pairs.
         2.0 * (sum as f64 / count as f64) / 1000.0
+    }
+}
+
+/// One source node's row of a [`LatencyMatrix`]: see [`LatencyMatrix::row`].
+#[derive(Clone, Copy)]
+pub struct LatencyRow<'a> {
+    owd_us: &'a [u32],
+}
+
+impl LatencyRow<'_> {
+    /// One-way delay from the row's source to `b`.
+    #[inline]
+    pub fn owd(&self, b: NodeId) -> SimDuration {
+        SimDuration(self.owd_us[b.index()] as u64)
     }
 }
 
@@ -165,6 +204,18 @@ mod tests {
         for i in 0..16u32 {
             for j in 0..16u32 {
                 assert_eq!(a.owd(NodeId(i), NodeId(j)), b.owd(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn row_view_matches_full_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = LatencyMatrix::synthetic(24, 152.0, &mut rng);
+        for i in 0..24u32 {
+            let row = m.row(NodeId(i));
+            for j in 0..24u32 {
+                assert_eq!(row.owd(NodeId(j)), m.owd(NodeId(i), NodeId(j)));
             }
         }
     }

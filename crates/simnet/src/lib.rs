@@ -13,6 +13,8 @@
 //! * [`time`] — microsecond-resolution simulated clock types.
 //! * [`engine`] — the event loop: schedule closures at absolute/relative
 //!   times, with cancellation handles.
+//! * [`sched`] — pluggable queue disciplines behind the [`Scheduler`]
+//!   trait: the default calendar queue and the binary-heap reference.
 //! * [`latency`] — synthetic pairwise one-way-delay matrix calibrated to a
 //!   target average RTT (the paper's network averages 152 ms RTT).
 //! * [`churn`] — lifetime distributions and per-node session schedules.
@@ -22,19 +24,21 @@
 //! * [`trace`] — statistics accumulators used by the evaluation framework.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod churn;
 pub mod engine;
 pub mod fault;
 pub mod latency;
 pub mod node;
+pub mod sched;
 pub mod time;
 pub mod trace;
 
 pub use churn::{ChurnSchedule, LifetimeDistribution, Session};
 pub use engine::{Engine, EventHandle};
 pub use fault::{FaultConfig, FaultPlan};
-pub use latency::LatencyMatrix;
+pub use latency::{LatencyMatrix, LatencyRow};
 pub use node::NodeId;
+pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};

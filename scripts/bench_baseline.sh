@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Benchmark baseline: Criterion microbench groups plus the `perf` harness
+# that measures the tab1/recovery sweeps and the scheduler ablation under
+# wall-clock timing, writing BENCH_simulator.json at the repo root.
+#
+# Usage: scripts/bench_baseline.sh [--quick] [--skip-criterion]
+#
+#   --quick           CI-smoke scale (~seconds instead of minutes)
+#   --skip-criterion  only run the perf harness / JSON baseline
+#
+# See PERFORMANCE.md for how to read the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+CRITERION=1
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --skip-criterion) CRITERION=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -p experiments
+
+if [[ $CRITERION -eq 1 ]]; then
+  # Criterion groups over the same hot paths (quick mode keeps the
+  # workloads small; results land in target/criterion/).
+  EXPERIMENT_QUICK=1 cargo bench -p bench --bench simulator
+  EXPERIMENT_QUICK=1 cargo bench -p bench --bench onion
+fi
+
+./target/release/perf $QUICK --out BENCH_simulator.json
+echo "baseline written to BENCH_simulator.json"
