@@ -15,6 +15,7 @@ use crate::ids::{MessageId, StreamId};
 use crate::onion::{build_reverse_payload_into, peel_reverse_payload_in_place, PathPlan};
 use crate::pool::BufferPool;
 use crate::relay::{PeeledAction, Relay, RelayAction};
+use crate::wire::{self, Frame, Wire};
 use erasure::Segment;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -130,23 +131,6 @@ impl DriverWorld {
             .map(|&n| (n, self.public_key(n)))
             .collect()
     }
-}
-
-/// One kind of in-flight message.
-#[derive(Clone, Debug)]
-enum Wire {
-    /// Path-construction onion, tagged with the initiator-side stream id
-    /// so completions can be correlated.
-    Construct {
-        initiator_sid: StreamId,
-        onion: Vec<u8>,
-    },
-    /// Payload onion.
-    Payload { blob: Vec<u8> },
-    /// Reverse (response/ack) blob travelling back towards the initiator.
-    Reverse { blob: Vec<u8> },
-    /// Explicit path teardown propagating hop by hop (§4.3).
-    Release,
 }
 
 /// The event-driven protocol driver for one initiator.
@@ -297,6 +281,14 @@ impl Driver {
 
     /// Internal: schedule delivery of `wire` on link `(from → to, sid)`
     /// departing at `depart`.
+    ///
+    /// Every link crossing goes through the real frame codec
+    /// ([`crate::wire`]): the departure edge encodes the message into a
+    /// pooled buffer (returning the in-memory blob's capacity to the
+    /// pool), the bytes travel, and the arrival edge decodes them back —
+    /// so the simulator exercises the exact bytes a live transport puts
+    /// on a socket, at zero extra events and (steady-state) zero extra
+    /// allocations.
     fn send(
         engine: &mut Engine<DriverWorld>,
         from: NodeId,
@@ -316,8 +308,23 @@ impl Driver {
                     }
                     return;
                 }
+                let frame = Frame::Stream { sid, wire };
+                let mut bytes = w.pool.get();
+                wire::encode_frame_into(&frame, &mut bytes);
+                if let Frame::Stream {
+                    wire: Wire::Payload { blob } | Wire::Reverse { blob },
+                    ..
+                } = frame
+                {
+                    w.pool.put(blob);
+                }
                 let owd = w.faults.scale_owd(w.latency.owd(from, to), from, to, now);
                 e.schedule_at(now + owd, move |w, e| {
+                    let frame =
+                        wire::decode_frame_vec(bytes).expect("driver-encoded frames decode");
+                    let Frame::Stream { sid, wire } = frame else {
+                        unreachable!("the driver never sends Hello frames");
+                    };
                     Self::receive(w, e, from, to, sid, wire);
                 });
             },

@@ -54,6 +54,8 @@
 //! * [`rendezvous`] — §3 mutual anonymity via a rendezvous point.
 //! * [`metrics`] — the four-metric evaluation framework (§6.1).
 //! * [`pool`] — reusable byte-buffer pool backing the driver hot path.
+//! * [`wire`] — the versioned, length-prefixed frame encoding every
+//!   link-crossing message uses (shared with the live transports).
 //! * [`sim`] — trajectory-level world: churn + latency + membership.
 //! * [`protocols`] — CurMix, SimRep, SimEra end-to-end drivers.
 
@@ -76,6 +78,7 @@ pub mod protocols;
 pub mod relay;
 pub mod rendezvous;
 pub mod sim;
+pub mod wire;
 
 mod error;
 

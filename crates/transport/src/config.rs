@@ -1,0 +1,208 @@
+//! Static peer roster for live deployments.
+//!
+//! A roster maps node ids to socket addresses and fixes the deployment's
+//! deterministic key material: every process derives every node's long
+//! term key pair from the shared `key_seed`, so public keys need no
+//! online distribution step (the simulation-grade crypto makes this a
+//! stand-in for a real PKI, not a security mechanism).
+//!
+//! The format is a minimal TOML subset, parsed here without any
+//! dependency:
+//!
+//! ```text
+//! # p2p-anon roster
+//! key_seed = 42
+//!
+//! [nodes]
+//! 0 = "127.0.0.1:47000"
+//! 1 = "127.0.0.1:47001"
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_crypto::{KeyPair, PublicKey};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The static peer set of one deployment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Roster {
+    /// Shared seed all nodes derive key pairs from.
+    pub key_seed: u64,
+    nodes: BTreeMap<u32, String>,
+}
+
+impl Roster {
+    /// An empty roster with the given key seed.
+    pub fn new(key_seed: u64) -> Self {
+        Roster {
+            key_seed,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) a node's address.
+    pub fn insert(&mut self, node: NodeId, addr: impl Into<String>) {
+        self.nodes.insert(node.0, addr.into());
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the roster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A node's socket address, if listed.
+    pub fn addr(&self, node: NodeId) -> Option<&str> {
+        self.nodes.get(&node.0).map(String::as_str)
+    }
+
+    /// All listed node ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().map(|&id| NodeId(id))
+    }
+
+    /// A node's deterministic long-term key pair, derivable by every
+    /// process that shares the roster.
+    pub fn keypair(&self, node: NodeId) -> KeyPair {
+        let seed = self
+            .key_seed
+            .wrapping_add((node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        KeyPair::generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    /// A node's public key (see [`Roster::keypair`]).
+    pub fn public_key(&self, node: NodeId) -> PublicKey {
+        self.keypair(node).public
+    }
+
+    /// Parse the TOML-subset roster format.
+    pub fn parse(text: &str) -> Result<Roster, String> {
+        let mut key_seed = None;
+        let mut nodes = BTreeMap::new();
+        let mut in_nodes = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section", lineno + 1))?;
+                in_nodes = section.trim() == "nodes";
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            if in_nodes {
+                let id: u32 = key
+                    .parse()
+                    .map_err(|_| format!("line {}: node id `{key}` is not a u32", lineno + 1))?;
+                let addr = value.trim_matches('"');
+                if addr.is_empty() {
+                    return Err(format!("line {}: empty address", lineno + 1));
+                }
+                nodes.insert(id, addr.to_string());
+            } else if key == "key_seed" {
+                key_seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("line {}: key_seed is not a u64", lineno + 1))?,
+                );
+            } else {
+                return Err(format!("line {}: unknown key `{key}`", lineno + 1));
+            }
+        }
+        Ok(Roster {
+            key_seed: key_seed.ok_or("missing key_seed")?,
+            nodes,
+        })
+    }
+
+    /// Read and parse a roster file.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Roster, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        Roster::parse(&text)
+    }
+
+    /// Serialize back to the roster format (parseable by
+    /// [`Roster::parse`]).
+    pub fn to_config(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "key_seed = {}", self.key_seed);
+        let _ = writeln!(s, "\n[nodes]");
+        for (id, addr) in &self.nodes {
+            let _ = writeln!(s, "{id} = \"{addr}\"");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let mut roster = Roster::new(42);
+        roster.insert(NodeId(0), "127.0.0.1:47000");
+        roster.insert(NodeId(3), "127.0.0.1:47003");
+        let text = roster.to_config();
+        assert_eq!(Roster::parse(&text).unwrap(), roster);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_whitespace() {
+        let text = r#"
+            # deployment roster
+            key_seed = 7   # shared
+
+            [nodes]
+            0 = "10.0.0.1:9"  # first
+            2 = "10.0.0.2:9"
+        "#;
+        let roster = Roster::parse(text).unwrap();
+        assert_eq!(roster.key_seed, 7);
+        assert_eq!(roster.len(), 2);
+        assert_eq!(roster.addr(NodeId(2)), Some("10.0.0.2:9"));
+        assert_eq!(roster.addr(NodeId(1)), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Roster::parse("key_seed = x").is_err());
+        assert!(Roster::parse("nodes = 3").is_err());
+        assert!(Roster::parse("[nodes\n0 = \"a:1\"").is_err());
+        assert!(Roster::parse("key_seed = 1\n[nodes]\nzero = \"a:1\"").is_err());
+        assert!(
+            Roster::parse("[nodes]\n0 = \"a:1\"").is_err(),
+            "missing seed"
+        );
+    }
+
+    #[test]
+    fn keypairs_are_deterministic_and_distinct() {
+        let roster = Roster::new(9);
+        let a1 = roster.keypair(NodeId(1));
+        let a2 = roster.keypair(NodeId(1));
+        let b = roster.keypair(NodeId(2));
+        assert_eq!(a1.public, a2.public, "same node, same key");
+        assert_ne!(a1.public, b.public, "different nodes, different keys");
+        let other = Roster::new(10);
+        assert_ne!(
+            roster.public_key(NodeId(1)),
+            other.public_key(NodeId(1)),
+            "seed separates deployments"
+        );
+    }
+}

@@ -1,0 +1,528 @@
+//! The sans-io protocol node: one peer's complete protocol state —
+//! relay half, optional initiator half, reassembly — as a pure state
+//! machine.
+//!
+//! A [`ProtocolNode`] never touches a socket or a clock. It consumes
+//! [`Input`]s (a frame arrived, a timer fired) stamped with the caller's
+//! notion of *now*, and emits [`Output`]s (send this frame, arm/cancel
+//! this timer). The same node runs unchanged over [`crate::SimTransport`]
+//! and [`crate::TcpTransport`]; only the event loop around it differs.
+//!
+//! The relay half is the exact [`Relay`] state machine the event-driven
+//! driver uses — same caches, same TTLs, same stream-id forwarding — so
+//! behavior proven in simulation carries over to the live node verbatim.
+
+use anon_core::driver::CONSTRUCT_ACK;
+use anon_core::endpoint::{Initiator, Reassembler};
+use anon_core::onion::{
+    build_payload_onion, build_reverse_payload, peel_reverse_payload_in_place, PathPlan,
+};
+use anon_core::relay::{PeeledAction, Relay, RelayAction};
+use anon_core::wire::{Frame, Wire};
+use anon_core::{AnonError, MessageId, StreamId};
+use erasure::{Codec, Segment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_crypto::{KeyPair, PublicKey};
+use simnet::{NodeId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Default end-to-end ack deadline for live nodes (1 s).
+pub const DEFAULT_ACK_TIMEOUT_US: u64 = 1_000_000;
+
+/// Default per-segment retransmit budget after the first send.
+pub const DEFAULT_MAX_RETRIES: u32 = 4;
+
+/// An event fed into the node.
+#[derive(Debug)]
+pub enum Input {
+    /// A frame arrived from `from`.
+    Frame {
+        /// Sending peer.
+        from: NodeId,
+        /// The decoded frame.
+        frame: Frame,
+    },
+    /// A timer this node armed fired.
+    Timer {
+        /// The token the node chose when arming it.
+        token: u64,
+    },
+}
+
+/// An effect the node asks its transport to perform.
+#[derive(Debug)]
+pub enum Output {
+    /// Send `frame` to peer `to`.
+    Send {
+        /// Destination peer.
+        to: NodeId,
+        /// The frame to deliver.
+        frame: Frame,
+    },
+    /// Arm timer `token` to fire after `after_us` microseconds.
+    SetTimer {
+        /// Node-chosen timer identity.
+        token: u64,
+        /// Relative deadline in microseconds.
+        after_us: u64,
+    },
+    /// Cancel timer `token` (no-op if it already fired).
+    CancelTimer {
+        /// Node-chosen timer identity.
+        token: u64,
+    },
+}
+
+/// Observable protocol events, appended to as the node runs.
+///
+/// These are the node's outward face: the driver's outcome logs
+/// (`established`, `deliveries`, `acks`, …) reproduced per node so the
+/// equivalence test can compare the two layers record for record.
+#[derive(Debug, Default)]
+pub struct NodeEvents {
+    /// Construction acks that reached this initiator: `(path sid, at)`.
+    pub established: Vec<(StreamId, u64)>,
+    /// Terminal construction completions at this responder:
+    /// `(upstream hop, terminal sid, at)`.
+    pub constructions: Vec<(NodeId, StreamId, u64)>,
+    /// Segments delivered at this responder: `(mid, index, at)`.
+    pub deliveries: Vec<(MessageId, usize, u64)>,
+    /// End-to-end segment acks back at this initiator: `(mid, index, at)`.
+    pub acks: Vec<(MessageId, usize, u64)>,
+    /// Ack deadlines that fired unanswered: `(mid, index, at)`.
+    pub ack_timeouts: Vec<(MessageId, usize, u64)>,
+    /// Messages reassembled at this responder (in completion order).
+    pub completed: Vec<(MessageId, Vec<u8>)>,
+    /// Segments retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Frames dropped for missing relay/initiator state.
+    pub stateless_drops: u64,
+}
+
+/// One peer's complete protocol state machine.
+pub struct ProtocolNode {
+    id: NodeId,
+    relay: Relay,
+    rng: StdRng,
+    auto_ack: bool,
+    codec: Option<Box<dyn Codec>>,
+    initiator: Option<Initiator>,
+    /// Responder-side segment reassembly.
+    reassembler: Reassembler,
+    /// Initiator-side plans keyed by path stream id, for peeling reverse
+    /// onions (mirrors the driver's `register_path`).
+    plans: HashMap<StreamId, PathPlan>,
+    /// Outgoing messages kept for erasure-aware retransmission.
+    outbox: HashMap<MessageId, Vec<u8>>,
+    /// Segments acked so far, per message.
+    acked: HashMap<MessageId, HashSet<usize>>,
+    /// Total segment count per in-flight message.
+    want: HashMap<MessageId, usize>,
+    /// Armed ack-deadline timers: `(mid, index)` → token.
+    pending_acks: HashMap<(MessageId, usize), u64>,
+    /// Reverse map: token → the segment it guards.
+    timer_purpose: HashMap<u64, (MessageId, usize)>,
+    /// Retransmits already spent per segment.
+    retries: HashMap<(MessageId, usize), u32>,
+    next_token: u64,
+    ack_timeout_us: u64,
+    max_retries: u32,
+    /// Observable protocol events (drained/inspected by the embedder).
+    pub events: NodeEvents,
+}
+
+impl ProtocolNode {
+    /// A node with the given identity and long-term key pair; `seed`
+    /// drives its local randomness (stream ids, onion nonces).
+    pub fn new(id: NodeId, keypair: KeyPair, seed: u64) -> Self {
+        ProtocolNode {
+            id,
+            relay: Relay::new(id, keypair),
+            rng: StdRng::seed_from_u64(seed),
+            auto_ack: false,
+            codec: None,
+            initiator: None,
+            reassembler: Reassembler::new(),
+            plans: HashMap::new(),
+            outbox: HashMap::new(),
+            acked: HashMap::new(),
+            want: HashMap::new(),
+            pending_acks: HashMap::new(),
+            timer_purpose: HashMap::new(),
+            retries: HashMap::new(),
+            next_token: 1,
+            ack_timeout_us: DEFAULT_ACK_TIMEOUT_US,
+            max_retries: DEFAULT_MAX_RETRIES,
+            events: NodeEvents::default(),
+        }
+    }
+
+    /// Ack every delivery and construction completion with a real
+    /// reverse onion (the responder role).
+    pub fn with_auto_ack(mut self) -> Self {
+        self.auto_ack = true;
+        self
+    }
+
+    /// Attach the erasure codec used to split outgoing and reassemble
+    /// incoming messages (initiator and responder roles).
+    pub fn with_codec(mut self, codec: Box<dyn Codec>) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Override the end-to-end ack deadline.
+    pub fn with_ack_timeout_us(mut self, us: u64) -> Self {
+        self.ack_timeout_us = us;
+        self
+    }
+
+    /// Override the per-segment retransmit budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's long-term public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.relay.public_key()
+    }
+
+    /// Paths whose construction ack has arrived.
+    pub fn established_paths(&self) -> usize {
+        self.initiator
+            .as_ref()
+            .map(|i| i.paths().iter().filter(|p| p.established).count())
+            .unwrap_or(0)
+    }
+
+    /// This initiator's paths: `(stream id, first hop, established)`.
+    pub fn paths(&self) -> Vec<(StreamId, NodeId, bool)> {
+        self.initiator
+            .as_ref()
+            .map(|i| {
+                i.paths()
+                    .iter()
+                    .map(|p| (p.sid, p.plan.first_hop(), p.established))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether every segment of `mid` has been acked end to end.
+    pub fn message_complete(&self, mid: MessageId) -> bool {
+        match (self.acked.get(&mid), self.want.get(&mid)) {
+            (Some(acked), Some(&want)) => acked.len() >= want,
+            _ => false,
+        }
+    }
+
+    /// Build `k` construction onions (one per hop list, responder last)
+    /// and emit their first-hop frames. Initiator role.
+    pub fn construct_paths(
+        &mut self,
+        paths_hops: &[Vec<(NodeId, PublicKey)>],
+        out: &mut Vec<Output>,
+    ) {
+        let id = self.id;
+        let initiator = self.initiator.get_or_insert_with(|| Initiator::new(id));
+        let start = initiator.paths().len();
+        let msgs = initiator.construct_paths(paths_hops, &mut self.rng);
+        for p in &initiator.paths()[start..] {
+            self.plans.insert(p.sid, p.plan.clone());
+        }
+        for msg in msgs {
+            out.push(Output::Send {
+                to: msg.to,
+                frame: Frame::Stream {
+                    sid: msg.sid,
+                    wire: Wire::Construct {
+                        initiator_sid: msg.sid,
+                        onion: msg.blob,
+                    },
+                },
+            });
+        }
+    }
+
+    /// Erasure-code `message`, send one payload onion per segment over
+    /// the node's paths (segment `i` on path `i mod k`), and arm an ack
+    /// deadline for each. Initiator role; requires a codec.
+    pub fn send_message(
+        &mut self,
+        mid: MessageId,
+        message: &[u8],
+        out: &mut Vec<Output>,
+    ) -> Result<(), AnonError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(AnonError::InvalidParameters("no codec attached".into()))?;
+        let initiator = self
+            .initiator
+            .as_mut()
+            .ok_or(AnonError::InvalidParameters("no paths constructed".into()))?;
+        let msgs = initiator.send_message(mid, message, codec.as_ref(), None, &mut self.rng)?;
+        self.outbox.insert(mid, message.to_vec());
+        self.want.insert(mid, msgs.len());
+        self.acked.entry(mid).or_default();
+        for (index, msg) in msgs.into_iter().enumerate() {
+            out.push(Output::Send {
+                to: msg.to,
+                frame: Frame::Stream {
+                    sid: msg.sid,
+                    wire: Wire::Payload { blob: msg.blob },
+                },
+            });
+            self.arm_ack_timer(mid, index, out);
+        }
+        Ok(())
+    }
+
+    /// Feed one event into the state machine. `now_us` is the caller's
+    /// clock (transport time); effects are appended to `out`.
+    pub fn handle(&mut self, now_us: u64, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Frame { from, frame } => match frame {
+                // Hellos identify connections; transports consume them.
+                Frame::Hello { .. } => {}
+                Frame::Stream { sid, wire } => self.on_wire(now_us, from, sid, wire, out),
+            },
+            Input::Timer { token } => self.on_timer(now_us, token, out),
+        }
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn arm_ack_timer(&mut self, mid: MessageId, index: usize, out: &mut Vec<Output>) {
+        let token = self.alloc_token();
+        self.pending_acks.insert((mid, index), token);
+        self.timer_purpose.insert(token, (mid, index));
+        out.push(Output::SetTimer {
+            token,
+            after_us: self.ack_timeout_us,
+        });
+    }
+
+    fn on_wire(
+        &mut self,
+        now_us: u64,
+        from: NodeId,
+        sid: StreamId,
+        wire: Wire,
+        out: &mut Vec<Output>,
+    ) {
+        let now = SimTime(now_us);
+        match wire {
+            Wire::Construct {
+                initiator_sid,
+                onion,
+            } => match self
+                .relay
+                .handle_construction(from, sid, &onion, now, &mut self.rng)
+            {
+                Ok(RelayAction::ForwardConstruction {
+                    to: next,
+                    sid: nsid,
+                    onion: inner,
+                }) => out.push(Output::Send {
+                    to: next,
+                    frame: Frame::Stream {
+                        sid: nsid,
+                        wire: Wire::Construct {
+                            initiator_sid,
+                            onion: inner,
+                        },
+                    },
+                }),
+                Ok(RelayAction::ConstructionComplete) => {
+                    self.events.constructions.push((from, sid, now_us));
+                    if self.auto_ack {
+                        let key = self.relay.terminal_key(from, sid).expect("just cached");
+                        let blob = build_reverse_payload(
+                            &key,
+                            CONSTRUCT_ACK,
+                            &Segment::new(0, Vec::new()),
+                            &mut self.rng,
+                        );
+                        out.push(Output::Send {
+                            to: from,
+                            frame: Frame::Stream {
+                                sid,
+                                wire: Wire::Reverse { blob },
+                            },
+                        });
+                    }
+                }
+                Ok(_) => unreachable!("construction actions only"),
+                Err(_) => self.events.stateless_drops += 1,
+            },
+            Wire::Payload { mut blob } => {
+                match self
+                    .relay
+                    .handle_payload_in_place(from, sid, &mut blob, now, &mut self.rng)
+                {
+                    Ok(PeeledAction::Forward {
+                        to: next,
+                        sid: nsid,
+                    }) => out.push(Output::Send {
+                        to: next,
+                        frame: Frame::Stream {
+                            sid: nsid,
+                            wire: Wire::Payload { blob },
+                        },
+                    }),
+                    Ok(PeeledAction::Deliver { mid, index }) => {
+                        self.events.deliveries.push((mid, index, now_us));
+                        if let Some(codec) = self.codec.as_ref() {
+                            let seg = Segment::new(index, blob.clone());
+                            if let Ok(Some(msg)) = self.reassembler.push(mid, seg, codec.as_ref()) {
+                                self.events.completed.push((mid, msg));
+                            }
+                        }
+                        if self.auto_ack {
+                            let key = self
+                                .relay
+                                .terminal_key(from, sid)
+                                .expect("terminal entry just used");
+                            let ack = build_reverse_payload(
+                                &key,
+                                mid,
+                                &Segment::new(index, Vec::new()),
+                                &mut self.rng,
+                            );
+                            out.push(Output::Send {
+                                to: from,
+                                frame: Frame::Stream {
+                                    sid,
+                                    wire: Wire::Reverse { blob: ack },
+                                },
+                            });
+                        }
+                    }
+                    Ok(PeeledAction::DeliveredOwned { .. }) => self.events.stateless_drops += 1,
+                    Err(_) => self.events.stateless_drops += 1,
+                }
+            }
+            // Reverse traffic terminating here as the initiator: peel
+            // all layers with the registered plan and log the ack.
+            // Otherwise the relay half wraps a layer and passes it back.
+            Wire::Reverse { mut blob } => {
+                let Some(plan) = self.plans.get(&sid) else {
+                    return self.relay_reverse(now, from, sid, blob, out);
+                };
+                match peel_reverse_payload_in_place(plan, &mut blob, None) {
+                    Ok((mid, index)) => {
+                        if mid == CONSTRUCT_ACK {
+                            self.events.established.push((sid, now_us));
+                            if let Some(init) = self.initiator.as_mut() {
+                                init.mark_established(sid);
+                            }
+                        } else {
+                            if let Some(token) = self.pending_acks.remove(&(mid, index)) {
+                                self.timer_purpose.remove(&token);
+                                out.push(Output::CancelTimer { token });
+                            }
+                            self.acked.entry(mid).or_default().insert(index);
+                            self.events.acks.push((mid, index, now_us));
+                        }
+                    }
+                    Err(_) => self.events.stateless_drops += 1,
+                }
+            }
+            Wire::Release => {
+                if let Some((next, nsid)) = self.relay.release(from, sid) {
+                    out.push(Output::Send {
+                        to: next,
+                        frame: Frame::Stream {
+                            sid: nsid,
+                            wire: Wire::Release,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Relay half of reverse handling: wrap one layer and pass it back
+    /// toward the initiator.
+    fn relay_reverse(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        sid: StreamId,
+        mut blob: Vec<u8>,
+        out: &mut Vec<Output>,
+    ) {
+        match self
+            .relay
+            .handle_reverse_in_place(from, sid, &mut blob, now, &mut self.rng)
+        {
+            Ok((prev, psid)) => out.push(Output::Send {
+                to: prev,
+                frame: Frame::Stream {
+                    sid: psid,
+                    wire: Wire::Reverse { blob },
+                },
+            }),
+            Err(_) => self.events.stateless_drops += 1,
+        }
+    }
+
+    /// An armed ack deadline fired: record the timeout and retransmit
+    /// the segment over a *rotated* path (retry `r` of segment `i` rides
+    /// path `(i + r) mod k`), so a dead path is routed around instead of
+    /// hammered.
+    fn on_timer(&mut self, now_us: u64, token: u64, out: &mut Vec<Output>) {
+        let Some((mid, index)) = self.timer_purpose.remove(&token) else {
+            return; // stale token (cancelled and re-fired in a race)
+        };
+        self.pending_acks.remove(&(mid, index));
+        if self.acked.get(&mid).is_some_and(|a| a.contains(&index)) {
+            return; // ack raced the timer through the transport
+        }
+        self.events.ack_timeouts.push((mid, index, now_us));
+        let retry = self.retries.entry((mid, index)).or_insert(0);
+        *retry += 1;
+        if *retry > self.max_retries {
+            return;
+        }
+        let retry = *retry as usize;
+        let (Some(codec), Some(init), Some(message)) = (
+            self.codec.as_ref(),
+            self.initiator.as_ref(),
+            self.outbox.get(&mid),
+        ) else {
+            return;
+        };
+        let k = init.paths().len();
+        if k == 0 {
+            return;
+        }
+        let segments = codec.encode(message);
+        let Some(segment) = segments.get(index) else {
+            return;
+        };
+        let path = &init.paths()[(index + retry) % k];
+        let (blob, _) = build_payload_onion(&path.plan, mid, segment, None, &mut self.rng);
+        self.events.retransmits += 1;
+        out.push(Output::Send {
+            to: path.plan.first_hop(),
+            frame: Frame::Stream {
+                sid: path.sid,
+                wire: Wire::Payload { blob },
+            },
+        });
+        self.arm_ack_timer(mid, index, out);
+    }
+}

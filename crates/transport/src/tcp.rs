@@ -1,0 +1,302 @@
+//! The live backend: the [`Transport`] trait over [`std::net`], with no
+//! async runtime — plain threads, blocking sockets and channels.
+//!
+//! Threading model (for a node with `p` active peers):
+//!
+//! * **1 accept thread** — non-blocking accept loop; each inbound
+//!   connection gets a reader thread.
+//! * **1 reader thread per inbound connection** — feeds raw bytes
+//!   through the incremental [`FrameReader`]; the first frame must be a
+//!   [`Frame::Hello`] identifying the peer, every later frame is pushed
+//!   to the owner's inbox channel. A decode error drops the connection
+//!   (the peer will reconnect and re-identify).
+//! * **1 writer thread per outbound peer** — drains that peer's
+//!   outbound queue, (re)connecting on demand with bounded backoff. A
+//!   frame that cannot be delivered within the attempt budget is
+//!   *dropped*: undeliverable traffic is exactly the loss the
+//!   protocol's ack-deadline and erasure machinery recover from, so the
+//!   transport never blocks on a dead peer.
+//! * **the caller's thread** — [`TcpTransport::poll`] multiplexes the
+//!   inbox against a monotonic-clock timer wheel (a binary heap of
+//!   deadlines), sleeping at most until the next deadline.
+//!
+//! Timers are the same ack-deadline machinery the simulation runs; the
+//! wheel gives them wall-clock semantics.
+
+use crate::config::Roster;
+use crate::{Transport, TransportError, TransportEvent};
+use anon_core::wire::{encode_frame, Frame, FrameReader};
+use simnet::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Connect/write attempts per frame before it is dropped.
+const MAX_SEND_ATTEMPTS: u32 = 5;
+
+/// Read timeout letting reader threads notice shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// A heap entry: `(deadline_us, seq, owner, token)`, min-ordered.
+type TimerEntry = Reverse<(u64, u64, u32, u64)>;
+
+/// A live transport bound to one roster node.
+pub struct TcpTransport {
+    local: NodeId,
+    roster: Roster,
+    epoch: Instant,
+    inbox_rx: Receiver<(NodeId, Frame)>,
+    peers: HashMap<NodeId, Sender<Frame>>,
+    timers: BinaryHeap<TimerEntry>,
+    /// Latest armed sequence number per `(owner, token)`; heap entries
+    /// with stale sequences are skipped when popped.
+    armed: HashMap<(NodeId, u64), u64>,
+    timer_seq: u64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Bind the roster address of `local` and start accepting peers.
+    pub fn bind(local: NodeId, roster: Roster) -> Result<Self, TransportError> {
+        let addr = roster
+            .addr(local)
+            .ok_or(TransportError::UnknownPeer(local))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        spawn_acceptor(listener, inbox_tx, shutdown.clone());
+        Ok(TcpTransport {
+            local,
+            roster,
+            epoch: Instant::now(),
+            inbox_rx,
+            peers: HashMap::new(),
+            timers: BinaryHeap::new(),
+            armed: HashMap::new(),
+            timer_seq: 0,
+            shutdown,
+        })
+    }
+
+    /// The node this transport is bound as.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// The roster this transport routes with.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// Pop every due timer, returning the first still-armed one.
+    fn fire_due_timer(&mut self) -> Option<TransportEvent> {
+        let now = self.now_us();
+        while let Some(&Reverse((deadline, seq, owner, token))) = self.timers.peek() {
+            if deadline > now {
+                return None;
+            }
+            self.timers.pop();
+            let owner = NodeId(owner);
+            if self.armed.get(&(owner, token)) == Some(&seq) {
+                self.armed.remove(&(owner, token));
+                return Some(TransportEvent::Timer { owner, token });
+            }
+        }
+        None
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        self.timers.peek().map(|&Reverse((d, ..))| d)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn send(&mut self, _from: NodeId, to: NodeId, frame: Frame) -> Result<(), TransportError> {
+        let queue = match self.peers.get(&to) {
+            Some(q) => q,
+            None => {
+                let addr = self
+                    .roster
+                    .addr(to)
+                    .ok_or(TransportError::UnknownPeer(to))?
+                    .to_string();
+                let (tx, rx) = mpsc::channel();
+                spawn_writer(self.local, addr, rx, self.shutdown.clone());
+                self.peers.entry(to).or_insert(tx)
+            }
+        };
+        // The writer thread only exits at shutdown, so this cannot fail
+        // while the transport lives.
+        let _ = queue.send(frame);
+        Ok(())
+    }
+
+    fn set_timer(&mut self, owner: NodeId, token: u64, after_us: u64) {
+        self.timer_seq += 1;
+        let seq = self.timer_seq;
+        let deadline = self.now_us() + after_us;
+        self.armed.insert((owner, token), seq);
+        self.timers.push(Reverse((deadline, seq, owner.0, token)));
+    }
+
+    fn cancel_timer(&mut self, owner: NodeId, token: u64) {
+        self.armed.remove(&(owner, token));
+    }
+
+    fn poll(&mut self, wait_us: u64) -> Option<TransportEvent> {
+        let end = self.now_us() + wait_us;
+        loop {
+            if let Some(ev) = self.fire_due_timer() {
+                return Some(ev);
+            }
+            let now = self.now_us();
+            let wake = end.min(self.next_deadline().unwrap_or(u64::MAX));
+            if wake <= now {
+                // Budget exhausted: one non-blocking drain attempt.
+                return match self.inbox_rx.try_recv() {
+                    Ok((from, frame)) => Some(TransportEvent::Frame {
+                        to: self.local,
+                        from,
+                        frame,
+                    }),
+                    Err(_) => None,
+                };
+            }
+            match self
+                .inbox_rx
+                .recv_timeout(Duration::from_micros(wake - now))
+            {
+                Ok((from, frame)) => {
+                    return Some(TransportEvent::Frame {
+                        to: self.local,
+                        from,
+                        frame,
+                    })
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Dropping the queues unblocks the writer threads; readers exit
+        // within one read timeout.
+        self.peers.clear();
+    }
+}
+
+/// Accept loop: one reader thread per inbound connection.
+fn spawn_acceptor(
+    listener: TcpListener,
+    inbox_tx: Sender<(NodeId, Frame)>,
+    shutdown: Arc<AtomicBool>,
+) {
+    thread::spawn(move || loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                spawn_reader(stream, inbox_tx.clone(), shutdown.clone());
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    });
+}
+
+/// Read length-prefixed frames off one connection and push them to the
+/// inbox, tagged with the peer the connection's Hello announced.
+fn spawn_reader(stream: TcpStream, inbox_tx: Sender<(NodeId, Frame)>, shutdown: Arc<AtomicBool>) {
+    thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let mut reader = FrameReader::new();
+        let mut peer: Option<NodeId> = None;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let n = match stream.read(&mut buf) {
+                Ok(0) => return, // peer closed
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            };
+            reader.extend(&buf[..n]);
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(Frame::Hello { node })) => peer = Some(node),
+                    Ok(Some(frame)) => {
+                        // Frames before the Hello are unattributable:
+                        // drop the connection, the peer reconnects.
+                        let Some(from) = peer else { return };
+                        if inbox_tx.send((from, frame)).is_err() {
+                            return; // transport gone
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => return, // garbage on the wire
+                }
+            }
+        }
+    });
+}
+
+/// Drain one peer's outbound queue, (re)connecting with bounded backoff
+/// and dropping frames that exhaust their attempt budget.
+fn spawn_writer(local: NodeId, addr: String, rx: Receiver<Frame>, shutdown: Arc<AtomicBool>) {
+    thread::spawn(move || {
+        let hello = encode_frame(&Frame::Hello { node: local });
+        let mut stream: Option<TcpStream> = None;
+        while let Ok(frame) = rx.recv() {
+            let bytes = encode_frame(&frame);
+            let mut attempt = 0u32;
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if stream.is_none() {
+                    if let Ok(mut s) = TcpStream::connect(&addr) {
+                        let _ = s.set_nodelay(true);
+                        if s.write_all(&hello).is_ok() {
+                            stream = Some(s);
+                        }
+                    }
+                }
+                if let Some(s) = stream.as_mut() {
+                    match s.write_all(&bytes) {
+                        Ok(()) => break,
+                        Err(_) => stream = None, // reconnect-on-drop
+                    }
+                }
+                attempt += 1;
+                if attempt >= MAX_SEND_ATTEMPTS {
+                    break; // drop the frame: loss, not deadlock
+                }
+                thread::sleep(Duration::from_millis(10 << attempt.min(4)));
+            }
+        }
+    });
+}

@@ -1,0 +1,224 @@
+//! Localhost end-to-end: ≥16 real `p2p-anon-node` processes speak the
+//! protocol over real TCP sockets.
+//!
+//! Topology: initiator (node 0), 16 relays (nodes 1–16) forming k = 4
+//! node-disjoint paths of 4 relays each, responder (node 17) — 18
+//! OS processes, one per node, wired by a generated roster file.
+//!
+//! The test delivers an erasure-coded SimEra(k=4, r=2) message (m = 2 of
+//! n = 4 segments reconstruct), then kills one relay process outright
+//! and sends again: the dead path's segment times out, the initiator
+//! retransmits it over a surviving path, and the message still
+//! completes end to end — the paper's recovery story, over sockets.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const NODES: u32 = 18;
+const INITIATOR: u32 = 0;
+const RESPONDER: u32 = 17;
+
+/// Kills every spawned node process when the test ends, pass or fail.
+struct Fleet(HashMap<u32, Child>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in self.0.values_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Reserve one localhost port per node by binding ephemeral listeners,
+/// then releasing them. (A tiny race with other processes is possible
+/// but overwhelmingly unlikely, and the test fails loudly if lost.)
+fn reserve_ports(n: u32) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+/// Pipe a child's stdout lines into a channel, tagged with its node id.
+fn tee_stdout(id: u32, child: &mut Child) -> Receiver<(u32, String)> {
+    let stdout = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send((id, line)).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Drain lines from `rx` until one satisfies `pred`; panic after
+/// `timeout`. Returns every line seen up to and including the match.
+fn wait_for(
+    rx: &Receiver<(u32, String)>,
+    timeout: Duration,
+    what: &str,
+    mut pred: impl FnMut(u32, &str) -> bool,
+) -> Vec<(u32, String)> {
+    let deadline = Instant::now() + timeout;
+    let mut seen = Vec::new();
+    loop {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .unwrap_or_else(|| panic!("timed out waiting for {what}; saw {seen:#?}"));
+        match rx.recv_timeout(remaining) {
+            Ok((id, line)) => {
+                let hit = pred(id, &line);
+                seen.push((id, line));
+                if hit {
+                    return seen;
+                }
+            }
+            Err(_) => panic!("timed out waiting for {what}; saw {seen:#?}"),
+        }
+    }
+}
+
+#[test]
+fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
+    let bin = env!("CARGO_BIN_EXE_p2p-anon-node");
+    let dir = std::env::temp_dir().join(format!("p2p-anon-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = dir.join("roster.toml");
+
+    let ports = reserve_ports(NODES);
+    let mut roster = String::from("key_seed = 4217\n\n[nodes]\n");
+    for (id, port) in ports.iter().enumerate() {
+        roster.push_str(&format!("{id} = \"127.0.0.1:{port}\"\n"));
+    }
+    std::fs::write(&config, roster).unwrap();
+
+    // Relays 1..=16 and the responder come up first; the initiator's
+    // construction onions are one-shot, so its peers must be listening.
+    let mut fleet = Fleet(HashMap::new());
+    let (peer_tx, peer_rx) = mpsc::channel();
+    for id in 1..NODES {
+        let mut cmd = Command::new(bin);
+        cmd.arg("--config")
+            .arg(&config)
+            .args(["--id", &id.to_string(), "--run-secs", "180"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if id == RESPONDER {
+            cmd.args(["--role", "responder", "--codec", "2,4"]);
+        } else {
+            cmd.args(["--role", "relay"]);
+        }
+        let mut child = cmd.spawn().expect("spawn node");
+        let rx = tee_stdout(id, &mut child);
+        let tx = peer_tx.clone();
+        thread::spawn(move || {
+            for msg in rx {
+                if tx.send(msg).is_err() {
+                    break;
+                }
+            }
+        });
+        fleet.0.insert(id, child);
+    }
+    let mut ready = 0;
+    wait_for(
+        &peer_rx,
+        Duration::from_secs(30),
+        "all peers READY",
+        |_, l| {
+            if l.starts_with("READY") {
+                ready += 1;
+            }
+            ready == NODES as usize - 1
+        },
+    );
+
+    // The initiator: 4 node-disjoint paths of 4 relays each, SimEra
+    // (k=4, r=2) coding — any 2 of the 4 segments reconstruct.
+    let mut init = Command::new(bin)
+        .arg("--config")
+        .arg(&config)
+        .args(["--id", &INITIATOR.to_string(), "--role", "initiator"])
+        .args(["--paths", "1,2,3,4;5,6,7,8;9,10,11,12;13,14,15,16"])
+        .args(["--responder", &RESPONDER.to_string()])
+        .args(["--codec", "2,4", "--ack-timeout-ms", "800"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn initiator");
+    let init_rx = tee_stdout(INITIATOR, &mut init);
+    let mut stdin = init.stdin.take().expect("stdin piped");
+    fleet.0.insert(INITIATOR, init);
+
+    wait_for(
+        &init_rx,
+        Duration::from_secs(30),
+        "4/4 paths established",
+        |_, l| l.starts_with("ESTABLISHED 4/4"),
+    );
+
+    // Message 1: clean delivery over all four paths.
+    writeln!(stdin, "hello over four disjoint paths").unwrap();
+    stdin.flush().unwrap();
+    wait_for(
+        &init_rx,
+        Duration::from_secs(30),
+        "message 1 complete",
+        |_, l| l == "COMPLETE mid=1",
+    );
+    wait_for(
+        &peer_rx,
+        Duration::from_secs(10),
+        "responder reassembled message 1",
+        |id, l| id == RESPONDER && l == "MESSAGE mid=1 text=hello over four disjoint paths",
+    );
+
+    // Kill the first relay of path 0 mid-stream. Its segment of the next
+    // message can neither be forwarded nor acked.
+    let mut victim = fleet.0.remove(&1).expect("relay 1 running");
+    victim.kill().expect("kill relay");
+    victim.wait().expect("reap relay");
+
+    // Message 2: segment 0 dies with the relay, its ack deadline fires,
+    // and the retransmit rotates onto a surviving path.
+    writeln!(stdin, "still delivered after the kill").unwrap();
+    stdin.flush().unwrap();
+    let lines = wait_for(
+        &init_rx,
+        Duration::from_secs(45),
+        "message 2 complete despite the dead relay",
+        |_, l| l == "COMPLETE mid=2",
+    );
+    assert!(
+        lines.iter().any(|(_, l)| l.starts_with("TIMEOUT mid=2")),
+        "the dead path's segment timed out: {lines:#?}"
+    );
+    assert!(
+        lines.iter().any(|(_, l)| l.starts_with("RETRANSMIT mid=2")),
+        "the segment was retransmitted: {lines:#?}"
+    );
+    wait_for(
+        &peer_rx,
+        Duration::from_secs(10),
+        "responder reassembled message 2",
+        |id, l| id == RESPONDER && l == "MESSAGE mid=2 text=still delivered after the kill",
+    );
+
+    // Clean shutdown of the initiator; the fleet guard reaps the rest.
+    let _ = writeln!(stdin, "quit");
+    let _ = stdin.flush();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Benchmark baseline: Criterion microbench groups plus the `perf` harness
 # that measures the tab1/recovery sweeps and the scheduler ablation under
-# wall-clock timing, writing BENCH_simulator.json at the repo root.
+# wall-clock timing.
+#
+# The latest run is written to BENCH_simulator.json at the repo root (the
+# file other tooling reads), and every run is *appended* to
+# BENCH_HISTORY.jsonl as one timestamped JSON line, so successive
+# baselines accumulate instead of overwriting each other.
 #
 # Usage: scripts/bench_baseline.sh [--quick] [--skip-criterion]
 #
@@ -33,3 +38,17 @@ fi
 
 ./target/release/perf $QUICK --out BENCH_simulator.json
 echo "baseline written to BENCH_simulator.json"
+
+# Append this run to the history as a single JSON line tagged with the
+# UTC timestamp, commit, and mode, preserving every previous baseline.
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+MODE="full"
+[[ -n $QUICK ]] && MODE="quick"
+{
+  printf '{"timestamp":"%s","commit":"%s","mode":"%s","results":' \
+    "$STAMP" "$COMMIT" "$MODE"
+  tr -d '\n' < BENCH_simulator.json
+  printf '}\n'
+} >> BENCH_HISTORY.jsonl
+echo "history appended to BENCH_HISTORY.jsonl ($STAMP, $COMMIT, $MODE)"
