@@ -12,6 +12,7 @@
 
 use crate::endpoint::{Initiator, Outgoing};
 use crate::ids::{MessageId, StreamId};
+use crate::instrument::{wire_tag, DriverTelemetry};
 use crate::onion::{build_reverse_payload_into, peel_reverse_payload_in_place, PathPlan};
 use crate::pool::BufferPool;
 use crate::relay::{PeeledAction, Relay, RelayAction};
@@ -107,6 +108,9 @@ pub struct DriverWorld {
     /// `Vec<u8>` peeled/wrapped in place hop to hop, and terminated
     /// messages return their capacity here for the next launch.
     pub pool: BufferPool,
+    /// Optional live instruments (see [`crate::instrument`]); write-only,
+    /// so `None` vs `Some` cannot change a trajectory.
+    pub telemetry: Option<DriverTelemetry>,
     initiator: NodeId,
     /// Initiator-side path plans keyed by initiator stream id, needed to
     /// peel reverse onions arriving back at the initiator.
@@ -177,6 +181,7 @@ impl Driver {
             crash_wipes: 0,
             auto_ack: false,
             pool: BufferPool::new(),
+            telemetry: None,
             initiator: initiator_id,
             plans: HashMap::new(),
             pending_acks: HashMap::new(),
@@ -187,6 +192,17 @@ impl Driver {
             world,
             initiator_id,
         }
+    }
+
+    /// Attach live telemetry from a shared registry: engine instruments
+    /// ([`simnet::instrument::EngineTelemetry`]) plus driver instruments
+    /// ([`crate::instrument::DriverTelemetry`]). Telemetry is
+    /// write-only, so the run's trajectory is identical with or without
+    /// this call.
+    pub fn attach_telemetry(&mut self, registry: &telemetry::Registry) {
+        self.engine
+            .set_telemetry(simnet::EngineTelemetry::register(registry));
+        self.world.telemetry = Some(DriverTelemetry::register(registry));
     }
 
     /// Inject a fault plan (link drops, latency spikes, crash-restarts).
@@ -308,6 +324,7 @@ impl Driver {
                     }
                     return;
                 }
+                let tag = wire_tag(&wire);
                 let frame = Frame::Stream { sid, wire };
                 let mut bytes = w.pool.get();
                 wire::encode_frame_into(&frame, &mut bytes);
@@ -319,6 +336,9 @@ impl Driver {
                     w.pool.put(blob);
                 }
                 let owd = w.faults.scale_owd(w.latency.owd(from, to), from, to, now);
+                if let Some(t) = &w.telemetry {
+                    t.record_send(tag, bytes.len() as u64, owd.as_micros());
+                }
                 e.schedule_at(now + owd, move |w, e| {
                     let frame =
                         wire::decode_frame_vec(bytes).expect("driver-encoded frames decode");

@@ -70,6 +70,7 @@ pub mod cover;
 pub mod driver;
 pub mod endpoint;
 pub mod ids;
+pub mod instrument;
 pub mod metrics;
 pub mod mix;
 pub mod onion;

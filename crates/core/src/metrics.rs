@@ -10,6 +10,17 @@
 //! * **Path durability** — how long the path set keeps delivering:
 //!   CurMix dies with any relay; SimRep when all `k` paths died; SimEra
 //!   when more than `k(1 − 1/r)` died.
+//!
+//! # Distinction from the `telemetry` crate
+//!
+//! This module is the *paper evaluation framework*: its summaries are
+//! experiment outputs feeding the Table 1–4 and Figure 5 reproductions,
+//! and they answer "how good is the protocol". Runtime observability —
+//! events per second, queue depths, retransmits, per-hop latency
+//! distributions, live-exportable from a running process — lives in the
+//! workspace's `telemetry` crate (wired in via [`crate::instrument`])
+//! and answers "what is the process doing". Keep the two apart: new
+//! evaluation numbers belong here, new operational numbers there.
 
 use simnet::trace::Summary;
 use simnet::SimDuration;

@@ -483,6 +483,21 @@ pub fn run_recovery_experiment(cfg: &RecoveryConfig) -> RecoveryResult {
 /// [`crate::driver::Driver`] actually carries every onion, ack and
 /// teardown over the event engine with the fault plan applied per link.
 pub fn run_recovery_experiment_traced(cfg: &RecoveryConfig) -> (RecoveryResult, RunStats) {
+    run_recovery_experiment_instrumented(cfg, None)
+}
+
+/// [`run_recovery_experiment_traced`] with optional live telemetry.
+///
+/// When `registry` is `Some`, the driver's engine and wire path record
+/// into it (`sim_*`, `core_*` instruments — see [`crate::instrument`]
+/// and [`simnet::instrument`]) and erasure decode outcomes are counted.
+/// Telemetry is write-only, so the returned result and statistics are
+/// bit-identical to the uninstrumented run — the experiments crate's
+/// determinism suite pins this.
+pub fn run_recovery_experiment_instrumented(
+    cfg: &RecoveryConfig,
+    registry: Option<&telemetry::Registry>,
+) -> (RecoveryResult, RunStats) {
     use crate::driver::Driver;
     use crate::endpoint::Initiator;
     use crate::ids::{MessageId, StreamId};
@@ -515,6 +530,15 @@ pub fn run_recovery_experiment_traced(cfg: &RecoveryConfig) -> (RecoveryResult, 
     )
     .with_faults(faults.clone())
     .with_auto_ack();
+    if let Some(reg) = registry {
+        driver.attach_telemetry(reg);
+    }
+    let decode_counters = registry.map(|reg| {
+        (
+            reg.counter("core_erasure_decodes_total", &[]),
+            reg.counter("core_erasure_decode_failures_total", &[]),
+        )
+    });
     let mut initiator = Initiator::new(initiator_id);
     let mut proto_rng = StdRng::seed_from_u64(cfg.world.seed ^ 0x9E37);
 
@@ -795,6 +819,13 @@ pub fn run_recovery_experiment_traced(cfg: &RecoveryConfig) -> (RecoveryResult, 
         }
         arrivals.sort_unstable();
         let ok = distinct.len() >= needed;
+        if let Some((decodes, failures)) = &decode_counters {
+            if ok {
+                decodes.inc();
+            } else {
+                failures.inc();
+            }
+        }
         let latency = ok.then(|| arrivals[needed - 1] - send_t);
         let bytes = per_path_bytes * (l + 1) as f64 * msg_wire_segments as f64;
         metrics.record_message(ok, latency, bytes);

@@ -5,14 +5,15 @@
 //! runs are reproducible; "quick" variants shrink the workload for smoke
 //! tests and Criterion.
 
-use crate::runner::{run_all, RunSpec, Traced};
+use crate::runner::{run_all, run_all_instrumented, RunSpec, Traced};
+use crate::telemetry_enabled;
 use anon_core::allocation::{self, BandwidthModel};
 use anon_core::anonymity;
 use anon_core::metrics::ProtocolMetrics;
 use anon_core::mix::MixStrategy;
 use anon_core::protocols::runner::{
-    run_performance_experiment_traced, run_recovery_experiment_traced, run_setup_experiment_traced,
-    PerfConfig, RecoveryConfig, RecoveryParams, SetupConfig,
+    run_performance_experiment_traced, run_recovery_experiment_instrumented,
+    run_setup_experiment_traced, PerfConfig, RecoveryConfig, RecoveryParams, SetupConfig,
 };
 use anon_core::protocols::ProtocolKind;
 use anon_core::sim::WorldConfig;
@@ -645,8 +646,12 @@ pub fn recovery_data(scale: Scale, threads: usize) -> Traced<Vec<RecoveryRow>> {
         })
         .collect();
 
-    let (results, traces) = run_all("recovery", jobs, threads, |spec| {
-        let (res, stats) = run_recovery_experiment_traced(&spec.payload);
+    let (results, traces) = run_all_instrumented("recovery", jobs, threads, |spec| {
+        // Per-run registry (when enabled) so snapshots stay attributable to
+        // one seed; the runner stores each on its RunTrace and TraceSet can
+        // merge them. Telemetry is write-only, so results are unchanged.
+        let registry = telemetry_enabled().then(telemetry::Registry::new);
+        let (res, stats) = run_recovery_experiment_instrumented(&spec.payload, registry.as_ref());
         let partial_rate = if res.metrics.messages_sent == 0 {
             0.0
         } else {
@@ -671,6 +676,7 @@ pub fn recovery_data(scale: Scale, threads: usize) -> Traced<Vec<RecoveryRow>> {
             ),
             stats,
             values,
+            registry.map(|r| r.snapshot()),
         )
     });
 

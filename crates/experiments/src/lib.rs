@@ -16,7 +16,18 @@ pub mod report;
 pub mod runner;
 
 pub use report::Table;
-pub use runner::{resolve_threads, run_all, RunSpec, RunTrace, TraceSet, Traced};
+pub use runner::{
+    resolve_threads, run_all, run_all_instrumented, RunSpec, RunTrace, TraceSet, Traced,
+};
+
+/// Whether live telemetry collection is enabled for this process:
+/// `P2P_ANON_TELEMETRY=1` (read once and cached). Off by default —
+/// telemetry is write-only and cannot change results either way, but
+/// off keeps the hot paths free of atomic traffic.
+pub fn telemetry_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("P2P_ANON_TELEMETRY").as_deref() == Ok("1"))
+}
 
 /// Map `f` over `items` in parallel with scoped threads, preserving order.
 ///

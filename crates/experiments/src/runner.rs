@@ -50,6 +50,11 @@ pub struct RunTrace {
     pub stats: RunStats,
     /// Named metric values produced by the run.
     pub values: Vec<(String, f64)>,
+    /// Per-run telemetry snapshot, when the run was instrumented
+    /// (`P2P_ANON_TELEMETRY=1` in the binaries). Serialized into the
+    /// JSON trace only — CSV output is byte-identical with or without
+    /// telemetry.
+    pub telemetry: Option<telemetry::Snapshot>,
 }
 
 /// One aggregate line: a metric summarized across the seeds of one label.
@@ -99,16 +104,39 @@ where
     R: Send,
     F: Fn(&RunSpec<T>) -> (R, RunStats, Vec<(String, f64)>) + Sync,
 {
+    run_all_instrumented(experiment, jobs, threads, |spec| {
+        let (r, stats, values) = f(spec);
+        (r, stats, values, None)
+    })
+}
+
+/// [`run_all`] for instrumented runs: `f` additionally returns an
+/// optional per-run [`telemetry::Snapshot`] (typically of a registry
+/// created inside the run), attached to the run's [`RunTrace`]. The
+/// scheduling, ordering and determinism guarantees are identical to
+/// [`run_all`] — snapshots ride along, they never steer.
+pub fn run_all_instrumented<T, R, F>(
+    experiment: &str,
+    jobs: Vec<RunSpec<T>>,
+    threads: usize,
+    f: F,
+) -> (Vec<R>, TraceSet)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&RunSpec<T>) -> (R, RunStats, Vec<(String, f64)>, Option<telemetry::Snapshot>) + Sync,
+{
     let threads = threads.max(1).min(jobs.len().max(1));
     let run_one = |spec: &RunSpec<T>| -> (R, RunTrace) {
         let start = Instant::now();
-        let (result, stats, values) = f(spec);
+        let (result, stats, values, telemetry) = f(spec);
         let trace = RunTrace {
             label: spec.label.clone(),
             seed: spec.seed,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             stats,
             values,
+            telemetry,
         };
         (result, trace)
     };
@@ -180,6 +208,23 @@ impl TraceSet {
         self.traces.iter().map(|t| t.wall_ms).sum()
     }
 
+    /// All runs' telemetry snapshots folded into one (counters and
+    /// histograms add, gauges keep the high-water mark — see
+    /// [`telemetry::Snapshot::merge`]), or `None` when no run was
+    /// instrumented.
+    pub fn merged_telemetry(&self) -> Option<telemetry::Snapshot> {
+        let mut merged: Option<telemetry::Snapshot> = None;
+        for t in &self.traces {
+            if let Some(snap) = &t.telemetry {
+                match &mut merged {
+                    Some(m) => m.merge(snap),
+                    None => merged = Some(snap.clone()),
+                }
+            }
+        }
+        merged
+    }
+
     /// Aggregate every metric across the seeds of each label
     /// (first-appearance order, so output is deterministic).
     pub fn aggregate(&self) -> Vec<AggregateRow> {
@@ -231,7 +276,7 @@ impl TraceSet {
                  \"crash_wipes\": {}}}, \
                  \"recovery\": {{\"segments_sent\": {}, \"retransmits\": {}, \"acks\": {}, \
                  \"ack_timeouts\": {}, \"probes\": {}, \"paths_rebuilt\": {}}}, \
-                 \"values\": {{{}}}}}",
+                 \"values\": {{{}}}",
                 json_str(&t.label),
                 t.seed,
                 t.wall_ms,
@@ -253,7 +298,18 @@ impl TraceSet {
                 t.stats.paths_rebuilt,
                 values.join(", "),
             );
-            let _ = writeln!(out, "{}", if i + 1 < self.traces.len() { "," } else { "" });
+            if let Some(snap) = &t.telemetry {
+                // jsonl() emits one JSON object per line; joined with
+                // commas they form a JSON array of instrument records.
+                let rendered = telemetry::export::jsonl(snap);
+                let joined: Vec<&str> = rendered.lines().collect();
+                let _ = write!(out, ", \"telemetry\": [{}]", joined.join(", "));
+            }
+            let _ = writeln!(
+                out,
+                "}}{}",
+                if i + 1 < self.traces.len() { "," } else { "" }
+            );
         }
         let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"aggregates\": [");

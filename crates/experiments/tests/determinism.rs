@@ -11,12 +11,13 @@
 
 use anon_core::mix::MixStrategy;
 use anon_core::protocols::runner::{
-    run_performance_experiment_traced, run_setup_experiment_traced, PerfConfig, SetupConfig,
+    run_performance_experiment_traced, run_recovery_experiment_instrumented,
+    run_setup_experiment_traced, PerfConfig, RecoveryConfig, RecoveryParams, SetupConfig,
 };
 use anon_core::protocols::ProtocolKind;
 use anon_core::sim::WorldConfig;
 use experiments::{run_all, RunSpec, TraceSet};
-use simnet::{SimDuration, SimTime};
+use simnet::{FaultConfig, SimDuration, SimTime};
 
 fn tiny_world(seed: u64) -> WorldConfig {
     WorldConfig {
@@ -142,6 +143,67 @@ fn threads_1_and_4_produce_identical_output() {
         assert_eq!(a.metric, b.metric);
         assert_eq!(a.summary.mean(), b.summary.mean());
         assert_eq!(a.summary.std_dev(), b.summary.std_dev());
+    }
+}
+
+fn recovery_cfg(seed: u64) -> RecoveryConfig {
+    RecoveryConfig {
+        world: tiny_world(seed),
+        protocol: ProtocolKind::SimEra { k: 4, r: 2 },
+        strategy: MixStrategy::Biased,
+        faults: FaultConfig {
+            link_drop: 0.05,
+            spike_prob: 0.05,
+            spike_factor: 4.0,
+            crashes_per_hour: 0.5,
+            view_staleness: SimDuration::from_secs(60),
+        },
+        recovery: RecoveryParams::default(),
+        warmup: SimTime::from_secs(600),
+        msg_interval: SimDuration::from_secs(20),
+        msg_bytes: 1024,
+        messages: 8,
+    }
+}
+
+/// Telemetry is strictly write-only: attaching a registry must not perturb
+/// the trajectory by a single event. Bit-identical engine counters and
+/// result metrics with telemetry on vs off pin that invariant.
+#[test]
+fn telemetry_on_and_off_produce_identical_runs() {
+    for seed in [3u64, 17] {
+        let registry = telemetry::Registry::new();
+        let (on, stats_on) =
+            run_recovery_experiment_instrumented(&recovery_cfg(seed), Some(&registry));
+        let (off, stats_off) = run_recovery_experiment_instrumented(&recovery_cfg(seed), None);
+
+        assert_eq!(
+            stats_on, stats_off,
+            "engine/loss/recovery counters must be bit-identical (seed {seed})"
+        );
+        assert_eq!(on.delivered, off.delivered, "seed {seed}");
+        assert_eq!(on.partial, off.partial, "seed {seed}");
+        assert_eq!(on.paths_rebuilt, off.paths_rebuilt, "seed {seed}");
+        assert_eq!(on.metrics.messages_sent, off.metrics.messages_sent);
+        assert_eq!(
+            on.metrics.messages_delivered,
+            off.metrics.messages_delivered
+        );
+        assert_eq!(on.metrics.latency_ms.mean(), off.metrics.latency_ms.mean());
+        assert_eq!(on.retransmit_overhead(), off.retransmit_overhead());
+
+        // And the instrumented run actually observed the trajectory: its
+        // processed-event counter mirrors the engine's own bookkeeping.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("sim_events_processed_total", &[]),
+            stats_on.engine.processed,
+            "telemetry must mirror engine counters (seed {seed})"
+        );
+        assert!(
+            snap.counter_value("core_frames_total", &[("wire", "payload")]) > 0,
+            "payload frames must have been recorded (seed {seed})"
+        );
     }
 }
 

@@ -1,0 +1,131 @@
+//! Runtime telemetry wiring for the event engine.
+//!
+//! [`EngineTelemetry`] is the bundle of instruments an [`Engine`] records
+//! into when one is attached with [`Engine::set_telemetry`]. The
+//! instruments are resolved from a shared [`telemetry::Registry`] once,
+//! here. The engine's per-event hot paths carry no record sites at all:
+//! its own plain-integer counters are published to these instruments as
+//! deltas at flush points ([`Engine::flush_telemetry`], called
+//! automatically at the end of `run`/`run_until`), so instrumented and
+//! uninstrumented engines execute the same per-event code.
+//!
+//! Telemetry is strictly write-only from the engine's perspective:
+//! nothing here feeds back into scheduling decisions, so attaching or
+//! detaching it cannot change an event trajectory. The existing
+//! [`Engine::counters`](crate::Engine::counters) API is unchanged and
+//! remains the deterministic, always-on accounting used by run traces;
+//! this module is the live-exportable view layered on top.
+//!
+//! [`Engine`]: crate::Engine
+//! [`Engine::set_telemetry`]: crate::Engine::set_telemetry
+//! [`Engine::flush_telemetry`]: crate::Engine::flush_telemetry
+
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, ManualClock, Registry};
+
+/// Pre-resolved engine instruments (see the module docs).
+///
+/// Instrument names are stable exporter-facing identifiers:
+///
+/// | name | kind | meaning |
+/// |---|---|---|
+/// | `sim_events_scheduled_total` | counter | events pushed onto the queue |
+/// | `sim_events_processed_total` | counter | handlers executed |
+/// | `sim_events_cancelled_total` | counter | events popped already-cancelled |
+/// | `sim_queue_depth_max` | gauge | high-water mark of pending events |
+/// | `sim_sched_resizes_total` | counter | scheduler restructurings (calendar rebuilds) |
+///
+/// The bundled [`ManualClock`] is advanced to the engine's simulated
+/// time on flush, giving exporters a `now` in sim microseconds.
+#[derive(Clone)]
+pub struct EngineTelemetry {
+    /// Events pushed onto the queue.
+    pub scheduled: Arc<Counter>,
+    /// Handlers executed.
+    pub processed: Arc<Counter>,
+    /// Events popped already-cancelled.
+    pub cancelled: Arc<Counter>,
+    /// High-water mark of pending events.
+    pub queue_depth_max: Arc<Gauge>,
+    /// Scheduler restructurings, published on flush.
+    pub resizes: Arc<Counter>,
+    /// Simulated time, advanced on flush.
+    pub clock: Arc<ManualClock>,
+}
+
+impl EngineTelemetry {
+    /// Resolve the engine's instruments from `registry` (creating them
+    /// on first use; see the type docs for names).
+    pub fn register(registry: &Registry) -> Self {
+        EngineTelemetry {
+            scheduled: registry.counter("sim_events_scheduled_total", &[]),
+            processed: registry.counter("sim_events_processed_total", &[]),
+            cancelled: registry.counter("sim_events_cancelled_total", &[]),
+            queue_depth_max: registry.gauge("sim_queue_depth_max", &[]),
+            resizes: registry.counter("sim_sched_resizes_total", &[]),
+            clock: Arc::new(ManualClock::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, SimTime};
+    use telemetry::Clock;
+
+    #[test]
+    fn engine_records_into_attached_instruments() {
+        let registry = Registry::new();
+        let tel = EngineTelemetry::register(&registry);
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.set_telemetry(tel.clone());
+        let mut world = Vec::new();
+        for i in 0..4 {
+            engine.schedule_at(SimTime::from_secs(i), |w: &mut Vec<u32>, _| w.push(0));
+        }
+        let h = engine.schedule_cancellable(SimTime::from_secs(9), |w: &mut Vec<u32>, _| w.push(1));
+        h.cancel();
+        engine.run(&mut world);
+
+        // Telemetry mirrors the deterministic counters exactly.
+        let c = engine.counters();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("sim_events_scheduled_total", &[]),
+            c.scheduled
+        );
+        assert_eq!(
+            snap.counter_value("sim_events_processed_total", &[]),
+            c.processed
+        );
+        assert_eq!(
+            snap.counter_value("sim_events_cancelled_total", &[]),
+            c.cancelled
+        );
+        assert_eq!(tel.queue_depth_max.get(), c.max_pending);
+        assert_eq!(tel.clock.now_us(), engine.now().as_micros());
+    }
+
+    #[test]
+    fn trajectory_is_identical_with_and_without_telemetry() {
+        fn drive(with_telemetry: bool) -> Vec<u64> {
+            let registry = Registry::new();
+            let mut engine: Engine<Vec<u64>> = Engine::new();
+            if with_telemetry {
+                engine.set_telemetry(EngineTelemetry::register(&registry));
+            }
+            let mut world = Vec::new();
+            fn tick(w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>) {
+                w.push(e.now().as_micros());
+                if w.len() < 64 {
+                    e.schedule_in(crate::SimDuration(w.len() as u64 * 37), tick);
+                }
+            }
+            engine.schedule_at(SimTime::ZERO, tick);
+            engine.run(&mut world);
+            world
+        }
+        assert_eq!(drive(false), drive(true));
+    }
+}

@@ -22,6 +22,9 @@
 //!   latency spikes, relay crash-restarts, stale membership views).
 //! * [`node`] — node identifiers.
 //! * [`trace`] — statistics accumulators used by the evaluation framework.
+//! * [`instrument`] — optional live telemetry wiring for the engine
+//!   (events/s, queue depth, scheduler resizes) on the shared
+//!   `telemetry` registry; write-only, so trajectories are unchanged.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -29,6 +32,7 @@
 pub mod churn;
 pub mod engine;
 pub mod fault;
+pub mod instrument;
 pub mod latency;
 pub mod node;
 pub mod sched;
@@ -38,6 +42,7 @@ pub mod trace;
 pub use churn::{ChurnSchedule, LifetimeDistribution, Session};
 pub use engine::{Engine, EventHandle};
 pub use fault::{FaultConfig, FaultPlan};
+pub use instrument::EngineTelemetry;
 pub use latency::{LatencyMatrix, LatencyRow};
 pub use node::NodeId;
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};

@@ -1,0 +1,259 @@
+//! Snapshot renderers: Prometheus text exposition and JSON lines.
+//!
+//! Both exporters are pure functions of a [`Snapshot`] — they never
+//! touch live instruments, so a scrape observes one consistent copy and
+//! rendering cost is paid entirely off the recording path. Because
+//! snapshots walk in canonical order, the same state always renders to
+//! the same bytes.
+//!
+//! Histograms render as Prometheus *summaries* (pre-computed quantile
+//! lines plus `_sum`/`_count`) rather than native `histogram` bucket
+//! series: the log-linear layout has thousands of potential buckets and
+//! the quantile error is already bounded at record time, so shipping
+//! `le`-labelled buckets would inflate every scrape for no added
+//! fidelity.
+
+use crate::registry::{Snapshot, SnapshotValue};
+
+/// Quantiles exported for every histogram, in both formats.
+pub const EXPORT_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 1.0];
+
+fn fmt_quantile(q: f64) -> String {
+    // Trim trailing zeros so 0.5 renders as "0.5", 1.0 as "1".
+    let s = format!("{q}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",...}` (empty string for no labels), with an optional
+/// extra label appended (used for `quantile="..."`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot as a Prometheus text-exposition page.
+///
+/// Counters and gauges become `counter`/`gauge` families; histograms
+/// become `summary` families with [`EXPORT_QUANTILES`] quantile lines
+/// plus `_sum` and `_count`. One `# TYPE` header per family, families
+/// in canonical name order.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(String, &'static str)> = None;
+    for (id, value) in snapshot.entries() {
+        let kind = match value {
+            SnapshotValue::Counter(_) => "counter",
+            SnapshotValue::Gauge(_) => "gauge",
+            SnapshotValue::Histogram(_) => "summary",
+        };
+        let family = (id.name().to_string(), kind);
+        if last_family.as_ref() != Some(&family) {
+            out.push_str(&format!("# TYPE {} {kind}\n", id.name()));
+            last_family = Some(family);
+        }
+        match value {
+            SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    id.name(),
+                    label_block(id.labels(), None)
+                ));
+            }
+            SnapshotValue::Histogram(h) => {
+                for q in EXPORT_QUANTILES {
+                    if let Some(v) = h.quantile(q) {
+                        out.push_str(&format!(
+                            "{}{} {v}\n",
+                            id.name(),
+                            label_block(id.labels(), Some(("quantile", &fmt_quantile(q))))
+                        ));
+                    }
+                }
+                let plain = label_block(id.labels(), None);
+                out.push_str(&format!("{}_sum{plain} {}\n", id.name(), h.sum()));
+                out.push_str(&format!("{}_count{plain} {}\n", id.name(), h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn jsonl_line(
+    id_name: &str,
+    labels: &[(String, String)],
+    value: &SnapshotValue,
+    ts_us: Option<u64>,
+) -> String {
+    let mut fields: Vec<String> = Vec::new();
+    if let Some(ts) = ts_us {
+        fields.push(format!("\"ts_us\":{ts}"));
+    }
+    fields.push(format!("\"name\":\"{}\"", escape_json(id_name)));
+    if !labels.is_empty() {
+        let inner: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+            .collect();
+        fields.push(format!("\"labels\":{{{}}}", inner.join(",")));
+    }
+    match value {
+        SnapshotValue::Counter(v) => {
+            fields.push("\"type\":\"counter\"".to_string());
+            fields.push(format!("\"value\":{v}"));
+        }
+        SnapshotValue::Gauge(v) => {
+            fields.push("\"type\":\"gauge\"".to_string());
+            fields.push(format!("\"value\":{v}"));
+        }
+        SnapshotValue::Histogram(h) => {
+            fields.push("\"type\":\"histogram\"".to_string());
+            fields.push(format!("\"count\":{}", h.count()));
+            fields.push(format!("\"sum\":{}", h.sum()));
+            for q in EXPORT_QUANTILES {
+                if let Some(v) = h.quantile(q) {
+                    fields.push(format!("\"p{}\":{v}", fmt_quantile(q).replace("0.", "")));
+                }
+            }
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Render a snapshot as JSON lines: one self-contained object per
+/// instrument, newline-terminated. Histogram lines carry `count`,
+/// `sum`, and the [`EXPORT_QUANTILES`] as `p5`/`p9`/`p99`-style keys.
+pub fn jsonl(snapshot: &Snapshot) -> String {
+    jsonl_inner(snapshot, None)
+}
+
+/// [`jsonl`] with a `ts_us` field stamped on every line — the periodic
+/// dump format used by the node binary, where lines from successive
+/// dumps interleave in one stream.
+pub fn jsonl_at(snapshot: &Snapshot, ts_us: u64) -> String {
+    jsonl_inner(snapshot, Some(ts_us))
+}
+
+fn jsonl_inner(snapshot: &Snapshot, ts_us: Option<u64>) -> String {
+    let mut out = String::new();
+    for (id, value) in snapshot.entries() {
+        out.push_str(&jsonl_line(id.name(), id.labels(), value, ts_us));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("frames_sent", &[("peer", "3")]).inc();
+        reg.gauge("queue_depth", &[]).set(4);
+        let h = reg.histogram("hop_latency_us", &[], 7);
+        for v in [100u64, 200, 200, 50_000] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_page_shape() {
+        let page = prometheus(&sample());
+        assert!(page.contains("# TYPE frames_sent counter\n"));
+        assert!(page.contains("frames_sent{peer=\"3\"} 1\n"));
+        assert!(page.contains("# TYPE queue_depth gauge\n"));
+        assert!(page.contains("queue_depth 4\n"));
+        assert!(page.contains("# TYPE hop_latency_us summary\n"));
+        assert!(page.contains("hop_latency_us{quantile=\"0.5\"} 200\n"));
+        assert!(page.contains("hop_latency_us_count 4\n"));
+        assert!(page.contains("hop_latency_us_sum 50500\n"));
+        // Every non-comment line is `name{labels} value`.
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!name_part.is_empty());
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter("c", &[("path", "a\"b\\c\nd")]).inc();
+        let page = prometheus(&reg.snapshot());
+        assert!(page.contains("c{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_instrument() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().any(|l| l.contains("\"name\":\"frames_sent\"")
+            && l.contains("\"labels\":{\"peer\":\"3\"}")
+            && l.contains("\"value\":1")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"name\":\"hop_latency_us\"") && l.contains("\"count\":4")));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_at_stamps_every_line() {
+        let text = jsonl_at(&sample(), 1_234_567);
+        for l in text.lines() {
+            assert!(l.starts_with("{\"ts_us\":1234567,"), "line: {l}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let s = Snapshot::new();
+        assert_eq!(prometheus(&s), "");
+        assert_eq!(jsonl(&s), "");
+    }
+}

@@ -1,0 +1,417 @@
+//! Log-linear (HDR-style) histograms with bounded relative error.
+//!
+//! Values are `u64` (microseconds, bytes, counts). The bucket layout is
+//! governed by one parameter, the *grouping power* `g`:
+//!
+//! * values below `2^(g+1)` land in exact width-1 buckets (the linear
+//!   region — small latencies are recorded precisely);
+//! * every power-of-two range `[2^h, 2^(h+1))` above it is split into
+//!   `2^g` equal sub-buckets, so a bucket's width relative to its values
+//!   is at most `2^-g`.
+//!
+//! Quantile estimates report a bucket's *upper* edge, which makes the
+//! estimate an overestimate by a relative error of at most `2^-g`
+//! (`g = 7` → ≤ 0.79%). The layout is a pure function of `g`, so two
+//! histograms with the same grouping power merge bucket-by-bucket —
+//! exactly, associatively, commutatively — which is what lets per-run
+//! and per-shard snapshots combine into fleet totals.
+//!
+//! Recording is one relaxed `fetch_add` into the bucket array (plus two
+//! for the running count/sum): lock-free and allocation-free after
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest supported grouping power (beyond this the linear region alone
+/// would dominate memory for no precision anyone asks for).
+pub const MAX_GROUPING_POWER: u32 = 16;
+
+/// Number of buckets a grouping power implies (covers all of `u64`).
+fn bucket_count(g: u32) -> usize {
+    // 2^(g+1) linear buckets + (63 - g) log regions of 2^g buckets.
+    (1usize << (g + 1)) + (63 - g as usize) * (1usize << g)
+}
+
+/// Bucket index for `value` under grouping power `g`.
+#[inline]
+fn index_for(g: u32, value: u64) -> usize {
+    if value < (1u64 << (g + 1)) {
+        value as usize
+    } else {
+        let h = 63 - value.leading_zeros(); // h >= g + 1
+        let sub = ((value - (1u64 << h)) >> (h - g)) as usize;
+        (1usize << (g + 1)) + ((h - g - 1) as usize) * (1usize << g) + sub
+    }
+}
+
+/// Inclusive `(low, high)` value range of bucket `index`.
+fn bucket_range(g: u32, index: usize) -> (u64, u64) {
+    let linear = 1usize << (g + 1);
+    if index < linear {
+        (index as u64, index as u64)
+    } else {
+        let region = (index - linear) >> g;
+        let sub = (index - linear - (region << g)) as u64;
+        let h = region as u32 + g + 1;
+        let low = (1u64 << h) + (sub << (h - g));
+        // Width-minus-one first: the top bucket's high is exactly
+        // `u64::MAX`, so `low + width` would overflow.
+        (low, low + ((1u64 << (h - g)) - 1))
+    }
+}
+
+/// A lock-free log-linear histogram.
+///
+/// Shared by reference between recorder threads and scrapers; see the
+/// module docs for the layout and error bound.
+#[derive(Debug)]
+pub struct Histogram {
+    grouping_power: u32,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with relative quantile error bounded by
+    /// `2^-grouping_power`.
+    ///
+    /// # Panics
+    /// If `grouping_power` exceeds [`MAX_GROUPING_POWER`].
+    pub fn new(grouping_power: u32) -> Self {
+        assert!(
+            grouping_power <= MAX_GROUPING_POWER,
+            "grouping power {grouping_power} > {MAX_GROUPING_POWER}"
+        );
+        let buckets = (0..bucket_count(grouping_power))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Histogram {
+            grouping_power,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured grouping power.
+    pub fn grouping_power(&self) -> u32 {
+        self.grouping_power
+    }
+
+    /// Upper bound on the relative error of quantile estimates.
+    pub fn max_relative_error(&self) -> f64 {
+        2f64.powi(-(self.grouping_power as i32))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical observations.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        let idx = index_for(self.grouping_power, value);
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    ///
+    /// Under concurrent recording the copy is a consistent *lower*
+    /// bound per bucket (each bucket is read atomically; the set of
+    /// buckets is not read in one instant), which is the usual scrape
+    /// semantic.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            grouping_power: self.grouping_power,
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    grouping_power: u32,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element of [`merge`](Self::merge)).
+    pub fn empty(grouping_power: u32) -> Self {
+        assert!(grouping_power <= MAX_GROUPING_POWER);
+        HistogramSnapshot {
+            grouping_power,
+            counts: vec![0; bucket_count(grouping_power)],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The grouping power the buckets were laid out with.
+    pub fn grouping_power(&self) -> u32 {
+        self.grouping_power
+    }
+
+    /// Upper bound on the relative error of quantile estimates.
+    pub fn max_relative_error(&self) -> f64 {
+        2f64.powi(-(self.grouping_power as i32))
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    ///
+    /// Wraps modulo 2^64 on overflow — uniformly across record, merge
+    /// and diff, so diff stays the exact inverse of merge. Real
+    /// workloads (microseconds, bytes) sit far below the wrap point.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the exact recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Add another snapshot's observations into this one.
+    ///
+    /// Merging is exact (bucket-wise addition): associative and
+    /// commutative, and recording into a histogram after merging its
+    /// snapshot is indistinguishable from recording before.
+    ///
+    /// # Panics
+    /// If the grouping powers differ — bucket layouts would not align.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.grouping_power, other.grouping_power,
+            "cannot merge histograms with different grouping powers"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The interval between two scrapes of the same histogram: what was
+    /// recorded after `earlier` was taken. Bucket-wise saturating
+    /// subtraction, so a mismatched pair degrades to zeros instead of
+    /// wrapping.
+    ///
+    /// # Panics
+    /// If the grouping powers differ.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.grouping_power, earlier.grouping_power,
+            "cannot diff histograms with different grouping powers"
+        );
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            grouping_power: self.grouping_power,
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` if empty.
+    ///
+    /// Returns the upper edge of the bucket holding the
+    /// `max(1, ceil(q·count))`-th smallest observation, so the estimate
+    /// is ≥ the true order statistic and overestimates it by at most a
+    /// relative `2^-grouping_power`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(bucket_range(self.grouping_power, i).1);
+            }
+        }
+        unreachable!("cumulative count reaches self.count");
+    }
+
+    /// Upper edge of the highest non-empty bucket (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| bucket_range(self.grouping_power, i).1)
+    }
+
+    /// Non-empty buckets as `(low, high, count)`, ascending — the raw
+    /// material for exporters.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| {
+                let (lo, hi) = bucket_range(self.grouping_power, i);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_roundtrips() {
+        for g in [0u32, 1, 4, 7, 10] {
+            for value in [
+                0u64,
+                1,
+                2,
+                3,
+                100,
+                255,
+                256,
+                1 << 20,
+                (1 << 20) + 12345,
+                u64::MAX / 3,
+                u64::MAX,
+            ] {
+                let idx = index_for(g, value);
+                let (lo, hi) = bucket_range(g, idx);
+                assert!(
+                    lo <= value && value <= hi,
+                    "g={g} value={value} idx={idx} range=({lo},{hi})"
+                );
+                assert!(idx < bucket_count(g), "index in bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_axis() {
+        // Consecutive buckets are adjacent and non-overlapping.
+        let g = 3;
+        let mut expected_lo = 0u64;
+        for i in 0..bucket_count(g) {
+            let (lo, hi) = bucket_range(g, i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i - 1);
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, bucket_count(g) - 1, "only the last bucket tops out");
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("last bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new(7);
+        for v in 0..=255 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 256);
+        // Linear region: quantiles of exact width-1 buckets are exact.
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(0.5), Some(127));
+        assert_eq!(s.quantile(1.0), Some(255));
+        assert_eq!(s.max(), Some(255));
+        assert_eq!(s.mean(), 127.5);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let g = 7;
+        let h = Histogram::new(g);
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| (i * i * 7919) % 90_000_000)
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[target - 1];
+            let est = s.quantile(q).unwrap();
+            assert!(est >= truth, "upper-edge estimate underestimated");
+            if truth > 0 {
+                let rel = (est - truth) as f64 / truth as f64;
+                assert!(rel <= 2f64.powi(-(g as i32)), "q={q} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let s = Histogram::new(5).snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_and_diff_are_inverse() {
+        let a = Histogram::new(6);
+        let b = Histogram::new(6);
+        for i in 0..1000u64 {
+            a.record(i * 31);
+            b.record(i * 97);
+        }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        assert_eq!(merged.count(), 2000);
+        assert_eq!(merged.diff(&sa), sb);
+        assert_eq!(merged.diff(&sb), sa);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grouping powers")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(3).snapshot();
+        a.merge(&Histogram::new(4).snapshot());
+    }
+}

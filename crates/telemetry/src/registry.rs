@@ -1,0 +1,426 @@
+//! The instrument directory: names and labels on one side, exporters on
+//! the other.
+//!
+//! A [`Registry`] maps a canonical `(name, labels)` identity to exactly
+//! one instrument, created on first request and shared (`Arc`) on every
+//! later one — so two subsystems asking for `("frames_sent", peer=3)`
+//! record into the same counter, and exporters can walk everything that
+//! exists without knowing who created it.
+//!
+//! Identity is canonical: labels are sorted by key at registration, so
+//! label order at the call site is irrelevant. The map is ordered
+//! (`BTreeMap`), which makes every walk — and therefore every exported
+//! page — deterministic, independent of registration order races.
+//!
+//! Registration takes a lock; recording never does. The intended shape
+//! is: resolve instruments once at wiring time, hold the `Arc`s in a
+//! plain struct, record through them on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Canonical identity of an instrument: name plus sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstrumentId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl InstrumentId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        InstrumentId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The instrument name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The labels, sorted by key.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+/// A live instrument held by a registry.
+#[derive(Clone, Debug)]
+pub enum Instrument {
+    /// A monotone event count.
+    Counter(Arc<Counter>),
+    /// An instantaneous level.
+    Gauge(Arc<Gauge>),
+    /// A value distribution.
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+
+    fn snapshot_value(&self) -> SnapshotValue {
+        match self {
+            Instrument::Counter(c) => SnapshotValue::Counter(c.get()),
+            Instrument::Gauge(g) => SnapshotValue::Gauge(g.get()),
+            Instrument::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+/// The shared instrument directory.
+///
+/// Cheap to clone conceptually — share it with `Arc<Registry>` (the
+/// workspace convention) rather than cloning instruments out of it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<InstrumentId, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter for `(name, labels)`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different instrument
+    /// kind — that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = InstrumentId::new(name, labels);
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(id)
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge for `(name, labels)`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = InstrumentId::new(name, labels);
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(id)
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram for `(name, labels)`, created empty on first use
+    /// with the given grouping power (see [`crate::histogram`]).
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different kind, or as
+    /// a histogram with a *different* grouping power (snapshots would
+    /// not merge).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        grouping_power: u32,
+    ) -> Arc<Histogram> {
+        let id = InstrumentId::new(name, labels);
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(id)
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(grouping_power))))
+        {
+            Instrument::Histogram(h) => {
+                assert_eq!(
+                    h.grouping_power(),
+                    grouping_power,
+                    "{name} already registered with grouping power {}",
+                    h.grouping_power()
+                );
+                h.clone()
+            }
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every instrument's value, in canonical
+    /// (name, labels) order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.read().unwrap();
+        Snapshot {
+            entries: map
+                .iter()
+                .map(|(id, inst)| (id.clone(), inst.snapshot_value()))
+                .collect(),
+        }
+    }
+}
+
+/// One instrument's value inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(u64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole registry, with set algebra.
+///
+/// * [`merge`](Snapshot::merge) combines independent sources (shards of
+///   an experiment sweep, per-run snapshots): counters and histograms
+///   add exactly; gauges keep the maximum, because every gauge in this
+///   workspace is a level whose interesting aggregate is its high-water
+///   mark.
+/// * [`diff`](Snapshot::diff) extracts the interval between two scrapes
+///   of the *same* registry: counters and histograms subtract
+///   (saturating); gauges keep the later reading, an instantaneous
+///   level having no meaningful difference.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: BTreeMap<InstrumentId, SnapshotValue>,
+}
+
+impl Snapshot {
+    /// A snapshot with no instruments (identity of [`merge`](Self::merge)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instruments captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot captured no instruments.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The captured values in canonical (name, labels) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&InstrumentId, &SnapshotValue)> {
+        self.entries.iter()
+    }
+
+    /// The value of `(name, labels)` if it was captured.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SnapshotValue> {
+        self.entries.get(&InstrumentId::new(name, labels))
+    }
+
+    /// Convenience: the counter total for `(name, labels)`, or 0 if the
+    /// instrument is absent or not a counter.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(SnapshotValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Fold another snapshot into this one (see the type docs for the
+    /// per-kind rules). Instruments present on only one side pass
+    /// through unchanged.
+    ///
+    /// # Panics
+    /// If the same identity is a different instrument kind on each side.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (id, theirs) in &other.entries {
+            match self.entries.entry(id.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), theirs) {
+                        (SnapshotValue::Counter(a), SnapshotValue::Counter(b)) => {
+                            *a = a.saturating_add(*b);
+                        }
+                        (SnapshotValue::Gauge(a), SnapshotValue::Gauge(b)) => {
+                            *a = (*a).max(*b);
+                        }
+                        (SnapshotValue::Histogram(a), SnapshotValue::Histogram(b)) => {
+                            a.merge(b);
+                        }
+                        (mine, _) => panic!(
+                            "instrument {} changed kind across snapshots ({mine:?})",
+                            id.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// What happened between `earlier` and this snapshot (see the type
+    /// docs for the per-kind rules). Instruments absent from `earlier`
+    /// pass through unchanged.
+    ///
+    /// # Panics
+    /// If the same identity is a different instrument kind on each side.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(id, now)| {
+                let value = match (now, earlier.entries.get(id)) {
+                    (now, None) => now.clone(),
+                    (SnapshotValue::Counter(a), Some(SnapshotValue::Counter(b))) => {
+                        SnapshotValue::Counter(a.saturating_sub(*b))
+                    }
+                    (SnapshotValue::Gauge(a), Some(SnapshotValue::Gauge(_))) => {
+                        SnapshotValue::Gauge(*a)
+                    }
+                    (SnapshotValue::Histogram(a), Some(SnapshotValue::Histogram(b))) => {
+                        SnapshotValue::Histogram(a.diff(b))
+                    }
+                    (now, Some(_)) => panic!(
+                        "instrument {} changed kind across snapshots ({now:?})",
+                        id.name()
+                    ),
+                };
+                (id.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_identity_resolves_to_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", &[("peer", "3"), ("dir", "in")]);
+        // Label order at the call site must not matter.
+        let b = reg.counter("hits", &[("dir", "in"), ("peer", "3")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_instruments() {
+        let reg = Registry::new();
+        reg.counter("hits", &[("peer", "1")]).inc();
+        reg.counter("hits", &[("peer", "2")]).add(5);
+        let s = reg.snapshot();
+        assert_eq!(s.counter_value("hits", &[("peer", "1")]), 1);
+        assert_eq!(s.counter_value("hits", &[("peer", "2")]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_conflicts_are_wiring_bugs() {
+        let reg = Registry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn snapshot_walk_is_in_canonical_order() {
+        let reg = Registry::new();
+        reg.counter("zeta", &[]);
+        reg.counter("alpha", &[("b", "2")]);
+        reg.counter("alpha", &[("a", "1")]);
+        let names: Vec<String> = reg
+            .snapshot()
+            .entries()
+            .map(|(id, _)| {
+                format!(
+                    "{}{:?}",
+                    id.name(),
+                    id.labels()
+                        .iter()
+                        .map(|(k, _)| k.as_str())
+                        .collect::<Vec<_>>()
+                )
+            })
+            .collect();
+        assert_eq!(names, vec!["alpha[\"a\"]", "alpha[\"b\"]", "zeta[]"]);
+    }
+
+    #[test]
+    fn merge_follows_per_kind_rules() {
+        let ra = Registry::new();
+        ra.counter("events", &[]).add(10);
+        ra.gauge("depth", &[]).set(7);
+        ra.histogram("lat", &[], 5).record(100);
+        let rb = Registry::new();
+        rb.counter("events", &[]).add(32);
+        rb.gauge("depth", &[]).set(3);
+        rb.histogram("lat", &[], 5).record(200);
+        rb.counter("only_b", &[]).inc();
+
+        let mut m = ra.snapshot();
+        m.merge(&rb.snapshot());
+        assert_eq!(m.counter_value("events", &[]), 42, "counters add");
+        assert_eq!(
+            m.get("depth", &[]),
+            Some(&SnapshotValue::Gauge(7)),
+            "gauges keep the high-water mark"
+        );
+        match m.get("lat", &[]) {
+            Some(SnapshotValue::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(
+            m.counter_value("only_b", &[]),
+            1,
+            "one-sided passes through"
+        );
+    }
+
+    #[test]
+    fn diff_recovers_the_interval() {
+        let reg = Registry::new();
+        let c = reg.counter("events", &[]);
+        let h = reg.histogram("lat", &[], 5);
+        c.add(5);
+        h.record(10);
+        let early = reg.snapshot();
+        c.add(3);
+        h.record(20);
+        let late = reg.snapshot();
+        let d = late.diff(&early);
+        assert_eq!(d.counter_value("events", &[]), 3);
+        match d.get("lat", &[]) {
+            Some(SnapshotValue::Histogram(hs)) => {
+                assert_eq!(hs.count(), 1);
+                assert_eq!(hs.sum(), 20);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

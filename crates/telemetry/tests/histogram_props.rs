@@ -1,0 +1,145 @@
+//! Property tests for the log-linear histogram: the algebraic laws that
+//! make snapshots safely mergeable across shards and runs, and the
+//! advertised quantile error bound against a sorted-`Vec` reference.
+
+use proptest::prelude::*;
+use telemetry::{Histogram, HistogramSnapshot};
+
+/// Fill a fresh histogram with `values` and return its snapshot.
+fn snap(g: u32, values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new(g);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact order statistic the histogram's `quantile(q)` estimates:
+/// the `max(1, ceil(q·n))`-th smallest value.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging is commutative: a ∪ b and b ∪ a are the same snapshot.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (sa, sb) = (snap(7, &a), snap(7, &b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: (a ∪ b) ∪ c equals a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+        c in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let (sa, sb, sc) = (snap(7, &a), snap(7, &b), snap(7, &c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty snapshot is the merge identity, on either side.
+    #[test]
+    fn merge_identity(a in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let sa = snap(6, &a);
+        let mut left = HistogramSnapshot::empty(6);
+        left.merge(&sa);
+        let mut right = sa.clone();
+        right.merge(&HistogramSnapshot::empty(6));
+        prop_assert_eq!(&left, &sa);
+        prop_assert_eq!(&right, &sa);
+    }
+
+    /// Recording a batch then merging equals merging then recording the
+    /// batch into the merged side: merge loses no record granularity.
+    #[test]
+    fn record_after_merge_is_consistent(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+        late in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        // Path 1: record `late` into a's histogram, then merge b.
+        let mut a_then_late: Vec<u64> = a.clone();
+        a_then_late.extend_from_slice(&late);
+        let mut path1 = snap(7, &a_then_late);
+        path1.merge(&snap(7, &b));
+        // Path 2: merge a and b first, then account `late` separately.
+        let mut path2 = snap(7, &a);
+        path2.merge(&snap(7, &b));
+        path2.merge(&snap(7, &late));
+        prop_assert_eq!(path1, path2);
+    }
+
+    /// diff is the inverse of merge: (a ∪ b) \ a == b.
+    #[test]
+    fn diff_inverts_merge(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (sa, sb) = (snap(5, &a), snap(5, &b));
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(merged.diff(&sa), sb);
+        prop_assert_eq!(merged.diff(&sb), sa);
+    }
+
+    /// Quantile estimates never underestimate, and overestimate the true
+    /// order statistic by at most the advertised relative error 2^-g —
+    /// judged against a fully sorted reference vector.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..500),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let g = 7;
+        let s = snap(g, &values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert!((s.max_relative_error() - 2f64.powi(-(g as i32))).abs() < 1e-12);
+        for &q in qs.iter().chain([0.0, 0.5, 1.0].iter()) {
+            let truth = reference_quantile(&sorted, q);
+            let est = s.quantile(q).unwrap();
+            prop_assert!(est >= truth, "q={} est={} truth={}", q, est, truth);
+            if truth > 0 {
+                let rel = (est - truth) as f64 / truth as f64;
+                prop_assert!(
+                    rel <= s.max_relative_error(),
+                    "q={} est={} truth={} rel={}",
+                    q, est, truth, rel
+                );
+            }
+        }
+    }
+
+    /// count/sum bookkeeping survives any record sequence (sum is
+    /// defined modulo 2^64, so compare through wrapping folds).
+    #[test]
+    fn count_and_sum_track_records(
+        values in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let s = snap(4, &values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let expect: u64 = values
+            .iter()
+            .fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(s.sum(), expect);
+    }
+}

@@ -32,9 +32,13 @@ use erasure::ErasureCodec;
 use simnet::NodeId;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
-use transport::{ProtocolNode, Roster, Runtime, TcpTransport, Transport};
+use std::time::Duration;
+use transport::{
+    NodeTelemetry, ProtocolNode, Roster, Runtime, StatsServer, TcpTelemetry, TcpTransport,
+    Transport,
+};
 
 struct Args {
     config: String,
@@ -46,13 +50,14 @@ struct Args {
     ack_timeout_ms: u64,
     run_secs: Option<u64>,
     seed: u64,
+    stats_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: p2p-anon-node --config FILE --id N --role relay|responder|initiator\n\
          \x20    [--paths \"1,2,3;4,5,6\"] [--responder N] [--codec M,N]\n\
-         \x20    [--ack-timeout-ms MS] [--run-secs S] [--seed N]"
+         \x20    [--ack-timeout-ms MS] [--run-secs S] [--seed N] [--stats-addr ADDR]"
     );
     std::process::exit(2);
 }
@@ -68,6 +73,7 @@ fn parse_args() -> Args {
         ack_timeout_ms: 1_000,
         run_secs: None,
         seed: 0,
+        stats_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +96,7 @@ fn parse_args() -> Args {
             "--ack-timeout-ms" => args.ack_timeout_ms = value().parse().unwrap_or_else(|_| usage()),
             "--run-secs" => args.run_secs = Some(value().parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--stats-addr" => args.stats_addr = Some(value()),
             "--paths" => {
                 args.paths = value()
                     .split(';')
@@ -125,7 +132,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let transport = match TcpTransport::bind(args.id, roster.clone()) {
+    let mut transport = match TcpTransport::bind(args.id, roster.clone()) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("p2p-anon-node: bind {}: {e}", args.id);
@@ -149,6 +156,26 @@ fn main() -> ExitCode {
         "initiator" => node = node.with_codec(Box::new(codec)),
         _ => usage(),
     }
+    // --stats-addr: register live instruments and serve them until the
+    // process exits (the guard keeps the listener thread alive).
+    let _stats = match &args.stats_addr {
+        Some(addr) => {
+            let registry = Arc::new(telemetry::Registry::new());
+            transport.set_telemetry(TcpTelemetry::register(registry.clone()));
+            node = node.with_telemetry(NodeTelemetry::register(&registry, args.id));
+            match StatsServer::serve(addr, registry, Some(Duration::from_secs(10))) {
+                Ok(server) => {
+                    say(format!("STATS addr={}", server.local_addr()));
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("p2p-anon-node: stats bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let mut rt = Runtime::new(transport);
     let id = args.id;
     rt.add_node(node);

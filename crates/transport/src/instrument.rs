@@ -1,0 +1,160 @@
+//! Telemetry wiring for the live transport stack.
+//!
+//! Same pattern as `anon_core::instrument`: this module owns the
+//! instrument names and registration; the transport and node code holds
+//! pre-resolved [`Arc`] handles inside `Option`s and records lock-free.
+//! `None` everywhere means zero cost — no atomics touched.
+//!
+//! Instrumentation here is strictly write-only: nothing in the protocol
+//! or transport reads these values back to make a decision, so attaching
+//! telemetry cannot change behavior (the determinism suite pins the
+//! equivalent invariant for the simulated stack).
+
+use simnet::NodeId;
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, Registry};
+
+/// Transport-wide instruments for one [`crate::TcpTransport`].
+#[derive(Clone)]
+pub struct TcpTelemetry {
+    registry: Arc<Registry>,
+    /// `transport_timer_fires_total` — armed deadlines that actually
+    /// fired (cancelled timers never count).
+    pub timer_fires: Arc<Counter>,
+    /// `transport_frames_enqueued_total` — frames accepted by `send`
+    /// and handed to a writer queue.
+    pub frames_enqueued: Arc<Counter>,
+}
+
+impl TcpTelemetry {
+    /// Resolve the transport-wide instruments against `registry`. The
+    /// registry is retained so per-peer writer instruments can be
+    /// created lazily as connections appear.
+    pub fn register(registry: Arc<Registry>) -> Self {
+        let timer_fires = registry.counter("transport_timer_fires_total", &[]);
+        let frames_enqueued = registry.counter("transport_frames_enqueued_total", &[]);
+        TcpTelemetry {
+            registry,
+            timer_fires,
+            frames_enqueued,
+        }
+    }
+
+    /// Per-peer writer-thread instruments, labeled `peer="<id>"`.
+    pub fn writer(&self, peer: NodeId) -> WriterTelemetry {
+        let p = peer.0.to_string();
+        let labels: [(&str, &str); 1] = [("peer", &p)];
+        WriterTelemetry {
+            connects: self.registry.counter("transport_connects_total", &labels),
+            connect_failures: self
+                .registry
+                .counter("transport_connect_failures_total", &labels),
+            frames_dropped: self
+                .registry
+                .counter("transport_frames_dropped_total", &labels),
+            queue_depth: self.registry.gauge("transport_writer_queue_depth", &labels),
+        }
+    }
+}
+
+/// Instruments owned by one per-peer writer thread.
+///
+/// The gauge is a live level: `send` increments it as a frame is
+/// enqueued and the writer decrements it after draining, so a scrape
+/// sees the backlog toward that peer at that instant (snapshot merges
+/// keep the high-water mark).
+#[derive(Clone)]
+pub struct WriterTelemetry {
+    /// `transport_connects_total{peer}` — successful (re)connects,
+    /// the first connection included.
+    pub connects: Arc<Counter>,
+    /// `transport_connect_failures_total{peer}` — connect or Hello
+    /// attempts that failed and fell into backoff.
+    pub connect_failures: Arc<Counter>,
+    /// `transport_frames_dropped_total{peer}` — frames abandoned after
+    /// the attempt budget (the loss the protocol recovers from).
+    pub frames_dropped: Arc<Counter>,
+    /// `transport_writer_queue_depth{peer}` — frames queued but not yet
+    /// written to the socket.
+    pub queue_depth: Arc<Gauge>,
+}
+
+/// Protocol-event instruments for one [`crate::ProtocolNode`], mirroring
+/// its [`crate::NodeEvents`] record sites one for one.
+#[derive(Clone)]
+pub struct NodeTelemetry {
+    /// `node_paths_established_total{node}` — construction acks back at
+    /// this initiator.
+    pub established: Arc<Counter>,
+    /// `node_constructions_total{node}` — terminal construction
+    /// completions at this responder.
+    pub constructions: Arc<Counter>,
+    /// `node_deliveries_total{node}` — segments delivered here.
+    pub deliveries: Arc<Counter>,
+    /// `node_acks_total{node}` — end-to-end segment acks back here.
+    pub acks: Arc<Counter>,
+    /// `node_ack_timeouts_total{node}` — ack deadlines that fired
+    /// unanswered.
+    pub ack_timeouts: Arc<Counter>,
+    /// `node_retransmits_total{node}` — segments retransmitted after a
+    /// timeout.
+    pub retransmits: Arc<Counter>,
+    /// `node_stateless_drops_total{node}` — frames dropped for missing
+    /// relay/initiator state.
+    pub stateless_drops: Arc<Counter>,
+}
+
+impl NodeTelemetry {
+    /// Resolve this node's instruments, labeled `node="<id>"`.
+    pub fn register(registry: &Registry, node: NodeId) -> Self {
+        let n = node.0.to_string();
+        let labels: [(&str, &str); 1] = [("node", &n)];
+        NodeTelemetry {
+            established: registry.counter("node_paths_established_total", &labels),
+            constructions: registry.counter("node_constructions_total", &labels),
+            deliveries: registry.counter("node_deliveries_total", &labels),
+            acks: registry.counter("node_acks_total", &labels),
+            ack_timeouts: registry.counter("node_ack_timeouts_total", &labels),
+            retransmits: registry.counter("node_retransmits_total", &labels),
+            stateless_drops: registry.counter("node_stateless_drops_total", &labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_instruments_are_per_peer() {
+        let registry = Arc::new(Registry::new());
+        let t = TcpTelemetry::register(registry.clone());
+        t.writer(NodeId(1)).frames_dropped.inc();
+        t.writer(NodeId(2)).frames_dropped.add(3);
+        // Same peer resolves to the same instrument.
+        t.writer(NodeId(1)).frames_dropped.inc();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("transport_frames_dropped_total", &[("peer", "1")]),
+            2
+        );
+        assert_eq!(
+            snap.counter_value("transport_frames_dropped_total", &[("peer", "2")]),
+            3
+        );
+    }
+
+    #[test]
+    fn node_instruments_register_under_the_node_label() {
+        let registry = Registry::new();
+        let t = NodeTelemetry::register(&registry, NodeId(7));
+        t.acks.inc();
+        t.retransmits.add(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("node_acks_total", &[("node", "7")]), 1);
+        assert_eq!(
+            snap.counter_value("node_retransmits_total", &[("node", "7")]),
+            2
+        );
+    }
+}

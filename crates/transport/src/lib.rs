@@ -30,15 +30,19 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod instrument;
 pub mod node;
 pub mod runtime;
 pub mod sim;
+pub mod stats;
 pub mod tcp;
 
 pub use config::Roster;
+pub use instrument::{NodeTelemetry, TcpTelemetry, WriterTelemetry};
 pub use node::{Input, NodeEvents, Output, ProtocolNode};
 pub use runtime::Runtime;
 pub use sim::SimTransport;
+pub use stats::StatsServer;
 pub use tcp::TcpTransport;
 
 use anon_core::wire::{Frame, WireError};

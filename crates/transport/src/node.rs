@@ -12,6 +12,7 @@
 //! driver uses — same caches, same TTLs, same stream-id forwarding — so
 //! behavior proven in simulation carries over to the live node verbatim.
 
+use crate::instrument::NodeTelemetry;
 use anon_core::driver::CONSTRUCT_ACK;
 use anon_core::endpoint::{Initiator, Reassembler};
 use anon_core::onion::{
@@ -130,6 +131,9 @@ pub struct ProtocolNode {
     max_retries: u32,
     /// Observable protocol events (drained/inspected by the embedder).
     pub events: NodeEvents,
+    /// Live instruments mirroring the `events` record sites (optional;
+    /// write-only, so attaching them cannot change behavior).
+    telemetry: Option<NodeTelemetry>,
 }
 
 impl ProtocolNode {
@@ -155,7 +159,15 @@ impl ProtocolNode {
             ack_timeout_us: DEFAULT_ACK_TIMEOUT_US,
             max_retries: DEFAULT_MAX_RETRIES,
             events: NodeEvents::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attach live instruments (see [`NodeTelemetry`]); each protocol
+    /// event increments its counter alongside the `events` log entry.
+    pub fn with_telemetry(mut self, telemetry: NodeTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Ack every delivery and construction completion with a real
@@ -298,6 +310,13 @@ impl ProtocolNode {
         }
     }
 
+    fn note_stateless_drop(&mut self) {
+        self.events.stateless_drops += 1;
+        if let Some(t) = &self.telemetry {
+            t.stateless_drops.inc();
+        }
+    }
+
     fn alloc_token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
@@ -347,6 +366,9 @@ impl ProtocolNode {
                 }),
                 Ok(RelayAction::ConstructionComplete) => {
                     self.events.constructions.push((from, sid, now_us));
+                    if let Some(t) = &self.telemetry {
+                        t.constructions.inc();
+                    }
                     if self.auto_ack {
                         let key = self.relay.terminal_key(from, sid).expect("just cached");
                         let blob = build_reverse_payload(
@@ -365,7 +387,7 @@ impl ProtocolNode {
                     }
                 }
                 Ok(_) => unreachable!("construction actions only"),
-                Err(_) => self.events.stateless_drops += 1,
+                Err(_) => self.note_stateless_drop(),
             },
             Wire::Payload { mut blob } => {
                 match self
@@ -384,6 +406,9 @@ impl ProtocolNode {
                     }),
                     Ok(PeeledAction::Deliver { mid, index }) => {
                         self.events.deliveries.push((mid, index, now_us));
+                        if let Some(t) = &self.telemetry {
+                            t.deliveries.inc();
+                        }
                         if let Some(codec) = self.codec.as_ref() {
                             let seg = Segment::new(index, blob.clone());
                             if let Ok(Some(msg)) = self.reassembler.push(mid, seg, codec.as_ref()) {
@@ -410,8 +435,8 @@ impl ProtocolNode {
                             });
                         }
                     }
-                    Ok(PeeledAction::DeliveredOwned { .. }) => self.events.stateless_drops += 1,
-                    Err(_) => self.events.stateless_drops += 1,
+                    Ok(PeeledAction::DeliveredOwned { .. }) => self.note_stateless_drop(),
+                    Err(_) => self.note_stateless_drop(),
                 }
             }
             // Reverse traffic terminating here as the initiator: peel
@@ -425,6 +450,9 @@ impl ProtocolNode {
                     Ok((mid, index)) => {
                         if mid == CONSTRUCT_ACK {
                             self.events.established.push((sid, now_us));
+                            if let Some(t) = &self.telemetry {
+                                t.established.inc();
+                            }
                             if let Some(init) = self.initiator.as_mut() {
                                 init.mark_established(sid);
                             }
@@ -435,9 +463,12 @@ impl ProtocolNode {
                             }
                             self.acked.entry(mid).or_default().insert(index);
                             self.events.acks.push((mid, index, now_us));
+                            if let Some(t) = &self.telemetry {
+                                t.acks.inc();
+                            }
                         }
                     }
-                    Err(_) => self.events.stateless_drops += 1,
+                    Err(_) => self.note_stateless_drop(),
                 }
             }
             Wire::Release => {
@@ -475,7 +506,7 @@ impl ProtocolNode {
                     wire: Wire::Reverse { blob },
                 },
             }),
-            Err(_) => self.events.stateless_drops += 1,
+            Err(_) => self.note_stateless_drop(),
         }
     }
 
@@ -492,6 +523,9 @@ impl ProtocolNode {
             return; // ack raced the timer through the transport
         }
         self.events.ack_timeouts.push((mid, index, now_us));
+        if let Some(t) = &self.telemetry {
+            t.ack_timeouts.inc();
+        }
         let retry = self.retries.entry((mid, index)).or_insert(0);
         *retry += 1;
         if *retry > self.max_retries {
@@ -516,6 +550,9 @@ impl ProtocolNode {
         let path = &init.paths()[(index + retry) % k];
         let (blob, _) = build_payload_onion(&path.plan, mid, segment, None, &mut self.rng);
         self.events.retransmits += 1;
+        if let Some(t) = &self.telemetry {
+            t.retransmits.inc();
+        }
         out.push(Output::Send {
             to: path.plan.first_hop(),
             frame: Frame::Stream {

@@ -24,6 +24,7 @@
 //! wheel gives them wall-clock semantics.
 
 use crate::config::Roster;
+use crate::instrument::{TcpTelemetry, WriterTelemetry};
 use crate::{Transport, TransportError, TransportEvent};
 use anon_core::wire::{encode_frame, Frame, FrameReader};
 use simnet::NodeId;
@@ -46,13 +47,21 @@ const READ_TIMEOUT: Duration = Duration::from_millis(200);
 /// A heap entry: `(deadline_us, seq, owner, token)`, min-ordered.
 type TimerEntry = Reverse<(u64, u64, u32, u64)>;
 
+/// One outbound peer: its writer queue, plus the per-peer instruments
+/// shared with the writer thread (when telemetry is attached).
+struct Peer {
+    tx: Sender<Frame>,
+    telemetry: Option<WriterTelemetry>,
+}
+
 /// A live transport bound to one roster node.
 pub struct TcpTransport {
     local: NodeId,
     roster: Roster,
     epoch: Instant,
     inbox_rx: Receiver<(NodeId, Frame)>,
-    peers: HashMap<NodeId, Sender<Frame>>,
+    peers: HashMap<NodeId, Peer>,
+    telemetry: Option<TcpTelemetry>,
     timers: BinaryHeap<TimerEntry>,
     /// Latest armed sequence number per `(owner, token)`; heap entries
     /// with stale sequences are skipped when popped.
@@ -82,7 +91,15 @@ impl TcpTransport {
             armed: HashMap::new(),
             timer_seq: 0,
             shutdown,
+            telemetry: None,
         })
+    }
+
+    /// Attach runtime telemetry. Call before the first `send`: writer
+    /// threads pick up their per-peer instruments when spawned, so
+    /// peers contacted earlier run uninstrumented.
+    pub fn set_telemetry(&mut self, telemetry: TcpTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The node this transport is bound as.
@@ -106,6 +123,9 @@ impl TcpTransport {
             let owner = NodeId(owner);
             if self.armed.get(&(owner, token)) == Some(&seq) {
                 self.armed.remove(&(owner, token));
+                if let Some(t) = &self.telemetry {
+                    t.timer_fires.inc();
+                }
                 return Some(TransportEvent::Timer { owner, token });
             }
         }
@@ -123,8 +143,8 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, _from: NodeId, to: NodeId, frame: Frame) -> Result<(), TransportError> {
-        let queue = match self.peers.get(&to) {
-            Some(q) => q,
+        let peer = match self.peers.get(&to) {
+            Some(p) => p,
             None => {
                 let addr = self
                     .roster
@@ -132,13 +152,26 @@ impl Transport for TcpTransport {
                     .ok_or(TransportError::UnknownPeer(to))?
                     .to_string();
                 let (tx, rx) = mpsc::channel();
-                spawn_writer(self.local, addr, rx, self.shutdown.clone());
-                self.peers.entry(to).or_insert(tx)
+                let telemetry = self.telemetry.as_ref().map(|t| t.writer(to));
+                spawn_writer(
+                    self.local,
+                    addr,
+                    rx,
+                    self.shutdown.clone(),
+                    telemetry.clone(),
+                );
+                self.peers.entry(to).or_insert(Peer { tx, telemetry })
             }
         };
         // The writer thread only exits at shutdown, so this cannot fail
         // while the transport lives.
-        let _ = queue.send(frame);
+        let _ = peer.tx.send(frame);
+        if let Some(wt) = &peer.telemetry {
+            wt.queue_depth.add(1);
+        }
+        if let Some(t) = &self.telemetry {
+            t.frames_enqueued.inc();
+        }
         Ok(())
     }
 
@@ -266,36 +299,62 @@ fn spawn_reader(stream: TcpStream, inbox_tx: Sender<(NodeId, Frame)>, shutdown: 
 
 /// Drain one peer's outbound queue, (re)connecting with bounded backoff
 /// and dropping frames that exhaust their attempt budget.
-fn spawn_writer(local: NodeId, addr: String, rx: Receiver<Frame>, shutdown: Arc<AtomicBool>) {
+fn spawn_writer(
+    local: NodeId,
+    addr: String,
+    rx: Receiver<Frame>,
+    shutdown: Arc<AtomicBool>,
+    telemetry: Option<WriterTelemetry>,
+) {
     thread::spawn(move || {
         let hello = encode_frame(&Frame::Hello { node: local });
         let mut stream: Option<TcpStream> = None;
         while let Ok(frame) = rx.recv() {
+            if let Some(t) = &telemetry {
+                t.queue_depth.sub(1);
+            }
             let bytes = encode_frame(&frame);
             let mut attempt = 0u32;
-            loop {
+            let delivered = loop {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
                 }
                 if stream.is_none() {
-                    if let Ok(mut s) = TcpStream::connect(&addr) {
-                        let _ = s.set_nodelay(true);
-                        if s.write_all(&hello).is_ok() {
-                            stream = Some(s);
+                    match TcpStream::connect(&addr) {
+                        Ok(mut s) => {
+                            let _ = s.set_nodelay(true);
+                            if s.write_all(&hello).is_ok() {
+                                if let Some(t) = &telemetry {
+                                    t.connects.inc();
+                                }
+                                stream = Some(s);
+                            } else if let Some(t) = &telemetry {
+                                t.connect_failures.inc();
+                            }
+                        }
+                        Err(_) => {
+                            if let Some(t) = &telemetry {
+                                t.connect_failures.inc();
+                            }
                         }
                     }
                 }
                 if let Some(s) = stream.as_mut() {
                     match s.write_all(&bytes) {
-                        Ok(()) => break,
+                        Ok(()) => break true,
                         Err(_) => stream = None, // reconnect-on-drop
                     }
                 }
                 attempt += 1;
                 if attempt >= MAX_SEND_ATTEMPTS {
-                    break; // drop the frame: loss, not deadlock
+                    break false; // drop the frame: loss, not deadlock
                 }
                 thread::sleep(Duration::from_millis(10 << attempt.min(4)));
+            };
+            if !delivered {
+                if let Some(t) = &telemetry {
+                    t.frames_dropped.inc();
+                }
             }
         }
     });

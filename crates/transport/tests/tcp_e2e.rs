@@ -12,8 +12,8 @@
 //! completes end to end — the paper's recovery story, over sockets.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{self, Receiver};
 use std::thread;
@@ -90,6 +90,52 @@ fn wait_for(
     }
 }
 
+/// One scrape of a node's `--stats-addr` Prometheus endpoint, parsed
+/// into `(family type by name, sample value by "name{labels}" key)`.
+/// Panics on any line that is neither a well-formed comment nor a
+/// `name{labels} value` sample — the exposition-format validation.
+fn scrape(addr: &str) -> (HashMap<String, String>, HashMap<String, f64>) {
+    let mut stream = TcpStream::connect(addr).expect("connect stats addr");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape");
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("http header/body split")
+        .1;
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    let mut types = HashMap::new();
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if let Some(comment) = line.strip_prefix("# ") {
+            // `# TYPE <name> <counter|gauge|summary>` is the only
+            // comment the exporter emits.
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            assert_eq!(parts.len(), 3, "malformed comment: {line}");
+            assert_eq!(parts[0], "TYPE", "malformed comment: {line}");
+            assert!(
+                ["counter", "gauge", "summary"].contains(&parts[2]),
+                "unknown family type: {line}"
+            );
+            types.insert(parts[1].to_string(), parts[2].to_string());
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("sample: name value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("sample value must be numeric: {line}");
+        });
+        let name = key.split('{').next().unwrap();
+        assert!(
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name: {line}"
+        );
+        samples.insert(key.to_string(), value);
+    }
+    assert!(!samples.is_empty(), "scrape returned no samples:\n{body}");
+    (types, samples)
+}
+
 #[test]
 fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
     let bin = env!("CARGO_BIN_EXE_p2p-anon-node");
@@ -97,7 +143,9 @@ fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
     std::fs::create_dir_all(&dir).unwrap();
     let config = dir.join("roster.toml");
 
-    let ports = reserve_ports(NODES);
+    // One extra port for the initiator's stats listener.
+    let mut ports = reserve_ports(NODES + 1);
+    let stats_addr = format!("127.0.0.1:{}", ports.pop().unwrap());
     let mut roster = String::from("key_seed = 4217\n\n[nodes]\n");
     for (id, port) in ports.iter().enumerate() {
         roster.push_str(&format!("{id} = \"127.0.0.1:{port}\"\n"));
@@ -154,6 +202,7 @@ fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
         .args(["--paths", "1,2,3,4;5,6,7,8;9,10,11,12;13,14,15,16"])
         .args(["--responder", &RESPONDER.to_string()])
         .args(["--codec", "2,4", "--ack-timeout-ms", "800"])
+        .args(["--stats-addr", &stats_addr])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -186,6 +235,31 @@ fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
         |id, l| id == RESPONDER && l == "MESSAGE mid=1 text=hello over four disjoint paths",
     );
 
+    // First telemetry scrape, mid-run: the exposition must parse and
+    // the construction + first message must already be visible.
+    let (types1, scrape1) = scrape(&stats_addr);
+    assert_eq!(
+        types1
+            .get("transport_frames_enqueued_total")
+            .map(String::as_str),
+        Some("counter"),
+        "{types1:?}"
+    );
+    assert!(
+        scrape1.get("transport_frames_enqueued_total").copied() >= Some(8.0),
+        "4 construct + 4 payload frames at least: {scrape1:?}"
+    );
+    assert_eq!(
+        scrape1.get(r#"node_paths_established_total{node="0"}"#),
+        Some(&4.0),
+        "{scrape1:?}"
+    );
+    assert_eq!(
+        scrape1.get(r#"node_acks_total{node="0"}"#),
+        Some(&4.0),
+        "all four segments of message 1 acked: {scrape1:?}"
+    );
+
     // Kill the first relay of path 0 mid-stream. Its segment of the next
     // message can neither be forwarded nor acked.
     let mut victim = fleet.0.remove(&1).expect("relay 1 running");
@@ -215,6 +289,33 @@ fn sixteen_plus_nodes_deliver_and_survive_a_relay_kill() {
         Duration::from_secs(10),
         "responder reassembled message 2",
         |id, l| id == RESPONDER && l == "MESSAGE mid=2 text=still delivered after the kill",
+    );
+
+    // Second scrape: every counter present in the first scrape must be
+    // monotone non-decreasing, and the recovery left its marks — an ack
+    // deadline fired and a retransmit went out.
+    let (types2, scrape2) = scrape(&stats_addr);
+    for (key, &v1) in &scrape1 {
+        let family = key.split('{').next().unwrap();
+        if types2.get(family).map(String::as_str) != Some("counter") {
+            continue; // gauges (queue depth) may go up or down
+        }
+        let v2 = scrape2
+            .get(key)
+            .unwrap_or_else(|| panic!("counter {key} vanished between scrapes"));
+        assert!(*v2 >= v1, "counter {key} went backwards: {v1} -> {v2}");
+    }
+    assert!(
+        scrape2.get(r#"node_ack_timeouts_total{node="0"}"#).copied() >= Some(1.0),
+        "the dead path's ack deadline fired: {scrape2:?}"
+    );
+    assert!(
+        scrape2.get(r#"node_retransmits_total{node="0"}"#).copied() >= Some(1.0),
+        "the retransmit was recorded: {scrape2:?}"
+    );
+    assert!(
+        scrape2.get("transport_timer_fires_total").copied() >= Some(1.0),
+        "{scrape2:?}"
     );
 
     // Clean shutdown of the initiator; the fleet guard reaps the rest.
