@@ -882,6 +882,8 @@ mod tests {
             horizon: SimTime::from_secs(3600),
             schedule_margin: SimDuration::from_secs(3600),
             membership: MembershipConfig::default(),
+            topology: simnet::TopologyKind::King,
+            churn_events: Vec::new(),
             seed,
         }
     }

@@ -13,7 +13,10 @@ use crate::AnonError;
 use membership::{MembershipConfig, MembershipLayer, NodeCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simnet::{ChurnSchedule, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime};
+use simnet::{
+    ChurnEvent, ChurnSchedule, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime,
+    TopologyKind,
+};
 use std::cell::Cell;
 
 /// Cumulative evaluation counters for one world.
@@ -84,6 +87,14 @@ pub struct WorldConfig {
     pub schedule_margin: SimDuration,
     /// Membership-layer choice and parameters (flat gossip or OneHop).
     pub membership: MembershipConfig,
+    /// Network topology resolving to the latency matrix. The default,
+    /// [`TopologyKind::King`], reproduces the historical synthetic matrix
+    /// bit-for-bit; scenario files select the other kinds.
+    pub topology: TopologyKind,
+    /// Scripted churn shocks (flash crowds, mass failures) applied on top
+    /// of the generated schedule. Empty (the default) draws no randomness,
+    /// so existing experiments stay bit-identical.
+    pub churn_events: Vec<ChurnEvent>,
     /// Master seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -101,6 +112,8 @@ impl WorldConfig {
             horizon: SimTime::from_secs(7200),
             schedule_margin: SimDuration::from_secs(3600),
             membership: MembershipConfig::default(),
+            topology: TopologyKind::King,
+            churn_events: Vec::new(),
             seed,
         }
     }
@@ -164,17 +177,25 @@ pub struct World {
 
 impl World {
     /// Build a world from a config (deterministic in `cfg.seed`).
+    ///
+    /// RNG draw order is part of the determinism contract: schedule, then
+    /// latency, then membership, then (only if present) churn events. A
+    /// config with `topology: King` and no churn events is bit-identical
+    /// to worlds built before those fields existed.
     pub fn new(cfg: WorldConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let schedule = ChurnSchedule::generate(
+        let mut schedule = ChurnSchedule::generate(
             cfg.n,
             &cfg.lifetime,
             &cfg.downtime,
             cfg.horizon + cfg.schedule_margin,
             &mut rng,
         );
-        let latency = LatencyMatrix::synthetic(cfg.n, cfg.avg_rtt_ms, &mut rng);
+        let latency = cfg.topology.latency_matrix(cfg.n, cfg.avg_rtt_ms, &mut rng);
         let membership = MembershipLayer::new(cfg.n, cfg.membership, &mut rng);
+        for &event in &cfg.churn_events {
+            schedule.apply_event(event, &cfg.lifetime, &mut rng);
+        }
         World {
             cfg,
             schedule,
@@ -461,6 +482,8 @@ mod tests {
             horizon: SimTime::from_secs(3600),
             schedule_margin: SimDuration::from_secs(3600),
             membership: MembershipConfig::default(),
+            topology: TopologyKind::King,
+            churn_events: Vec::new(),
             seed,
         })
     }

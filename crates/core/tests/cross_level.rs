@@ -27,6 +27,8 @@ fn validation_world() -> World {
         horizon: SimTime::from_secs(7200),
         schedule_margin: SimDuration::from_secs(3600),
         membership: Default::default(),
+        topology: simnet::TopologyKind::King,
+        churn_events: Vec::new(),
         seed: 424242,
     };
     let mut world = World::new(cfg);

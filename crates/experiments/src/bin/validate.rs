@@ -39,6 +39,8 @@ fn main() {
         horizon: SimTime::from_secs(7200),
         schedule_margin: SimDuration::from_secs(3600),
         membership: Default::default(),
+        topology: simnet::TopologyKind::King,
+        churn_events: Vec::new(),
         seed: 424242,
     };
     let initiator_id = NodeId(0);

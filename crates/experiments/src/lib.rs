@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod scenario_runner;
 
 pub use report::Table;
 pub use runner::{

@@ -1,0 +1,33 @@
+//! Declarative scenario engine for the evaluation matrix.
+//!
+//! Every experiment used to be a hand-coded bin, so the paper's
+//! topology × churn × workload × fault × protocol space was sampled ad
+//! hoc. This crate makes that space declarative: a `scenarios/*.toml`
+//! file (parsed by the vendored `minitoml` subset parser) loads into a
+//! typed [`Scenario`] covering five axes —
+//!
+//! * **topology** — King matrix, Barabási–Albert scale-free, star, ring,
+//!   partitioned ([`simnet::TopologyKind`]);
+//! * **churn** — Pareto/exponential/uniform lifetimes plus scripted
+//!   flash-crowd and mass-failure events ([`simnet::ChurnEvent`]);
+//! * **workload** — chat-style small messages, bulk transfer, mixed, and
+//!   cover-traffic regimes;
+//! * **faults** — mapped onto [`simnet::FaultConfig`];
+//! * **protocol grid** — CurMix / SimRep / SimEra with parameters and mix
+//!   strategies.
+//!
+//! [`Scenario::jobs`] resolves the scenario into per-seed
+//! [`anon_core::protocols::runner::RecoveryConfig`] jobs for the existing
+//! message-level recovery machinery, and [`snapshot`] renders the
+//! aggregated results into a deterministic golden snapshot (byte-stable
+//! across runs, thread counts, and machines) that CI diffs against the
+//! committed `scenarios/golden/*.snap` files.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod snapshot;
+pub mod spec;
+
+pub use snapshot::{check_snapshot, diff_with_context, render_snapshot, SnapshotOutcome};
+pub use spec::{JobResult, Scenario, ScenarioJob, SpecError, Workload};

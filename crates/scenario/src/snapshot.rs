@@ -1,0 +1,295 @@
+//! Golden-snapshot rendering, comparison, and blessing.
+//!
+//! A snapshot is a deterministic fixed-precision text rendering of one
+//! scenario's aggregated results: same scenario + same seeds ⇒ identical
+//! bytes on every machine and at every thread count (runs are seed-
+//! sharded). CI compares renderings against the committed goldens;
+//! `--bless` rewrites them so drift is always a reviewed commit.
+
+use crate::spec::{JobResult, Scenario};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of checking a rendered snapshot against its golden file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotOutcome {
+    /// Rendered bytes equal the committed golden.
+    Match,
+    /// `--bless`: the golden was (re)written with the rendered bytes.
+    Blessed,
+    /// No golden exists and blessing was not requested.
+    Missing,
+    /// Golden differs; carries a context diff.
+    Mismatch(String),
+}
+
+/// Fixed-precision float cell: the only permitted float formatting in
+/// snapshots (`NaN` renders as `nan`, so undelivered runs stay stable).
+fn cell(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Mean of the values for which `f` yields a non-NaN number; NaN when
+/// every value is NaN (e.g. latency with zero deliveries on all seeds).
+fn nan_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        if !v.is_nan() {
+            sum += v;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Render the golden snapshot for a scenario from its per-job results.
+///
+/// Rows aggregate over seeds per label, in first-appearance order (which
+/// is the deterministic job-grid order). All floats go through one
+/// fixed-precision formatter; no wall-clock, paths, or host state.
+pub fn render_snapshot(scenario: &Scenario, results: &[JobResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario: {}", scenario.name);
+    if !scenario.description.is_empty() {
+        let _ = writeln!(out, "description: {}", scenario.description);
+    }
+    let _ = writeln!(out, "axes: {}", scenario.axes_summary());
+    let _ = writeln!(
+        out,
+        "grid: nodes={} hops={} rtt={}ms seeds={:?} messages={}",
+        scenario.nodes, scenario.hops, scenario.avg_rtt_ms, scenario.seeds, scenario.messages
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<32} {:>9} {:>9} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "label", "delivery", "partial", "latency_ms", "retx", "rebuilt", "drops", "cover"
+    );
+
+    let mut labels: Vec<&str> = Vec::new();
+    for r in results {
+        if !labels.contains(&r.label.as_str()) {
+            labels.push(&r.label);
+        }
+    }
+    for label in labels {
+        let rows: Vec<&JobResult> = results.iter().filter(|r| r.label == label).collect();
+        let n = rows.len() as f64;
+        let rate = |f: fn(&JobResult) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+        let delivery = rate(|r| {
+            if r.messages == 0 {
+                0.0
+            } else {
+                r.delivered as f64 / r.messages as f64
+            }
+        });
+        let partial = rate(|r| {
+            if r.messages == 0 {
+                0.0
+            } else {
+                r.partial as f64 / r.messages as f64
+            }
+        });
+        let latency = nan_mean(rows.iter().map(|r| r.latency_ms));
+        let retx = rate(|r| r.retransmit_overhead);
+        let rebuilt = rate(|r| r.paths_rebuilt as f64);
+        let drops = rate(|r| r.fault_drops as f64);
+        let cover = rate(|r| r.cover_overhead);
+        let _ = writeln!(
+            out,
+            "{:<32} {:>9} {:>9} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            cell(delivery),
+            cell(partial),
+            cell(latency),
+            cell(retx),
+            cell(rebuilt),
+            cell(drops),
+            cell(cover)
+        );
+    }
+    out
+}
+
+/// Compare `actual` against the golden at `path`; with `bless`, rewrite
+/// the golden instead (creating parent directories as needed).
+pub fn check_snapshot(path: &Path, actual: &str, bless: bool) -> io::Result<SnapshotOutcome> {
+    if bless {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let unchanged = fs::read_to_string(path).is_ok_and(|g| g == actual);
+        if !unchanged {
+            fs::write(path, actual)?;
+        }
+        return Ok(if unchanged {
+            SnapshotOutcome::Match
+        } else {
+            SnapshotOutcome::Blessed
+        });
+    }
+    match fs::read_to_string(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(SnapshotOutcome::Missing),
+        Err(e) => Err(e),
+        Ok(golden) if golden == actual => Ok(SnapshotOutcome::Match),
+        Ok(golden) => Ok(SnapshotOutcome::Mismatch(diff_with_context(
+            &golden, actual, 3,
+        ))),
+    }
+}
+
+/// Line-based diff with `context` lines around each changed hunk:
+/// `-` golden, `+` actual, two-space prefix for context.
+pub fn diff_with_context(expected: &str, actual: &str, context: usize) -> String {
+    let a: Vec<&str> = expected.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    let n = a.len().max(b.len());
+    let changed: Vec<bool> = (0..n).map(|i| a.get(i) != b.get(i)).collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < n {
+        if !changed[i] {
+            i += 1;
+            continue;
+        }
+        // Extend the hunk over nearby changes.
+        let start = i.saturating_sub(context);
+        let mut end = i;
+        let mut gap = 0;
+        for (j, &c) in changed.iter().enumerate().skip(i) {
+            if c {
+                end = j;
+                gap = 0;
+            } else {
+                gap += 1;
+                if gap > 2 * context {
+                    break;
+                }
+            }
+        }
+        let stop = (end + context + 1).min(n);
+        let _ = writeln!(out, "@@ line {} @@", start + 1);
+        for (j, &c) in changed.iter().enumerate().take(stop).skip(start) {
+            if c {
+                if let Some(l) = a.get(j) {
+                    let _ = writeln!(out, "-{l}");
+                }
+                if let Some(l) = b.get(j) {
+                    let _ = writeln!(out, "+{l}");
+                }
+            } else if let Some(l) = a.get(j) {
+                let _ = writeln!(out, " {l}");
+            }
+        }
+        i = stop.max(end + 1);
+    }
+    if out.is_empty() {
+        out.push_str("(no line differences; trailing bytes differ)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+
+    fn fake_results(s: &Scenario) -> Vec<JobResult> {
+        s.jobs()
+            .iter()
+            .map(|j| JobResult {
+                label: j.label.clone(),
+                seed: j.seed,
+                messages: 10,
+                delivered: 8 + (j.seed % 2),
+                partial: 1,
+                latency_ms: 500.0 + j.seed as f64,
+                retransmit_overhead: 0.125,
+                paths_rebuilt: 2,
+                fault_drops: 3,
+                cover_overhead: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn render_is_deterministic_and_seed_aggregated() {
+        let s = Scenario::parse("name = \"r\"\nseeds = [1, 2]\n").unwrap();
+        let results = fake_results(&s);
+        let a = render_snapshot(&s, &results);
+        let b = render_snapshot(&s, &results);
+        assert_eq!(a, b);
+        // One row per label, not per (label, seed).
+        let rows = a.lines().filter(|l| l.contains('/')).count();
+        assert_eq!(rows, 3, "{a}");
+        // Mean of 0.9 and 1.0 over the two seeds.
+        assert!(a.contains("0.8500"), "{a}");
+    }
+
+    #[test]
+    fn nan_latency_renders_as_nan() {
+        let s = Scenario::parse("name = \"n\"\nseeds = [1]\n").unwrap();
+        let mut results = fake_results(&s);
+        for r in &mut results {
+            r.latency_ms = f64::NAN;
+        }
+        let snap = render_snapshot(&s, &results);
+        assert!(snap.contains("nan"), "{snap}");
+    }
+
+    #[test]
+    fn bless_then_match_then_mismatch() {
+        let dir = std::env::temp_dir().join(format!("snap-test-{}", std::process::id()));
+        let path = dir.join("golden/x.snap");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(
+            check_snapshot(&path, "v1\n", false).unwrap(),
+            SnapshotOutcome::Missing
+        );
+        assert_eq!(
+            check_snapshot(&path, "v1\n", true).unwrap(),
+            SnapshotOutcome::Blessed
+        );
+        assert_eq!(
+            check_snapshot(&path, "v1\n", true).unwrap(),
+            SnapshotOutcome::Match,
+            "re-blessing identical bytes is a no-op"
+        );
+        assert_eq!(
+            check_snapshot(&path, "v1\n", false).unwrap(),
+            SnapshotOutcome::Match
+        );
+        match check_snapshot(&path, "v2\n", false).unwrap() {
+            SnapshotOutcome::Mismatch(diff) => {
+                assert!(diff.contains("-v1"), "{diff}");
+                assert!(diff.contains("+v2"), "{diff}");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_shows_context_around_changes() {
+        let old = "a\nb\nc\nd\ne\nf\ng\n";
+        let new = "a\nb\nc\nD\ne\nf\ng\n";
+        let d = diff_with_context(old, new, 2);
+        assert!(d.contains("-d") && d.contains("+D"), "{d}");
+        assert!(d.contains(" b") && d.contains(" f"), "context missing: {d}");
+        assert!(
+            !d.contains(" a\n") || !d.contains(" g"),
+            "too much context: {d}"
+        );
+    }
+}

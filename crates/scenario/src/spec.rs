@@ -1,0 +1,997 @@
+//! The typed scenario specification and its TOML loader.
+//!
+//! Parsing is strict: unknown keys, wrong types, and out-of-range values
+//! are errors naming the offending key path, so a typo in a scenario file
+//! fails loudly instead of silently running the default.
+
+use anon_core::mix::MixStrategy;
+use anon_core::protocols::runner::{RecoveryConfig, RecoveryParams};
+use anon_core::protocols::ProtocolKind;
+use anon_core::sim::WorldConfig;
+use membership::MembershipConfig;
+use minitoml::{Table, Value};
+use simnet::{ChurnEvent, FaultConfig, LifetimeDistribution, SimDuration, SimTime, TopologyKind};
+use std::fmt;
+use std::path::Path;
+
+/// A scenario-file loading failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Low-level TOML syntax error (carries the source line).
+    Toml(minitoml::ParseError),
+    /// A semantically invalid or unknown key, named by its dotted path.
+    Key {
+        /// Dotted key path, e.g. `workload.kind`.
+        path: String,
+        /// What is wrong with it.
+        msg: String,
+    },
+    /// The file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Toml(e) => write!(f, "{e}"),
+            SpecError::Key { path, msg } => write!(f, "`{path}`: {msg}"),
+            SpecError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<minitoml::ParseError> for SpecError {
+    fn from(e: minitoml::ParseError) -> Self {
+        SpecError::Toml(e)
+    }
+}
+
+fn key_err<T>(path: impl Into<String>, msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError::Key {
+        path: path.into(),
+        msg: msg.into(),
+    })
+}
+
+/// The workload axis: what traffic the initiator offers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Chat-style small messages (256 B every 20 s by default).
+    Chat,
+    /// Bulk transfer (16 KiB every 60 s by default).
+    Bulk,
+    /// Both of the above, run as separate sub-jobs per protocol.
+    Mixed,
+    /// Chat cadence plus a constant-rate cover-traffic regime. The
+    /// recovery driver carries no cover knob, so cover cost is *modeled*:
+    /// the declared rate over the measurement window is reported as a
+    /// bandwidth-overhead column in the snapshot.
+    Cover {
+        /// Cover segments per minute per path.
+        rate_per_min: f64,
+    },
+}
+
+impl Workload {
+    /// Snapshot label fragment.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Chat => "chat",
+            Workload::Bulk => "bulk",
+            Workload::Mixed => "mixed",
+            Workload::Cover { .. } => "cover",
+        }
+    }
+}
+
+/// One cell of the protocol grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtocolEntry {
+    /// Protocol under test.
+    pub kind: ProtocolKind,
+    /// Mix-choice strategy.
+    pub strategy: MixStrategy,
+}
+
+/// A fully resolved scenario: one file, five axes.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (snapshot file stem; must match `[A-Za-z0-9_-]+`).
+    pub name: String,
+    /// Free-form description shown in the snapshot header.
+    pub description: String,
+    /// Seeds to run; results aggregate over these.
+    pub seeds: Vec<u64>,
+    /// Node count.
+    pub nodes: usize,
+    /// Relays per path (the paper's L).
+    pub hops: usize,
+    /// Target mean RTT of the latency model.
+    pub avg_rtt_ms: f64,
+    /// Membership layer (gossip or OneHop).
+    pub membership: MembershipConfig,
+    /// Measurement warm-up.
+    pub warmup: SimTime,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+    /// Topology axis.
+    pub topology: TopologyKind,
+    /// Session-length distribution.
+    pub lifetime: LifetimeDistribution,
+    /// Downtime distribution.
+    pub downtime: LifetimeDistribution,
+    /// Scripted churn shocks.
+    pub churn_events: Vec<ChurnEvent>,
+    /// Workload axis.
+    pub workload: Workload,
+    /// Messages attempted per job.
+    pub messages: usize,
+    /// Message-size override (bytes); `None` = workload default.
+    pub message_bytes: Option<usize>,
+    /// Cadence override; `None` = workload default.
+    pub interval: Option<SimDuration>,
+    /// Fault axis.
+    pub faults: FaultConfig,
+    /// Protocol grid.
+    pub protocols: Vec<ProtocolEntry>,
+    /// Recovery-layer knobs.
+    pub recovery: RecoveryParams,
+}
+
+/// One runnable job resolved from a scenario: a `(label, seed)` pair with
+/// its full recovery config.
+#[derive(Clone, Debug)]
+pub struct ScenarioJob {
+    /// Snapshot row label: `protocol/strategy/workload`.
+    pub label: String,
+    /// World seed (also the run's shard key).
+    pub seed: u64,
+    /// The resolved experiment configuration.
+    pub cfg: RecoveryConfig,
+    /// Modeled cover-traffic rate (segments/min/path); 0 when the
+    /// workload has no cover regime.
+    pub cover_rate_per_min: f64,
+}
+
+/// Per-job measurement fed back into [`crate::render_snapshot`].
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Job label (must match the [`ScenarioJob`]).
+    pub label: String,
+    /// Job seed.
+    pub seed: u64,
+    /// Messages attempted.
+    pub messages: u64,
+    /// Messages fully delivered.
+    pub delivered: u64,
+    /// Messages partially delivered.
+    pub partial: u64,
+    /// Mean end-to-end latency (ms); NaN when nothing was delivered.
+    pub latency_ms: f64,
+    /// Retransmitted segments per first-transmission segment.
+    pub retransmit_overhead: f64,
+    /// Paths torn down and rebuilt mid-stream.
+    pub paths_rebuilt: u64,
+    /// Segments eaten by injected link-drop faults.
+    pub fault_drops: u64,
+    /// Modeled cover segments per data segment (0 without cover).
+    pub cover_overhead: f64,
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Read a table-typed key, or an empty table if absent.
+fn sub_table<'a>(root: &'a Table, key: &str) -> Result<Option<&'a Table>, SpecError> {
+    match root.get(key) {
+        None => Ok(None),
+        Some(Value::Table(t)) => Ok(Some(t)),
+        Some(other) => key_err(key, format!("expected a table, got {}", other.type_name())),
+    }
+}
+
+/// Error on any key in `table` that is not in `allowed`.
+fn check_keys(table: &Table, path: &str, allowed: &[&str]) -> Result<(), SpecError> {
+    for k in table.keys() {
+        if !allowed.contains(&k) {
+            let full = if path.is_empty() {
+                k.to_string()
+            } else {
+                format!("{path}.{k}")
+            };
+            return key_err(
+                full,
+                format!("unknown key (expected one of: {})", allowed.join(", ")),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn get_str(t: &Table, path: &str, key: &str, default: &str) -> Result<String, SpecError> {
+    match t.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v.as_str().map(str::to_string).ok_or(SpecError::Key {
+            path: format!("{path}.{key}"),
+            msg: format!("expected a string, got {}", v.type_name()),
+        }),
+    }
+}
+
+fn get_f64(t: &Table, path: &str, key: &str, default: f64) -> Result<f64, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_float().ok_or(SpecError::Key {
+            path: format!("{path}.{key}"),
+            msg: format!("expected a number, got {}", v.type_name()),
+        }),
+    }
+}
+
+fn get_usize(t: &Table, path: &str, key: &str, default: usize) -> Result<usize, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_int() {
+            Some(i) if i >= 0 => Ok(i as usize),
+            Some(i) => key_err(format!("{path}.{key}"), format!("must be >= 0, got {i}")),
+            None => key_err(
+                format!("{path}.{key}"),
+                format!("expected an integer, got {}", v.type_name()),
+            ),
+        },
+    }
+}
+
+fn fraction(t: &Table, path: &str, key: &str, default: f64) -> Result<f64, SpecError> {
+    let v = get_f64(t, path, key, default)?;
+    if !(0.0..=1.0).contains(&v) {
+        return key_err(
+            format!("{path}.{key}"),
+            format!("must be in [0, 1], got {v}"),
+        );
+    }
+    Ok(v)
+}
+
+fn secs(t: &Table, path: &str, key: &str, default: f64) -> Result<SimDuration, SpecError> {
+    let v = get_f64(t, path, key, default)?;
+    if v < 0.0 {
+        return key_err(format!("{path}.{key}"), format!("must be >= 0, got {v}"));
+    }
+    Ok(SimDuration::from_secs_f64(v))
+}
+
+fn parse_distribution(t: &Table, path: &str) -> Result<LifetimeDistribution, SpecError> {
+    check_keys(
+        t,
+        path,
+        &[
+            "dist",
+            "median_secs",
+            "alpha",
+            "beta_secs",
+            "mean_secs",
+            "min_secs",
+            "max_secs",
+        ],
+    )?;
+    let dist = get_str(t, path, "dist", "pareto")?;
+    match dist.as_str() {
+        "pareto" => {
+            if t.get("median_secs").is_some() {
+                if t.get("alpha").is_some() || t.get("beta_secs").is_some() {
+                    return key_err(path, "give either median_secs or alpha+beta_secs, not both");
+                }
+                let median = get_f64(t, path, "median_secs", 3600.0)?;
+                if median <= 0.0 {
+                    return key_err(format!("{path}.median_secs"), "must be positive");
+                }
+                Ok(LifetimeDistribution::pareto_with_median(median))
+            } else {
+                Ok(LifetimeDistribution::Pareto {
+                    alpha: get_f64(t, path, "alpha", 1.0)?,
+                    beta_secs: get_f64(t, path, "beta_secs", 1800.0)?,
+                })
+            }
+        }
+        "exponential" => Ok(LifetimeDistribution::Exponential {
+            mean_secs: get_f64(t, path, "mean_secs", 3600.0)?,
+        }),
+        "uniform" => {
+            let min = get_f64(t, path, "min_secs", 360.0)?;
+            let max = get_f64(t, path, "max_secs", 6840.0)?;
+            if min >= max {
+                return key_err(path, format!("min_secs {min} must be below max_secs {max}"));
+            }
+            Ok(LifetimeDistribution::Uniform {
+                min_secs: min,
+                max_secs: max,
+            })
+        }
+        other => key_err(
+            format!("{path}.dist"),
+            format!("unknown distribution `{other}` (pareto, exponential, uniform)"),
+        ),
+    }
+}
+
+fn parse_topology(root: &Table) -> Result<TopologyKind, SpecError> {
+    let Some(t) = sub_table(root, "topology")? else {
+        return Ok(TopologyKind::King);
+    };
+    check_keys(t, "topology", &["kind", "m", "groups", "cross_penalty"])?;
+    let kind = get_str(t, "topology", "kind", "king")?;
+    match kind.as_str() {
+        "king" => Ok(TopologyKind::King),
+        "scale-free" | "scale_free" | "ba" => Ok(TopologyKind::BarabasiAlbert {
+            m: get_usize(t, "topology", "m", 2)?.max(1),
+        }),
+        "star" => Ok(TopologyKind::Star),
+        "ring" => Ok(TopologyKind::Ring),
+        "partitioned" => Ok(TopologyKind::Partitioned {
+            groups: get_usize(t, "topology", "groups", 2)?.max(1),
+            cross_penalty: get_f64(t, "topology", "cross_penalty", 50.0)?,
+        }),
+        other => key_err(
+            "topology.kind",
+            format!("unknown topology `{other}` (king, scale-free, star, ring, partitioned)"),
+        ),
+    }
+}
+
+fn parse_churn(
+    root: &Table,
+) -> Result<(LifetimeDistribution, LifetimeDistribution, Vec<ChurnEvent>), SpecError> {
+    let default = LifetimeDistribution::pareto_with_median(3600.0);
+    let Some(t) = sub_table(root, "churn")? else {
+        return Ok((default, default, Vec::new()));
+    };
+    check_keys(t, "churn", &["lifetime", "downtime", "event"])?;
+    let lifetime = match sub_table(t, "lifetime")? {
+        Some(d) => parse_distribution(d, "churn.lifetime")?,
+        None => default,
+    };
+    let downtime = match sub_table(t, "downtime")? {
+        Some(d) => parse_distribution(d, "churn.downtime")?,
+        None => lifetime,
+    };
+    let mut events = Vec::new();
+    if let Some(v) = t.get("event") {
+        let Some(items) = v.as_array() else {
+            return key_err(
+                "churn.event",
+                "expected an array of tables ([[churn.event]])",
+            );
+        };
+        for (i, item) in items.iter().enumerate() {
+            let path = format!("churn.event[{i}]");
+            let Some(e) = item.as_table() else {
+                return key_err(path, "expected a table");
+            };
+            check_keys(e, &path, &["kind", "at_secs", "fraction", "downtime_secs"])?;
+            let kind = get_str(e, &path, "kind", "")?;
+            let at = SimTime::ZERO + secs(e, &path, "at_secs", 0.0)?;
+            let frac = fraction(e, &path, "fraction", 0.5)?;
+            match kind.as_str() {
+                "flash_crowd" => events.push(ChurnEvent::FlashCrowd { at, fraction: frac }),
+                "mass_failure" => events.push(ChurnEvent::MassFailure {
+                    at,
+                    fraction: frac,
+                    downtime: secs(e, &path, "downtime_secs", 600.0)?,
+                }),
+                other => {
+                    return key_err(
+                        format!("{path}.kind"),
+                        format!("unknown event `{other}` (flash_crowd, mass_failure)"),
+                    )
+                }
+            }
+        }
+    }
+    Ok((lifetime, downtime, events))
+}
+
+fn parse_workload(
+    root: &Table,
+) -> Result<(Workload, usize, Option<usize>, Option<SimDuration>), SpecError> {
+    let Some(t) = sub_table(root, "workload")? else {
+        return Ok((Workload::Chat, 12, None, None));
+    };
+    check_keys(
+        t,
+        "workload",
+        &[
+            "kind",
+            "messages",
+            "message_bytes",
+            "interval_secs",
+            "cover_rate_per_min",
+        ],
+    )?;
+    let kind = get_str(t, "workload", "kind", "chat")?;
+    let workload = match kind.as_str() {
+        "chat" => Workload::Chat,
+        "bulk" => Workload::Bulk,
+        "mixed" => Workload::Mixed,
+        "cover" => Workload::Cover {
+            rate_per_min: get_f64(t, "workload", "cover_rate_per_min", 6.0)?,
+        },
+        other => {
+            return key_err(
+                "workload.kind",
+                format!("unknown workload `{other}` (chat, bulk, mixed, cover)"),
+            )
+        }
+    };
+    if !matches!(workload, Workload::Cover { .. }) && t.get("cover_rate_per_min").is_some() {
+        return key_err(
+            "workload.cover_rate_per_min",
+            "only valid for the cover workload",
+        );
+    }
+    let messages = get_usize(t, "workload", "messages", 12)?;
+    if messages == 0 {
+        return key_err("workload.messages", "must be at least 1");
+    }
+    let bytes = match t.get("message_bytes") {
+        None => None,
+        Some(_) => Some(get_usize(t, "workload", "message_bytes", 0)?.max(1)),
+    };
+    let interval = match t.get("interval_secs") {
+        None => None,
+        Some(_) => Some(secs(t, "workload", "interval_secs", 0.0)?),
+    };
+    Ok((workload, messages, bytes, interval))
+}
+
+fn parse_faults(root: &Table) -> Result<FaultConfig, SpecError> {
+    let Some(t) = sub_table(root, "faults")? else {
+        return Ok(FaultConfig::NONE);
+    };
+    check_keys(
+        t,
+        "faults",
+        &[
+            "link_drop",
+            "spike_prob",
+            "spike_factor",
+            "crashes_per_hour",
+            "view_staleness_secs",
+        ],
+    )?;
+    Ok(FaultConfig {
+        link_drop: fraction(t, "faults", "link_drop", 0.0)?,
+        spike_prob: fraction(t, "faults", "spike_prob", 0.0)?,
+        spike_factor: get_f64(t, "faults", "spike_factor", 1.0)?,
+        crashes_per_hour: get_f64(t, "faults", "crashes_per_hour", 0.0)?,
+        view_staleness: secs(t, "faults", "view_staleness_secs", 0.0)?,
+    })
+}
+
+fn parse_strategy(t: &Table, path: &str) -> Result<MixStrategy, SpecError> {
+    let s = get_str(t, path, "strategy", "biased")?;
+    match s.as_str() {
+        "biased" => Ok(MixStrategy::Biased),
+        "random" => Ok(MixStrategy::Random),
+        "biased_horizon" => Ok(MixStrategy::BiasedHorizon {
+            horizon_secs: get_usize(t, path, "horizon_secs", 600)? as u32,
+        }),
+        other => key_err(
+            format!("{path}.strategy"),
+            format!("unknown strategy `{other}` (biased, random, biased_horizon)"),
+        ),
+    }
+}
+
+fn parse_protocols(root: &Table) -> Result<Vec<ProtocolEntry>, SpecError> {
+    let Some(v) = root.get("protocol") else {
+        // Default grid: the paper's fixed 2x-overhead comparison set.
+        return Ok(vec![
+            ProtocolEntry {
+                kind: ProtocolKind::CurMix,
+                strategy: MixStrategy::Biased,
+            },
+            ProtocolEntry {
+                kind: ProtocolKind::SimRep { k: 2 },
+                strategy: MixStrategy::Biased,
+            },
+            ProtocolEntry {
+                kind: ProtocolKind::SimEra { k: 4, r: 2 },
+                strategy: MixStrategy::Biased,
+            },
+        ]);
+    };
+    let Some(items) = v.as_array() else {
+        return key_err("protocol", "expected an array of tables ([[protocol]])");
+    };
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let path = format!("protocol[{i}]");
+        let Some(t) = item.as_table() else {
+            return key_err(path, "expected a table");
+        };
+        check_keys(t, &path, &["kind", "k", "r", "strategy", "horizon_secs"])?;
+        let kind = match get_str(t, &path, "kind", "")?.as_str() {
+            "curmix" => ProtocolKind::CurMix,
+            "simrep" => ProtocolKind::SimRep {
+                k: get_usize(t, &path, "k", 2)?.max(1),
+            },
+            "simera" => {
+                let k = get_usize(t, &path, "k", 4)?.max(1);
+                let r = get_usize(t, &path, "r", 2)?.max(1);
+                if k % r != 0 {
+                    return key_err(
+                        path,
+                        format!("simera needs k divisible by r (k={k}, r={r})"),
+                    );
+                }
+                ProtocolKind::SimEra { k, r }
+            }
+            other => {
+                return key_err(
+                    format!("{path}.kind"),
+                    format!("unknown protocol `{other}` (curmix, simrep, simera)"),
+                )
+            }
+        };
+        out.push(ProtocolEntry {
+            kind,
+            strategy: parse_strategy(t, &path)?,
+        });
+    }
+    if out.is_empty() {
+        return key_err("protocol", "at least one [[protocol]] entry required");
+    }
+    Ok(out)
+}
+
+fn parse_recovery(root: &Table) -> Result<RecoveryParams, SpecError> {
+    let Some(t) = sub_table(root, "recovery")? else {
+        return Ok(RecoveryParams::default());
+    };
+    check_keys(
+        t,
+        "recovery",
+        &[
+            "ack_timeout_secs",
+            "retry_budget",
+            "backoff",
+            "probe_timeout_secs",
+        ],
+    )?;
+    let d = RecoveryParams::default();
+    Ok(RecoveryParams {
+        ack_timeout: secs(
+            t,
+            "recovery",
+            "ack_timeout_secs",
+            d.ack_timeout.as_secs_f64(),
+        )?,
+        retry_budget: get_usize(t, "recovery", "retry_budget", d.retry_budget as usize)? as u32,
+        backoff: get_f64(t, "recovery", "backoff", d.backoff)?,
+        probe_timeout: secs(
+            t,
+            "recovery",
+            "probe_timeout_secs",
+            d.probe_timeout.as_secs_f64(),
+        )?,
+    })
+}
+
+impl Scenario {
+    /// Parse a scenario from TOML source.
+    pub fn parse(src: &str) -> Result<Self, SpecError> {
+        let root = minitoml::parse(src)?;
+        check_keys(
+            &root,
+            "",
+            &[
+                "name",
+                "description",
+                "seeds",
+                "world",
+                "topology",
+                "churn",
+                "workload",
+                "faults",
+                "protocol",
+                "recovery",
+            ],
+        )?;
+        let name = get_str(&root, "", "name", "")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return key_err("name", "required; must match [A-Za-z0-9_-]+");
+        }
+        let description = get_str(&root, "", "description", "")?;
+        let seeds = match root.get("seeds") {
+            None => vec![1, 2],
+            Some(v) => {
+                let Some(items) = v.as_array() else {
+                    return key_err("seeds", "expected an array of integers");
+                };
+                let mut seeds = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    match item.as_int() {
+                        Some(s) if s >= 0 => seeds.push(s as u64),
+                        _ => {
+                            return key_err(
+                                format!("seeds[{i}]"),
+                                "expected a non-negative integer",
+                            )
+                        }
+                    }
+                }
+                if seeds.is_empty() {
+                    return key_err("seeds", "at least one seed required");
+                }
+                seeds
+            }
+        };
+
+        let (nodes, hops, avg_rtt_ms, membership, warmup, horizon) =
+            match sub_table(&root, "world")? {
+                None => (
+                    96,
+                    3,
+                    152.0,
+                    MembershipConfig::default(),
+                    SimTime::from_secs(600),
+                    SimTime::from_secs(3600),
+                ),
+                Some(w) => {
+                    check_keys(
+                        w,
+                        "world",
+                        &[
+                            "nodes",
+                            "hops",
+                            "avg_rtt_ms",
+                            "membership",
+                            "warmup_secs",
+                            "horizon_secs",
+                        ],
+                    )?;
+                    let nodes = get_usize(w, "world", "nodes", 96)?;
+                    if nodes < 8 {
+                        return key_err(
+                            "world.nodes",
+                            format!("need at least 8 nodes, got {nodes}"),
+                        );
+                    }
+                    let membership = match get_str(w, "world", "membership", "gossip")?.as_str() {
+                        "gossip" => MembershipConfig::default(),
+                        "onehop" => MembershipConfig::onehop_default(),
+                        other => {
+                            return key_err(
+                                "world.membership",
+                                format!("unknown membership `{other}` (gossip, onehop)"),
+                            )
+                        }
+                    };
+                    let warmup = SimTime::ZERO + secs(w, "world", "warmup_secs", 600.0)?;
+                    let horizon = SimTime::ZERO + secs(w, "world", "horizon_secs", 3600.0)?;
+                    if warmup >= horizon {
+                        return key_err("world.warmup_secs", "warm-up must end before the horizon");
+                    }
+                    (
+                        nodes,
+                        get_usize(w, "world", "hops", 3)?.max(1),
+                        get_f64(w, "world", "avg_rtt_ms", 152.0)?,
+                        membership,
+                        warmup,
+                        horizon,
+                    )
+                }
+            };
+
+        let topology = parse_topology(&root)?;
+        let (lifetime, downtime, churn_events) = parse_churn(&root)?;
+        for (i, e) in churn_events.iter().enumerate() {
+            if e.at() >= horizon {
+                return key_err(
+                    format!("churn.event[{i}].at_secs"),
+                    "event fires at or after the horizon",
+                );
+            }
+        }
+        let (workload, messages, message_bytes, interval) = parse_workload(&root)?;
+        let faults = parse_faults(&root)?;
+        let protocols = parse_protocols(&root)?;
+        let recovery = parse_recovery(&root)?;
+
+        Ok(Scenario {
+            name,
+            description,
+            seeds,
+            nodes,
+            hops,
+            avg_rtt_ms,
+            membership,
+            warmup,
+            horizon,
+            topology,
+            lifetime,
+            downtime,
+            churn_events,
+            workload,
+            messages,
+            message_bytes,
+            interval,
+            faults,
+            protocols,
+            recovery,
+        })
+    }
+
+    /// Load a scenario from a `.toml` file.
+    pub fn load(path: &Path) -> Result<Self, SpecError> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&src).map_err(|e| match e {
+            SpecError::Toml(t) => SpecError::Io(format!("{}:{t}", path.display())),
+            other => other,
+        })
+    }
+
+    /// Per-sub-workload `(label fragment, bytes, interval, cover rate)`.
+    fn sub_workloads(&self) -> Vec<(&'static str, usize, SimDuration, f64)> {
+        let chat = (
+            "chat",
+            self.message_bytes.unwrap_or(256),
+            self.interval.unwrap_or(SimDuration::from_secs(20)),
+            0.0,
+        );
+        let bulk = (
+            "bulk",
+            self.message_bytes.unwrap_or(16 * 1024),
+            self.interval.unwrap_or(SimDuration::from_secs(60)),
+            0.0,
+        );
+        match self.workload {
+            Workload::Chat => vec![chat],
+            Workload::Bulk => vec![bulk],
+            Workload::Mixed => vec![chat, bulk],
+            Workload::Cover { rate_per_min } => vec![("cover", chat.1, chat.2, rate_per_min)],
+        }
+    }
+
+    /// Resolve the scenario into its full job grid:
+    /// protocols × sub-workloads × seeds, in deterministic order.
+    pub fn jobs(&self) -> Vec<ScenarioJob> {
+        let mut out = Vec::new();
+        for entry in &self.protocols {
+            for (sub, bytes, interval, cover) in self.sub_workloads() {
+                let label = format!("{}/{}/{}", entry.kind.label(), entry.strategy.label(), sub);
+                for &seed in &self.seeds {
+                    let world = WorldConfig {
+                        n: self.nodes,
+                        l: self.hops,
+                        avg_rtt_ms: self.avg_rtt_ms,
+                        lifetime: self.lifetime,
+                        downtime: self.downtime,
+                        horizon: self.horizon,
+                        schedule_margin: SimDuration::from_secs(3600),
+                        membership: self.membership,
+                        topology: self.topology,
+                        churn_events: self.churn_events.clone(),
+                        seed,
+                    };
+                    out.push(ScenarioJob {
+                        label: label.clone(),
+                        seed,
+                        cfg: RecoveryConfig {
+                            world,
+                            protocol: entry.kind,
+                            strategy: entry.strategy,
+                            faults: self.faults,
+                            recovery: self.recovery,
+                            warmup: self.warmup,
+                            msg_interval: interval,
+                            msg_bytes: bytes,
+                            messages: self.messages,
+                        },
+                        cover_rate_per_min: cover,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Modeled cover-traffic overhead for a job: declared cover segments
+    /// over the measurement window, per data segment actually sent.
+    pub fn cover_overhead(&self, cover_rate_per_min: f64, segments_sent: u64) -> f64 {
+        if cover_rate_per_min <= 0.0 || segments_sent == 0 {
+            return 0.0;
+        }
+        let window_min = (self.horizon - self.warmup).as_secs_f64() / 60.0;
+        cover_rate_per_min * window_min / segments_sent as f64
+    }
+
+    /// One-line summary of the five axes (snapshot header).
+    pub fn axes_summary(&self) -> String {
+        let faults = if self.faults.is_none() {
+            "none".to_string()
+        } else {
+            format!(
+                "drop={:.3} spike={:.3}x{:.1} crash/h={:.2} stale={:.0}s",
+                self.faults.link_drop,
+                self.faults.spike_prob,
+                self.faults.spike_factor,
+                self.faults.crashes_per_hour,
+                self.faults.view_staleness.as_secs_f64(),
+            )
+        };
+        format!(
+            "topology={} churn={} events={} workload={} faults=[{}]",
+            self.topology.label(),
+            dist_label(&self.lifetime),
+            self.churn_events.len(),
+            self.workload.label(),
+            faults,
+        )
+    }
+}
+
+/// Compact distribution label for snapshot headers.
+pub fn dist_label(d: &LifetimeDistribution) -> String {
+    match *d {
+        LifetimeDistribution::Pareto { alpha, beta_secs } => {
+            format!("pareto(a={alpha},b={beta_secs}s)")
+        }
+        LifetimeDistribution::Exponential { mean_secs } => format!("exp(mean={mean_secs}s)"),
+        LifetimeDistribution::Uniform { min_secs, max_secs } => {
+            format!("uniform({min_secs}-{max_secs}s)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+name = "kitchen-sink"
+description = "every axis exercised"
+seeds = [1, 2, 3]
+
+[world]
+nodes = 64
+hops = 3
+avg_rtt_ms = 120.0
+membership = "onehop"
+warmup_secs = 300
+horizon_secs = 1800
+
+[topology]
+kind = "scale-free"
+m = 3
+
+[churn.lifetime]
+dist = "pareto"
+median_secs = 1200
+
+[churn.downtime]
+dist = "exponential"
+mean_secs = 900
+
+[[churn.event]]
+kind = "mass_failure"
+at_secs = 900
+fraction = 0.4
+downtime_secs = 120
+
+[[churn.event]]
+kind = "flash_crowd"
+at_secs = 1200
+fraction = 0.8
+
+[workload]
+kind = "mixed"
+messages = 8
+
+[faults]
+link_drop = 0.05
+crashes_per_hour = 1.5
+view_staleness_secs = 60
+
+[[protocol]]
+kind = "curmix"
+strategy = "random"
+
+[[protocol]]
+kind = "simera"
+k = 4
+r = 2
+
+[recovery]
+retry_budget = 3
+"#;
+
+    #[test]
+    fn full_scenario_parses_and_expands() {
+        let s = Scenario::parse(FULL).unwrap();
+        assert_eq!(s.name, "kitchen-sink");
+        assert_eq!(s.nodes, 64);
+        assert_eq!(s.topology, TopologyKind::BarabasiAlbert { m: 3 });
+        assert_eq!(s.churn_events.len(), 2);
+        assert_eq!(s.workload, Workload::Mixed);
+        assert_eq!(s.faults.link_drop, 0.05);
+        assert_eq!(s.recovery.retry_budget, 3);
+        // 2 protocols x 2 sub-workloads (mixed) x 3 seeds = 12 jobs.
+        let jobs = s.jobs();
+        assert_eq!(jobs.len(), 12);
+        assert_eq!(jobs[0].label, "CurMix/random/chat");
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[0].cfg.msg_bytes, 256);
+        let bulk = jobs.iter().find(|j| j.label.ends_with("/bulk")).unwrap();
+        assert_eq!(bulk.cfg.msg_bytes, 16 * 1024);
+        assert_eq!(jobs.last().unwrap().label, "SimEra(k=4,r=2)/biased/bulk");
+    }
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let s = Scenario::parse("name = \"min\"\n").unwrap();
+        assert_eq!(s.seeds, vec![1, 2]);
+        assert_eq!(s.nodes, 96);
+        assert_eq!(s.topology, TopologyKind::King);
+        assert_eq!(s.workload, Workload::Chat);
+        assert!(s.faults.is_none());
+        assert_eq!(s.protocols.len(), 3, "default comparison grid");
+        assert_eq!(s.jobs().len(), 3 * 2);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_paths() {
+        let e = Scenario::parse("name = \"x\"\n[world]\nnodez = 96\n").unwrap_err();
+        assert!(
+            matches!(&e, SpecError::Key { path, .. } if path == "world.nodez"),
+            "{e}"
+        );
+        let e = Scenario::parse("name = \"x\"\n[workload]\nkind = \"warp\"\n").unwrap_err();
+        assert!(e.to_string().contains("workload.kind"), "{e}");
+        let e = Scenario::parse("name = \"x\"\n[[protocol]]\nkind = \"simera\"\nk = 5\nr = 2\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("divisible"), "{e}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = Scenario::parse("name = \"x\"\noops\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn cover_workload_models_overhead() {
+        let src = "name = \"c\"\n[workload]\nkind = \"cover\"\ncover_rate_per_min = 10.0\n";
+        let s = Scenario::parse(src).unwrap();
+        assert_eq!(s.workload, Workload::Cover { rate_per_min: 10.0 });
+        // 50 min window at 10/min = 500 cover segments over 100 sent.
+        let o = s.cover_overhead(10.0, 100);
+        assert!((o - 5.0).abs() < 1e-9, "overhead {o}");
+        assert_eq!(s.cover_overhead(0.0, 100), 0.0);
+        // Non-cover workloads reject the rate key.
+        let bad = "name = \"c\"\n[workload]\nkind = \"chat\"\ncover_rate_per_min = 2.0\n";
+        assert!(Scenario::parse(bad).is_err());
+    }
+
+    #[test]
+    fn events_after_horizon_are_rejected() {
+        let src = "name = \"x\"\n[world]\nhorizon_secs = 1000\n[[churn.event]]\nkind = \"flash_crowd\"\nat_secs = 2000\n";
+        let e = Scenario::parse(src).unwrap_err();
+        assert!(e.to_string().contains("at_secs"), "{e}");
+    }
+
+    #[test]
+    fn jobs_are_seed_sharded_per_label() {
+        let s = Scenario::parse("name = \"m\"\nseeds = [7, 8]\n").unwrap();
+        for j in s.jobs() {
+            assert_eq!(j.cfg.world.seed, j.seed, "world seed follows the job seed");
+        }
+    }
+}

@@ -166,6 +166,41 @@ impl Session {
     }
 }
 
+/// A scripted churn shock applied on top of a generated [`ChurnSchedule`]
+/// (the scenario engine's flash-crowd / mass-failure axis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A flash crowd: at `at`, each node that is currently *down* joins
+    /// with probability `fraction`, staying up for a freshly drawn
+    /// lifetime (clipped to its next scheduled session).
+    FlashCrowd {
+        /// When the crowd arrives.
+        at: SimTime,
+        /// Probability each down node joins (`0..=1`).
+        fraction: f64,
+    },
+    /// A correlated mass failure: at `at`, each node that is currently
+    /// *up* crashes with probability `fraction` and stays down for
+    /// `downtime` (sessions inside the outage window are cancelled).
+    MassFailure {
+        /// When the failure strikes.
+        at: SimTime,
+        /// Probability each up node crashes (`0..=1`).
+        fraction: f64,
+        /// How long affected nodes stay down.
+        downtime: SimDuration,
+    },
+}
+
+impl ChurnEvent {
+    /// When the event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ChurnEvent::FlashCrowd { at, .. } | ChurnEvent::MassFailure { at, .. } => at,
+        }
+    }
+}
+
 /// Ground-truth churn schedule: every node's up-intervals, pre-generated
 /// for the whole simulation horizon.
 #[derive(Clone)]
@@ -288,6 +323,79 @@ impl ChurnSchedule {
             .filter(|&i| self.is_up(NodeId::from(i), t))
             .count();
         up as f64 / self.sessions.len() as f64
+    }
+
+    /// Apply a scripted [`ChurnEvent`] on top of the generated schedule.
+    /// Node selection draws one Bernoulli per candidate in node order, so
+    /// the result is a deterministic function of the schedule, the event,
+    /// and the RNG state. The sorted/non-overlapping session invariants
+    /// are preserved.
+    pub fn apply_event<R: Rng>(
+        &mut self,
+        event: ChurnEvent,
+        lifetimes: &LifetimeDistribution,
+        rng: &mut R,
+    ) {
+        match event {
+            ChurnEvent::FlashCrowd { at, fraction } => {
+                if at >= self.horizon {
+                    return;
+                }
+                for i in 0..self.sessions.len() {
+                    let node = NodeId::from(i);
+                    let hit = rng.gen::<f64>() < fraction;
+                    if self.is_up(node, at) || !hit {
+                        continue;
+                    }
+                    let up = lifetimes.sample(rng);
+                    let sessions = &mut self.sessions[i];
+                    let idx = sessions.partition_point(|s| s.start <= at);
+                    // Keep a strict gap after the previous session (whose
+                    // end may coincide with `at`) and before the next one,
+                    // and stay inside the horizon.
+                    let mut start = at;
+                    if let Some(prev) = idx.checked_sub(1).map(|p| &sessions[p]) {
+                        start = start.max(SimTime(prev.end.0 + 1));
+                    }
+                    let mut end = (start + up).min(self.horizon);
+                    if let Some(next) = sessions.get(idx) {
+                        end = end.min(SimTime(next.start.0.saturating_sub(1)));
+                    }
+                    if end > start {
+                        sessions.insert(idx, Session { start, end });
+                    }
+                }
+            }
+            ChurnEvent::MassFailure {
+                at,
+                fraction,
+                downtime,
+            } => {
+                let back_up = at + downtime.max(SimDuration(1));
+                for i in 0..self.sessions.len() {
+                    let node = NodeId::from(i);
+                    let hit = rng.gen::<f64>() < fraction;
+                    if !self.is_up(node, at) || !hit {
+                        continue;
+                    }
+                    let sessions = &mut self.sessions[i];
+                    // Truncate the live session at the crash instant...
+                    let idx = sessions.partition_point(|s| s.start <= at) - 1;
+                    if sessions[idx].start < at {
+                        sessions[idx].end = at;
+                    } else {
+                        sessions.remove(idx);
+                    }
+                    // ...then cancel or clip sessions inside the outage.
+                    sessions.retain_mut(|s| {
+                        if s.start >= at && s.start < back_up {
+                            s.start = back_up;
+                        }
+                        s.start < s.end
+                    });
+                }
+            }
+        }
     }
 
     /// All (time, node, is_join) transitions in time order — what drives
@@ -470,6 +578,144 @@ mod tests {
                 .unwrap();
             assert_eq!((first.0, first.2), (SimTime::ZERO, true));
         }
+    }
+
+    fn assert_invariants(sched: &ChurnSchedule) {
+        for i in 0..sched.len() {
+            let sessions = sched.sessions(NodeId::from(i));
+            for s in sessions {
+                assert!(s.start < s.end, "node {i}: empty session");
+            }
+            for w in sessions.windows(2) {
+                assert!(w[0].end < w[1].start, "node {i}: overlapping sessions");
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_raises_availability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = LifetimeDistribution::pareto_with_median(600.0);
+        let horizon = SimTime::from_secs(7200);
+        let mut sched = ChurnSchedule::generate(256, &dist, &dist, horizon, &mut rng);
+        let at = SimTime::from_secs(3600);
+        let before = sched.availability_at(at);
+        sched.apply_event(
+            ChurnEvent::FlashCrowd { at, fraction: 1.0 },
+            &dist,
+            &mut rng,
+        );
+        let after = sched.availability_at(at);
+        assert!(
+            after > before && after > 0.99,
+            "flash crowd {before} -> {after}"
+        );
+        assert_invariants(&sched);
+    }
+
+    #[test]
+    fn mass_failure_empties_then_recovers() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = LifetimeDistribution::pareto_with_median(600.0);
+        let horizon = SimTime::from_secs(7200);
+        let mut sched = ChurnSchedule::generate(256, &dist, &dist, horizon, &mut rng);
+        let at = SimTime::from_secs(3600);
+        let mid = at + SimDuration::from_secs(300);
+        let mid_before = sched.availability_at(mid);
+        sched.apply_event(
+            ChurnEvent::MassFailure {
+                at,
+                fraction: 1.0,
+                downtime: SimDuration::from_secs(600),
+            },
+            &dist,
+            &mut rng,
+        );
+        assert_eq!(sched.availability_at(at), 0.0, "everyone crashed");
+        // Mid-outage, only nodes that were already down at the crash and
+        // rejoin on their natural schedule can be up — a sharp dip.
+        let mid_after = sched.availability_at(mid);
+        assert!(
+            mid_after < mid_before / 2.0,
+            "outage dip too shallow: {mid_before} -> {mid_after}"
+        );
+        // Nodes whose schedule had a session spanning the outage return.
+        let back = sched.availability_at(at + SimDuration::from_secs(601));
+        assert!(back > 0.0, "nobody recovered");
+        assert_invariants(&sched);
+    }
+
+    #[test]
+    fn partial_fraction_hits_a_subset_deterministically() {
+        let dist = LifetimeDistribution::pareto_with_median(600.0);
+        let horizon = SimTime::from_secs(7200);
+        let at = SimTime::from_secs(1800);
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut sched = ChurnSchedule::generate(128, &dist, &dist, horizon, &mut rng);
+            sched.apply_event(
+                ChurnEvent::MassFailure {
+                    at,
+                    fraction: 0.5,
+                    downtime: SimDuration::from_secs(900),
+                },
+                &dist,
+                &mut rng,
+            );
+            sched
+        };
+        let a = build();
+        let b = build();
+        let avail = a.availability_at(at);
+        assert!(
+            avail > 0.1 && avail < 0.6,
+            "half-failure availability {avail}"
+        );
+        for i in 0..a.len() {
+            let node = NodeId::from(i);
+            assert_eq!(a.sessions(node), b.sessions(node), "node {i} differs");
+        }
+        assert_invariants(&a);
+    }
+
+    #[test]
+    fn event_at_coinciding_with_session_edge_keeps_invariants() {
+        let dist = LifetimeDistribution::pareto_with_median(300.0);
+        let mut sched = ChurnSchedule {
+            sessions: vec![vec![
+                Session {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(100),
+                },
+                Session {
+                    start: SimTime::from_secs(200),
+                    end: SimTime::from_secs(300),
+                },
+            ]],
+            horizon: SimTime::from_secs(400),
+        };
+        // Flash crowd exactly when the first session ends: the joined
+        // session must keep a strict gap on both sides.
+        sched.apply_event(
+            ChurnEvent::FlashCrowd {
+                at: SimTime::from_secs(100),
+                fraction: 1.0,
+            },
+            &dist,
+            &mut StdRng::seed_from_u64(14),
+        );
+        assert_invariants(&sched);
+        // Mass failure exactly at a session start removes it cleanly.
+        sched.apply_event(
+            ChurnEvent::MassFailure {
+                at: SimTime::from_secs(200),
+                fraction: 1.0,
+                downtime: SimDuration::from_secs(50),
+            },
+            &dist,
+            &mut StdRng::seed_from_u64(15),
+        );
+        assert_invariants(&sched);
     }
 
     #[test]

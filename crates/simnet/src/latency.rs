@@ -71,6 +71,43 @@ impl LatencyMatrix {
         LatencyMatrix { n, owd_us }
     }
 
+    /// Build a matrix from *relative* one-way delays: `rel` is row-major
+    /// `n x n`, off-diagonal entries are positive unitless weights, and the
+    /// whole matrix is rescaled so the mean RTT over ordered pairs equals
+    /// `avg_rtt_ms` (diagonal entries are ignored; loopback is pinned to
+    /// the same 50 µs as [`LatencyMatrix::synthetic`]). This is how graph
+    /// topologies (hop-distance based) produce calibrated matrices.
+    pub fn from_relative(n: usize, rel: &[f64], avg_rtt_ms: f64) -> Self {
+        assert_eq!(rel.len(), n * n, "relative matrix must be n x n");
+        assert!(avg_rtt_ms > 0.0, "average RTT must be positive");
+        let mut sum = 0f64;
+        let mut pairs = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let d = rel[i * n + j];
+                    assert!(d > 0.0, "relative delay ({i},{j}) must be positive");
+                    sum += d;
+                    pairs += 1;
+                }
+            }
+        }
+        let target_owd_ms = avg_rtt_ms / 2.0;
+        let scale = if pairs == 0 {
+            1.0
+        } else {
+            target_owd_ms / (sum / pairs as f64)
+        };
+        let mut owd_us: Vec<u32> = rel
+            .iter()
+            .map(|&d| ((d * scale * 1000.0).round() as u32).max(1))
+            .collect();
+        for i in 0..n {
+            owd_us[i * n + i] = 50;
+        }
+        LatencyMatrix { n, owd_us }
+    }
+
     /// Constant-delay matrix (testing and analytic experiments).
     pub fn uniform(n: usize, owd: SimDuration) -> Self {
         let us = u32::try_from(owd.as_micros()).expect("delay too large");

@@ -17,7 +17,10 @@
 //!   trait: the default calendar queue and the binary-heap reference.
 //! * [`latency`] — synthetic pairwise one-way-delay matrix calibrated to a
 //!   target average RTT (the paper's network averages 152 ms RTT).
-//! * [`churn`] — lifetime distributions and per-node session schedules.
+//! * [`churn`] — lifetime distributions, per-node session schedules, and
+//!   scripted churn events (flash crowds, mass failures).
+//! * [`topology`] — overlay-topology generators (King, Barabási–Albert,
+//!   star/ring, partitioned) resolving to latency matrices.
 //! * [`fault`] — deterministic seed-derived fault injection (link drops,
 //!   latency spikes, relay crash-restarts, stale membership views).
 //! * [`node`] — node identifiers.
@@ -37,9 +40,10 @@ pub mod latency;
 pub mod node;
 pub mod sched;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
-pub use churn::{ChurnSchedule, LifetimeDistribution, Session};
+pub use churn::{ChurnEvent, ChurnSchedule, LifetimeDistribution, Session};
 pub use engine::{Engine, EventHandle};
 pub use fault::{FaultConfig, FaultPlan};
 pub use instrument::EngineTelemetry;
@@ -47,3 +51,4 @@ pub use latency::{LatencyMatrix, LatencyRow};
 pub use node::NodeId;
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
+pub use topology::{TopologyGraph, TopologyKind};

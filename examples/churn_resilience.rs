@@ -23,6 +23,8 @@ fn main() {
         horizon: SimTime::from_secs(5400),
         schedule_margin: SimDuration::from_secs(3600),
         membership: Default::default(),
+        topology: simnet::TopologyKind::King,
+        churn_events: Vec::new(),
         seed: 1,
     };
 

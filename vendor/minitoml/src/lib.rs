@@ -1,0 +1,789 @@
+//! A dependency-free TOML-subset parser for declarative scenario files.
+//!
+//! Vendored like the other `vendor/` shims so the workspace builds fully
+//! offline. The subset is exactly what `scenarios/*.toml` needs:
+//!
+//! * top-level and nested tables: `[table]`, `[table.sub]`;
+//! * arrays of tables: `[[table]]` (appended in file order);
+//! * `key = value` pairs with bare (`[A-Za-z0-9_-]+`) or quoted keys;
+//! * scalar values: basic strings (`"..."` with `\" \\ \n \t \r \uXXXX`
+//!   escapes), literal strings (`'...'`), integers, floats, booleans;
+//! * single-line arrays of scalars: `[1, 2, 3]` (trailing comma allowed);
+//! * `#` comments and blank lines.
+//!
+//! Deliberately **not** supported (parse errors, never silent
+//! misreadings): multi-line strings and arrays, inline tables, dotted
+//! `key.path = value` assignments, dates. Every error carries the
+//! 1-based source line so scenario authors get `scenario.toml:17`-style
+//! diagnostics, and the parser never panics on arbitrary input (pinned
+//! by proptests).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string (basic or literal).
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of values, or an array of tables (`[[t]]`).
+    Array(Vec<Value>),
+    /// A nested table.
+    Table(Table),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers coerce losslessly-enough for
+    /// configuration purposes.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The table inside, if this is a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered table: entries keep file order, keys are unique.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+// Tables compare as unordered maps: entry order is presentation, not
+// semantics (the serializer re-groups scalars before sub-tables, so a
+// round-trip may permute entries without changing meaning).
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Insert a new key; returns `false` (and leaves the table unchanged)
+    /// if the key already exists.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> bool {
+        let key = key.into();
+        if self.get(&key).is_some() {
+            return false;
+        }
+        self.entries.push((key, value));
+        true
+    }
+
+    /// The entries in file order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The keys in file order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+/// A parse failure, carrying the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parse a TOML-subset document into its root table.
+pub fn parse(src: &str) -> Result<Table, ParseError> {
+    let mut root = Table::new();
+    // The table new `key = value` lines land in, as a path from the root;
+    // re-resolved per line (arrays of tables append as the file goes).
+    let mut current: Vec<String> = Vec::new();
+    // Explicitly declared `[header]` paths, for duplicate detection.
+    let mut declared: Vec<Vec<String>> = Vec::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let path = parse_key_path(inner, line_no)?;
+            let parent = navigate(&mut root, &path[..path.len() - 1], line_no)?;
+            let last = &path[path.len() - 1];
+            match parent.get_mut(last) {
+                None => {
+                    parent.insert(last.clone(), Value::Array(vec![Value::Table(Table::new())]));
+                }
+                Some(Value::Array(items)) if items.iter().all(|v| matches!(v, Value::Table(_))) => {
+                    items.push(Value::Table(Table::new()));
+                }
+                Some(other) => {
+                    let t = other.type_name();
+                    return err(
+                        line_no,
+                        format!("`{last}` is already a {t}, not an array of tables"),
+                    );
+                }
+            }
+            current = path;
+        } else if let Some(inner) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let path = parse_key_path(inner, line_no)?;
+            if declared.contains(&path) {
+                return err(
+                    line_no,
+                    format!("duplicate table header `[{}]`", path.join(".")),
+                );
+            }
+            let parent = navigate(&mut root, &path[..path.len() - 1], line_no)?;
+            let last = &path[path.len() - 1];
+            match parent.get(last) {
+                None => {
+                    parent.insert(last.clone(), Value::Table(Table::new()));
+                }
+                Some(Value::Table(_)) => {} // implicitly created earlier
+                Some(other) => {
+                    let t = other.type_name();
+                    return err(line_no, format!("`{last}` is already a {t}, not a table"));
+                }
+            }
+            declared.push(path.clone());
+            current = path;
+        } else if let Some(eq) = find_unquoted(line, '=') {
+            let (raw_key, raw_value) = line.split_at(eq);
+            let raw_value = &raw_value[1..];
+            let key = parse_single_key(raw_key.trim(), line_no)?;
+            let (value, rest) = parse_value(raw_value.trim_start(), line_no)?;
+            if !rest.trim().is_empty() {
+                return err(
+                    line_no,
+                    format!("trailing input after value: `{}`", rest.trim()),
+                );
+            }
+            let table = navigate(&mut root, &current, line_no)?;
+            if !table.insert(key.clone(), value) {
+                return err(line_no, format!("duplicate key `{key}`"));
+            }
+        } else {
+            return err(
+                line_no,
+                format!("expected `[table]`, `[[table]]` or `key = value`, got `{line}`"),
+            );
+        }
+    }
+    Ok(root)
+}
+
+/// Walk `path` from `root`, creating empty tables as needed. A segment that
+/// resolves to an array of tables descends into its **last** element (the
+/// TOML array-of-tables rule).
+fn navigate<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Table, ParseError> {
+    let mut node = root;
+    for seg in path {
+        if node.get(seg).is_none() {
+            node.insert(seg.clone(), Value::Table(Table::new()));
+        }
+        let next = node.get_mut(seg).expect("just ensured present");
+        node = match next {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(line, format!("`{seg}` is not an array of tables")),
+            },
+            other => {
+                let t = other.type_name();
+                return err(line, format!("`{seg}` is already a {t}, not a table"));
+            }
+        };
+    }
+    Ok(node)
+}
+
+/// Cut a `#` comment off, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte index of the first `needle` outside single/double quotes.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            c if c == needle && !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parse one (non-dotted) key: bare or quoted.
+fn parse_single_key(s: &str, line: usize) -> Result<String, ParseError> {
+    if let Some(q) = s.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        if q.contains('"') || q.contains('\\') {
+            return err(line, "escapes are not supported in quoted keys");
+        }
+        if q.is_empty() {
+            return err(line, "empty quoted key");
+        }
+        return Ok(q.to_string());
+    }
+    if is_bare_key(s) {
+        return Ok(s.to_string());
+    }
+    if s.contains('.') {
+        return err(
+            line,
+            format!("dotted keys are not supported in this subset: `{s}`"),
+        );
+    }
+    err(line, format!("invalid key `{s}`"))
+}
+
+/// Parse a dotted table-header path: `a.b."c d"`.
+fn parse_key_path(s: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err(line, "empty table header");
+    }
+    let mut out = Vec::new();
+    for seg in split_dotted(s) {
+        let seg = seg.trim();
+        if seg.starts_with('"') || is_bare_key(seg) {
+            out.push(parse_single_key(seg, line).map_err(|mut e| {
+                e.msg = format!("in table header: {}", e.msg);
+                e
+            })?);
+        } else {
+            return err(line, format!("invalid table header segment `{seg}`"));
+        }
+    }
+    Ok(out)
+}
+
+/// Split a header path on dots outside quotes.
+fn split_dotted(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quote = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_quote = !in_quote,
+            '.' if !in_quote => {
+                out.push(&s[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Parse one value from the front of `s`; returns the value and the
+/// remaining input (for array elements / trailing-garbage checks).
+fn parse_value(s: &str, line: usize) -> Result<(Value, &str), ParseError> {
+    let s = s.trim_start();
+    let Some(first) = s.chars().next() else {
+        return err(line, "expected a value");
+    };
+    match first {
+        '"' => parse_basic_string(s, line),
+        '\'' => {
+            let rest = &s[1..];
+            match rest.find('\'') {
+                Some(end) => Ok((Value::Str(rest[..end].to_string()), &rest[end + 1..])),
+                None => err(line, "unterminated literal string"),
+            }
+        }
+        '[' => {
+            let mut rest = s[1..].trim_start();
+            let mut items = Vec::new();
+            loop {
+                if let Some(r) = rest.strip_prefix(']') {
+                    return Ok((Value::Array(items), r));
+                }
+                if rest.is_empty() {
+                    return err(line, "unterminated array (arrays must be single-line)");
+                }
+                let (v, r) = parse_value(rest, line)?;
+                items.push(v);
+                rest = r.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r.trim_start();
+                } else if rest.is_empty() {
+                    return err(line, "unterminated array (arrays must be single-line)");
+                } else if !rest.starts_with(']') {
+                    return err(line, "expected `,` or `]` in array");
+                }
+            }
+        }
+        '{' => err(line, "inline tables are not supported in this subset"),
+        _ => {
+            let end = s
+                .find(|c: char| c == ',' || c == ']' || c == '#' || c.is_whitespace())
+                .unwrap_or(s.len());
+            let (tok, rest) = s.split_at(end);
+            match tok {
+                "" => err(line, "expected a value"),
+                "true" => Ok((Value::Bool(true), rest)),
+                "false" => Ok((Value::Bool(false), rest)),
+                _ => parse_number(tok, line).map(|v| (v, rest)),
+            }
+        }
+    }
+}
+
+/// Parse a basic (double-quoted) string with escapes.
+fn parse_basic_string(s: &str, line: usize) -> Result<(Value, &str), ParseError> {
+    debug_assert!(s.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = s[1..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((Value::Str(out), &s[1 + i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((j, 'u')) => {
+                    let hex = s[1..].get(j + 1..j + 5).ok_or(ParseError {
+                        line,
+                        msg: "truncated \\u escape".into(),
+                    })?;
+                    let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                        line,
+                        msg: format!("invalid \\u escape `\\u{hex}`"),
+                    })?;
+                    let ch = char::from_u32(code).ok_or(ParseError {
+                        line,
+                        msg: format!("\\u{hex} is not a valid scalar value"),
+                    })?;
+                    out.push(ch);
+                    // Skip the 4 hex digits (ASCII, one byte each).
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                Some((_, other)) => {
+                    return err(line, format!("unknown escape `\\{other}`"));
+                }
+                None => return err(line, "unterminated escape"),
+            },
+            c => out.push(c),
+        }
+    }
+    err(line, "unterminated string")
+}
+
+/// Parse an integer or float token. Underscores are allowed between digits
+/// (`1_000`), as in TOML.
+fn parse_number(tok: &str, line: usize) -> Result<Value, ParseError> {
+    if tok.is_empty() || !tok.chars().any(|c| c.is_ascii_digit()) {
+        return err(line, format!("expected a value, got `{tok}`"));
+    }
+    // Validate underscore placement, then strip.
+    let bytes: Vec<char> = tok.chars().collect();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c == '_' {
+            let prev = i.checked_sub(1).and_then(|j| bytes.get(j));
+            let next = bytes.get(i + 1);
+            let digit = |c: Option<&char>| c.is_some_and(|c| c.is_ascii_digit());
+            if !digit(prev) || !digit(next) {
+                return err(line, format!("misplaced underscore in number `{tok}`"));
+            }
+        }
+    }
+    let clean: String = tok.chars().filter(|&c| c != '_').collect();
+    let is_float = clean.contains('.') || clean.contains('e') || clean.contains('E');
+    if is_float {
+        match clean.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+            _ => err(line, format!("invalid float `{tok}`")),
+        }
+    } else {
+        clean
+            .parse::<i64>()
+            .map(Value::Int)
+            .or_else(|_| err(line, format!("invalid integer `{tok}`")))
+    }
+}
+
+// ------------------------------------------------------------- serializer
+
+/// Serialize a table back to TOML-subset text. Inverse of [`parse`] on the
+/// supported value space (pinned by round-trip proptests): scalar and
+/// scalar-array entries are emitted before sub-tables so the output parses
+/// into an equal tree.
+pub fn serialize(table: &Table) -> String {
+    let mut out = String::new();
+    serialize_table(table, &mut Vec::new(), &mut out);
+    out
+}
+
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Array(items)
+        if !items.is_empty() && items.iter().all(|i| matches!(i, Value::Table(_))))
+}
+
+fn serialize_table(table: &Table, path: &mut Vec<String>, out: &mut String) {
+    for (k, v) in table.entries() {
+        if matches!(v, Value::Table(_)) || is_table_array(v) {
+            continue;
+        }
+        out.push_str(&format_key(k));
+        out.push_str(" = ");
+        format_scalar(v, out);
+        out.push('\n');
+    }
+    for (k, v) in table.entries() {
+        path.push(k.clone());
+        match v {
+            Value::Table(t) => {
+                out.push_str(&format!("[{}]\n", format_path(path)));
+                serialize_table(t, path, out);
+            }
+            Value::Array(items) if is_table_array(v) => {
+                for item in items {
+                    let Value::Table(t) = item else {
+                        unreachable!()
+                    };
+                    out.push_str(&format!("[[{}]]\n", format_path(path)));
+                    serialize_table(t, path, out);
+                }
+            }
+            _ => {}
+        }
+        path.pop();
+    }
+}
+
+fn format_path(path: &[String]) -> String {
+    path.iter()
+        .map(|s| format_key(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn format_key(k: &str) -> String {
+    if is_bare_key(k) {
+        k.to_string()
+    } else {
+        format!("\"{k}\"")
+    }
+}
+
+fn format_scalar(v: &Value, out: &mut String) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Int(i) => out.push_str(&i.to_string()),
+        // `{:?}` is Rust's shortest round-trip float form ("1.0", "1e-7"),
+        // which always contains `.` or `e` — the parser's float markers.
+        Value::Float(f) => out.push_str(&format!("{f:?}")),
+        Value::Bool(b) => out.push_str(&b.to_string()),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                format_scalar(item, out);
+            }
+            out.push(']');
+        }
+        Value::Table(_) => unreachable!("tables are serialized as headers"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_tables() {
+        let doc = r#"
+# a scenario
+name = "demo"
+count = 42
+rate = 0.5
+big = 1_000
+on = true
+seeds = [1, 2, 3]
+
+[world]
+nodes = 96
+label = 'literal # not comment'
+
+[world.inner]
+x = -1.5e2
+"#;
+        let t = parse(doc).unwrap();
+        assert_eq!(t.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(t.get("count").unwrap().as_int(), Some(42));
+        assert_eq!(t.get("rate").unwrap().as_float(), Some(0.5));
+        assert_eq!(t.get("big").unwrap().as_int(), Some(1000));
+        assert_eq!(t.get("on").unwrap().as_bool(), Some(true));
+        let seeds: Vec<i64> = t
+            .get("seeds")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+        let world = t.get("world").unwrap().as_table().unwrap();
+        assert_eq!(world.get("nodes").unwrap().as_int(), Some(96));
+        assert_eq!(
+            world.get("label").unwrap().as_str(),
+            Some("literal # not comment")
+        );
+        let inner = world.get("inner").unwrap().as_table().unwrap();
+        assert_eq!(inner.get("x").unwrap().as_float(), Some(-150.0));
+    }
+
+    #[test]
+    fn parses_arrays_of_tables() {
+        let doc = r#"
+[[protocol]]
+kind = "curmix"
+[[protocol]]
+kind = "simera"
+k = 4
+r = 2
+"#;
+        let t = parse(doc).unwrap();
+        let protos = t.get("protocol").unwrap().as_array().unwrap();
+        assert_eq!(protos.len(), 2);
+        assert_eq!(
+            protos[1].as_table().unwrap().get("k").unwrap().as_int(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn nested_array_of_tables_via_dotted_header() {
+        let doc = "[churn]\nlifetime = \"pareto\"\n[[churn.event]]\nat_secs = 100\n[[churn.event]]\nat_secs = 200\n";
+        let t = parse(doc).unwrap();
+        let churn = t.get("churn").unwrap().as_table().unwrap();
+        let events = churn.get("event").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0]
+                .as_table()
+                .unwrap()
+                .get("at_secs")
+                .unwrap()
+                .as_int(),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("a = 1\na = 2", 2, "duplicate key"),
+            ("x = ", 1, "expected a value"),
+            ("[t]\n[t]", 2, "duplicate table header"),
+            ("k = \"unterminated", 1, "unterminated string"),
+            ("k = [1, 2", 1, "unterminated array"),
+            ("k = 1 2", 1, "trailing input"),
+            ("just words", 1, "expected"),
+            ("k = {a = 1}", 1, "inline tables"),
+            ("a.b = 1", 1, "dotted keys"),
+            ("n = 1__0", 1, "misplaced underscore"),
+            ("n = 99999999999999999999", 1, "invalid integer"),
+        ];
+        for (doc, line, frag) in cases {
+            let e = parse(doc).expect_err(doc);
+            assert_eq!(e.line, line, "{doc:?} -> {e}");
+            assert!(e.msg.contains(frag), "{doc:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn header_vs_scalar_conflicts_are_errors() {
+        assert!(parse("t = 1\n[t]\nx = 2").is_err());
+        assert!(parse("[t]\nx = 1\n[[t]]").is_err());
+        assert!(parse("[[t]]\nx = 1\n[t]").is_err());
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let t = parse("k = \"a # b\" # real comment\n").unwrap();
+        assert_eq!(t.get("k").unwrap().as_str(), Some("a # b"));
+        let t = parse("k = \"esc \\\" quote\"\n").unwrap();
+        assert_eq!(t.get("k").unwrap().as_str(), Some("esc \" quote"));
+        let t = parse("k = \"\\u00e9\"\n").unwrap();
+        assert_eq!(t.get("k").unwrap().as_str(), Some("é"));
+    }
+
+    #[test]
+    fn serialize_round_trips_a_representative_document() {
+        let doc = r#"name = "demo"
+rate = 0.25
+[world]
+nodes = 96
+seeds = [1, 2]
+[[protocol]]
+kind = "curmix"
+[[protocol]]
+kind = "simera"
+k = 4
+"#;
+        let t = parse(doc).unwrap();
+        let re = parse(&serialize(&t)).unwrap();
+        assert_eq!(t, re);
+    }
+
+    #[test]
+    fn quoted_keys_work() {
+        let t = parse("\"weird key\" = 1\n[\"quoted table\"]\nx = 2\n").unwrap();
+        assert_eq!(t.get("weird key").unwrap().as_int(), Some(1));
+        assert!(t.get("quoted table").is_some());
+        let re = parse(&serialize(&t)).unwrap();
+        assert_eq!(t, re);
+    }
+}

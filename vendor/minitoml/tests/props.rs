@@ -1,0 +1,164 @@
+//! Property tests for the TOML-subset parser (ISSUE 6 satellite):
+//! round-trip serialize→parse on generated scenario-shaped documents,
+//! line-numbered rejection of malformed input, and no panics on
+//! arbitrary bytes.
+
+use minitoml::{parse, serialize, Table, Value};
+use proptest::prelude::*;
+
+/// Generate a random scalar from the supported value space.
+fn gen_scalar(rng: &mut TestRng, depth: u32) -> Value {
+    match rng.below(if depth == 0 { 5 } else { 4 }) {
+        0 => Value::Int(rng.next_u64() as i64 >> rng.below(40)),
+        1 => {
+            // Finite floats across magnitudes; `{:?}` round-trips exactly.
+            let mag = rng.below(60) as i32 - 30;
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            Value::Float(sign * rng.unit_f64() * 10f64.powi(mag / 6))
+        }
+        2 => Value::Bool(rng.next_u64() & 1 == 1),
+        3 => Value::Str(gen_string(rng)),
+        _ => {
+            let n = rng.below(4) as usize;
+            Value::Array((0..n).map(|_| gen_scalar(rng, depth + 1)).collect())
+        }
+    }
+}
+
+/// Strings exercising quoting, escapes, comments-in-strings, unicode.
+fn gen_string(rng: &mut TestRng) -> String {
+    const POOL: &[&str] = &[
+        "a", "B", "0", "_", "-", " ", "#", "\"", "\\", "\n", "\t", "é", "→", "'", "=", "[", "]",
+        ".",
+    ];
+    let n = rng.below(12) as usize;
+    (0..n)
+        .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+        .collect()
+}
+
+/// Keys: mostly bare, sometimes needing quotes.
+fn gen_key(rng: &mut TestRng, taken: &Table) -> String {
+    loop {
+        let key = if rng.below(5) == 0 {
+            format!("odd key {}", rng.below(100))
+        } else {
+            const POOL: &[&str] = &["n", "seed", "rate", "k", "r", "at", "frac", "x-y", "B_2"];
+            format!(
+                "{}{}",
+                POOL[rng.below(POOL.len() as u64) as usize],
+                rng.below(50)
+            )
+        };
+        if taken.get(&key).is_none() {
+            return key;
+        }
+    }
+}
+
+/// Generate a random table mirroring scenario-file shape: scalar entries,
+/// nested tables, and arrays of tables.
+fn gen_table(rng: &mut TestRng, depth: u32) -> Table {
+    let mut t = Table::new();
+    let entries = rng.below(5) as usize + 1;
+    for _ in 0..entries {
+        let key = gen_key(rng, &t);
+        let v = match rng.below(if depth >= 2 { 4 } else { 6 }) {
+            4 => Value::Table(gen_table(rng, depth + 1)),
+            5 => {
+                let n = rng.below(3) as usize + 1;
+                Value::Array(
+                    (0..n)
+                        .map(|_| Value::Table(gen_table(rng, depth + 1)))
+                        .collect(),
+                )
+            }
+            _ => gen_scalar(rng, 0),
+        };
+        t.insert(key, v);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → parse is the identity on generated documents.
+    #[test]
+    fn round_trip_serialize_parse(case in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_test(&format!("rt-{case}"));
+        let doc = gen_table(&mut rng, 0);
+        let text = serialize(&doc);
+        let reparsed = match parse(&text) {
+            Ok(t) => t,
+            Err(e) => return Err(format!("serialized doc failed to parse: {e}\n---\n{text}")),
+        };
+        prop_assert_eq!(&doc, &reparsed, "round-trip mismatch\n---\n{}", text);
+        // And a second cycle is byte-stable (canonical form).
+        prop_assert_eq!(serialize(&reparsed), text);
+    }
+
+    /// The parser never panics on arbitrary bytes — it returns Ok or a
+    /// line-numbered error, and the reported line is within the input.
+    #[test]
+    fn no_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match parse(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.line >= 1, "line numbers are 1-based, got {}", e.line);
+                let lines = text.lines().count().max(1);
+                prop_assert!(
+                    e.line <= lines,
+                    "error line {} beyond input ({} lines)", e.line, lines
+                );
+                prop_assert!(!e.msg.is_empty());
+                // Display form carries the location.
+                let prefix = format!("line {}:", e.line);
+                prop_assert!(e.to_string().starts_with(&prefix), "bad Display: {}", e);
+            }
+        }
+    }
+
+    /// Corrupting one line of a valid document reports that line (or an
+    /// earlier one when the corruption changes document structure).
+    #[test]
+    fn malformed_line_is_located(case in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_test(&format!("mal-{case}"));
+        let doc = gen_table(&mut rng, 0);
+        let text = serialize(&doc);
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let victim = rng.below(lines.len() as u64) as usize;
+        const BREAKERS: &[&str] = &["= = =", "k = ", "[unclosed", "k = \"oops", "k = 1__2", "???"];
+        let breaker = BREAKERS[rng.below(BREAKERS.len() as u64) as usize];
+        let mutated: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if i == victim { breaker } else { *l })
+            .collect();
+        match parse(&mutated.join("\n")) {
+            // Replacing a line can only break at or before the victim
+            // (e.g. deleting a `[table]` header makes a later duplicate
+            // key fire — still never *after* more context than existed).
+            Err(e) => prop_assert!(
+                e.line <= lines.len(),
+                "error line {} beyond mutated input", e.line
+            ),
+            // `???` etc. always fail; guard against silent acceptance.
+            Ok(_) => prop_assert!(
+                false,
+                "malformed line {} (`{}`) was accepted", victim + 1, breaker
+            ),
+        }
+    }
+
+    /// Parsing is a pure function: same input, same output.
+    #[test]
+    fn parse_is_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+        let text = String::from_utf8_lossy(&bytes);
+        prop_assert_eq!(parse(&text), parse(&text));
+    }
+}
