@@ -276,6 +276,7 @@ fn bench_recovery(c: &mut Criterion) {
             spike_factor: 4.0,
             crashes_per_hour: 1.0,
             view_staleness: SimDuration::from_secs(60),
+            ..FaultConfig::NONE
         },
         SimTime::from_secs(7200),
         42,
@@ -309,6 +310,7 @@ fn bench_recovery(c: &mut Criterion) {
                 spike_factor: 4.0,
                 crashes_per_hour: 1.0,
                 view_staleness: SimDuration::from_secs(60),
+                ..FaultConfig::NONE
             },
             recovery: RecoveryParams::default(),
             warmup: Scale::Quick.warmup(),

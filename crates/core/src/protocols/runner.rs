@@ -1138,6 +1138,7 @@ mod tests {
             spike_factor: 4.0,
             crashes_per_hour: 0.5,
             view_staleness: SimDuration::from_secs(60),
+            ..FaultConfig::NONE
         }
     }
 

@@ -179,3 +179,106 @@ proptest! {
         let _ = decode_frame_vec(bytes);
     }
 }
+
+// FrameReader streaming properties: the incremental decoder the TCP
+// reader threads sit on must reassemble frames under any chunking, hold
+// bounded memory, reject hostile length prefixes before buffering their
+// bodies, and stay failed once a stream desynchronizes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A concatenated frame sequence delivered in arbitrary chunk splits
+    /// reassembles to exactly the original frames, and the reader never
+    /// buffers more than one incomplete frame's worth of bytes — the
+    /// bounded-memory contract a socket reader relies on.
+    #[test]
+    fn frame_reader_streams_any_chunking_with_bounded_memory(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..6),
+        kinds in proptest::collection::vec(any::<u8>(), 6..7),
+        sids in proptest::collection::vec(any::<u64>(), 6..7),
+        chunks in proptest::collection::vec(1usize..48, 1..64),
+    ) {
+        let frames: Vec<Frame> = blobs
+            .iter()
+            .enumerate()
+            .map(|(i, blob)| frame_from_parts(kinds[i], 9, sids[i], sids[i] ^ 1, blob.clone()))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let max_len = frames.iter().map(encoded_len).max().unwrap();
+
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut fed = 0;
+        for &chunk in chunks.iter().cycle() {
+            if fed >= stream.len() {
+                break;
+            }
+            let end = (fed + chunk).min(stream.len());
+            reader.extend(&stream[fed..end]);
+            fed = end;
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+            // Drained to quiescence: whatever is left is a strict prefix
+            // of one frame, so the buffer is bounded by the largest frame
+            // regardless of how much stream remains unsent.
+            prop_assert!(reader.buffered() < max_len.max(HEADER_LEN + 1));
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    /// A hostile length prefix (declared body beyond `MAX_BODY_LEN`) is
+    /// rejected the moment the header completes — the reader never waits
+    /// for, or buffers, the declared gigabytes.
+    #[test]
+    fn frame_reader_rejects_oversized_length_at_header(
+        declared in (anon_core::wire::MAX_BODY_LEN as u32 + 1)..u32::MAX,
+        tag in any::<u8>(),
+        teaser in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let mut header = Vec::new();
+        header.extend_from_slice(&anon_core::wire::MAGIC);
+        header.push(anon_core::wire::VERSION);
+        header.push(tag % 5);
+        header.extend_from_slice(&declared.to_be_bytes());
+
+        let mut reader = FrameReader::new();
+        // One byte short of a header: still undecidable.
+        reader.extend(&header[..HEADER_LEN - 1]);
+        prop_assert_eq!(reader.next_frame().unwrap(), None);
+        // The final header byte settles it, with zero body bytes seen.
+        reader.extend(&header[HEADER_LEN - 1..]);
+        prop_assert_eq!(
+            reader.next_frame(),
+            Err(anon_core::wire::WireError::Oversized { len: declared as usize })
+        );
+        // Feeding more of the "body" cannot un-fail the stream.
+        reader.extend(&teaser);
+        prop_assert!(reader.next_frame().is_err());
+        prop_assert!(reader.buffered() <= HEADER_LEN + teaser.len());
+    }
+
+    /// Once garbage desynchronizes the stream, every subsequent call
+    /// keeps failing — even if valid frames arrive afterwards. Framing
+    /// never resynchronizes, so the connection must be torn down rather
+    /// than silently skipping bytes.
+    #[test]
+    fn frame_reader_failure_is_sticky(
+        kind in any::<u8>(),
+        sid in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..100),
+        xor in any::<u8>(),
+    ) {
+        let good = encode_frame(&frame_from_parts(kind, 2, sid, sid, blob));
+        let mut bad = good.clone();
+        bad[0] ^= xor.max(1); // corrupt the magic: guaranteed desync
+
+        let mut reader = FrameReader::new();
+        reader.extend(&bad);
+        prop_assert!(reader.next_frame().is_err());
+        reader.extend(&good);
+        prop_assert!(reader.next_frame().is_err(), "reader resynchronized after garbage");
+        prop_assert!(reader.next_frame().is_err(), "error was not sticky");
+    }
+}

@@ -571,6 +571,7 @@ pub fn recovery_fault_levels() -> Vec<(&'static str, FaultConfig)> {
                 spike_factor: 4.0,
                 crashes_per_hour: 0.5,
                 view_staleness: SimDuration::from_secs(60),
+                ..FaultConfig::NONE
             },
         ),
         (
@@ -581,6 +582,7 @@ pub fn recovery_fault_levels() -> Vec<(&'static str, FaultConfig)> {
                 spike_factor: 6.0,
                 crashes_per_hour: 2.0,
                 view_staleness: SimDuration::from_secs(300),
+                ..FaultConfig::NONE
             },
         ),
     ]

@@ -157,6 +157,7 @@ fn recovery_cfg(seed: u64) -> RecoveryConfig {
             spike_factor: 4.0,
             crashes_per_hour: 0.5,
             view_staleness: SimDuration::from_secs(60),
+            ..FaultConfig::NONE
         },
         recovery: RecoveryParams::default(),
         warmup: SimTime::from_secs(600),

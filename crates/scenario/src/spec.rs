@@ -458,6 +458,8 @@ fn parse_faults(root: &Table) -> Result<FaultConfig, SpecError> {
             "spike_factor",
             "crashes_per_hour",
             "view_staleness_secs",
+            "resets_per_hour",
+            "reset_window_secs",
         ],
     )?;
     Ok(FaultConfig {
@@ -466,6 +468,8 @@ fn parse_faults(root: &Table) -> Result<FaultConfig, SpecError> {
         spike_factor: get_f64(t, "faults", "spike_factor", 1.0)?,
         crashes_per_hour: get_f64(t, "faults", "crashes_per_hour", 0.0)?,
         view_staleness: secs(t, "faults", "view_staleness_secs", 0.0)?,
+        resets_per_hour: get_f64(t, "faults", "resets_per_hour", 0.0)?,
+        reset_window: secs(t, "faults", "reset_window_secs", 0.0)?,
     })
 }
 
@@ -818,14 +822,26 @@ impl Scenario {
         let faults = if self.faults.is_none() {
             "none".to_string()
         } else {
-            format!(
+            let mut s = format!(
                 "drop={:.3} spike={:.3}x{:.1} crash/h={:.2} stale={:.0}s",
                 self.faults.link_drop,
                 self.faults.spike_prob,
                 self.faults.spike_factor,
                 self.faults.crashes_per_hour,
                 self.faults.view_staleness.as_secs_f64(),
-            )
+            );
+            // Reset windows only appear when armed, so every pre-reset
+            // golden snapshot stays byte-identical.
+            if self.faults.resets_per_hour > 0.0
+                && self.faults.reset_window > simnet::SimDuration::ZERO
+            {
+                s.push_str(&format!(
+                    " reset/h={:.2}x{:.0}s",
+                    self.faults.resets_per_hour,
+                    self.faults.reset_window.as_secs_f64(),
+                ));
+            }
+            s
         };
         format!(
             "topology={} churn={} events={} workload={} faults=[{}]",

@@ -40,6 +40,14 @@ pub struct FaultConfig {
     pub crashes_per_hour: f64,
     /// How far membership views lag behind real time.
     pub view_staleness: SimDuration,
+    /// Mean connection-reset windows per directed link per hour; during
+    /// a window every transmission on the link is dropped (a TCP-reset /
+    /// middlebox-blackhole failure mode, as opposed to the i.i.d.
+    /// `link_drop`). Zero disables resets.
+    pub resets_per_hour: f64,
+    /// Length of each reset window; [`SimDuration::ZERO`] disables
+    /// resets.
+    pub reset_window: SimDuration,
 }
 
 impl FaultConfig {
@@ -50,6 +58,8 @@ impl FaultConfig {
         spike_factor: 1.0,
         crashes_per_hour: 0.0,
         view_staleness: SimDuration::ZERO,
+        resets_per_hour: 0.0,
+        reset_window: SimDuration::ZERO,
     };
 
     /// Whether every ingredient is disabled.
@@ -58,6 +68,7 @@ impl FaultConfig {
             && (self.spike_prob <= 0.0 || self.spike_factor <= 1.0)
             && self.crashes_per_hour <= 0.0
             && self.view_staleness == SimDuration::ZERO
+            && (self.resets_per_hour <= 0.0 || self.reset_window == SimDuration::ZERO)
     }
 }
 
@@ -96,6 +107,7 @@ const TAG_DROP: u64 = 0xD20F;
 const TAG_SPIKE: u64 = 0x57E1;
 const TAG_JITTER: u64 = 0x1177;
 const TAG_CRASH: u64 = 0xC2A5;
+const TAG_RESET: u64 = 0x2E5E;
 
 /// One round of splitmix64 finalization.
 fn splitmix(mut x: u64) -> u64 {
@@ -106,10 +118,19 @@ fn splitmix(mut x: u64) -> u64 {
 }
 
 /// Hash `(seed, tag, a, b)` to a uniform `[0, 1)` value.
-fn unit(seed: u64, tag: u64, a: u64, b: u64) -> f64 {
+///
+/// This is the primitive every pure-function fault decision in the
+/// workspace is built on (drops, spikes, reset windows — and the live
+/// `transport::chaos` layer reuses it for its own fault plan): callers
+/// pick a `tag` to separate decision streams and feed the identifying
+/// words of the decision as `a`/`b`.
+pub fn hash_unit(seed: u64, tag: u64, a: u64, b: u64) -> f64 {
     let h = splitmix(splitmix(splitmix(seed ^ tag).wrapping_add(a)).wrapping_add(b));
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
+
+/// Internal alias kept for brevity at the many call sites below.
+use self::hash_unit as unit;
 
 fn link_word(from: NodeId, to: NodeId) -> u64 {
     ((from.0 as u64) << 32) | to.0 as u64
@@ -162,11 +183,37 @@ impl FaultPlan {
     }
 
     /// Whether the transmission departing on `(from → to)` at `depart` is
-    /// dropped.
+    /// dropped — by the i.i.d. per-transmission coin *or* because the
+    /// link is inside one of its reset windows.
     pub fn drops(&self, from: NodeId, to: NodeId, depart: SimTime) -> bool {
-        self.cfg.link_drop > 0.0
+        (self.cfg.link_drop > 0.0
             && unit(self.seed, TAG_DROP, link_word(from, to), depart.as_micros())
-                < self.cfg.link_drop
+                < self.cfg.link_drop)
+            || self.link_reset(from, to, depart)
+    }
+
+    /// Whether the directed link `(from → to)` is inside a connection
+    /// reset window at `at`.
+    ///
+    /// Time is divided into slots of mean reset spacing
+    /// (`3600 s / resets_per_hour`); each slot holds one window of
+    /// `reset_window` at a hash-jittered offset. A pure function of
+    /// `(seed, link, slot)` like every other fault decision.
+    pub fn link_reset(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        if self.cfg.resets_per_hour <= 0.0 || self.cfg.reset_window == SimDuration::ZERO {
+            return false;
+        }
+        let interval_us = ((3600.0 * 1e6 / self.cfg.resets_per_hour) as u64).max(1);
+        let window_us = self.cfg.reset_window.as_micros();
+        if window_us >= interval_us {
+            return true; // windows cover the whole timeline
+        }
+        let link = link_word(from, to);
+        let slot = at.as_micros() / interval_us;
+        let jitter = unit(self.seed, TAG_RESET, link, slot);
+        let start = slot * interval_us + (jitter * (interval_us - window_us) as f64) as u64;
+        let t = at.as_micros();
+        t >= start && t < start + window_us
     }
 
     /// The (possibly spiked) one-way delay for a transmission departing on
@@ -226,6 +273,7 @@ mod tests {
             spike_factor: 4.0,
             crashes_per_hour: 2.0,
             view_staleness: SimDuration::from_secs(60),
+            ..FaultConfig::NONE
         }
     }
 
@@ -336,6 +384,63 @@ mod tests {
             assert!(times.iter().all(|&t| t < horizon));
         }
         assert!(plan.crash_times(NodeId(999)).is_empty());
+    }
+
+    #[test]
+    fn reset_windows_are_deterministic_and_track_duty_cycle() {
+        let cfg = FaultConfig {
+            // One 60 s window per hour per link: 1/60 duty cycle.
+            resets_per_hour: 1.0,
+            reset_window: SimDuration::from_secs(60),
+            ..FaultConfig::NONE
+        };
+        let horizon = SimTime::from_secs(400 * 3600);
+        let a = FaultPlan::new(4, cfg, horizon, 11);
+        let b = FaultPlan::new(4, cfg, horizon, 11);
+        let trials = 40_000u64;
+        let mut inside = 0u64;
+        for i in 0..trials {
+            let t = SimTime(i * 36_000_000); // 36 s grid over 400 h
+            let hit = a.link_reset(NodeId(0), NodeId(1), t);
+            assert_eq!(hit, b.link_reset(NodeId(0), NodeId(1), t));
+            assert_eq!(
+                hit || a.drops(NodeId(0), NodeId(1), t),
+                a.drops(NodeId(0), NodeId(1), t)
+            );
+            if hit {
+                inside += 1;
+            }
+        }
+        let duty = inside as f64 / trials as f64;
+        assert!(
+            (duty - 1.0 / 60.0).abs() < 0.01,
+            "observed reset duty cycle {duty}"
+        );
+        // Different links see different windows.
+        let mut differs = false;
+        for i in 0..trials {
+            let t = SimTime(i * 36_000_000);
+            if a.link_reset(NodeId(0), NodeId(1), t) != a.link_reset(NodeId(2), NodeId(3), t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn reset_defaults_are_inert() {
+        assert!(FaultConfig::NONE.is_none());
+        let plan = FaultPlan::new(4, FaultConfig::NONE, SimTime::from_secs(100), 3);
+        for i in 0..1000u64 {
+            assert!(!plan.link_reset(NodeId(0), NodeId(1), SimTime(i * 997)));
+        }
+        // A window with zero length (or zero rate) injects nothing.
+        let half = FaultConfig {
+            resets_per_hour: 5.0,
+            ..FaultConfig::NONE
+        };
+        assert!(half.is_none());
     }
 
     #[test]

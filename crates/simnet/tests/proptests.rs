@@ -206,6 +206,7 @@ proptest! {
             spike_factor: 5.0,
             crashes_per_hour: crashes,
             view_staleness: SimDuration::from_secs(30),
+            ..FaultConfig::NONE
         };
         let horizon = SimTime::from_secs(7200);
         let a = FaultPlan::new(n, cfg, horizon, seed);

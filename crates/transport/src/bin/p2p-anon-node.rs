@@ -36,8 +36,8 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 use transport::{
-    NodeTelemetry, ProtocolNode, Roster, Runtime, StatsServer, TcpTelemetry, TcpTransport,
-    Transport,
+    ChaosConfig, ChaosPlan, ChaosTransport, NodeTelemetry, ProtocolNode, Roster, Runtime,
+    StatsServer, TcpTelemetry, TcpTransport, Transport,
 };
 
 struct Args {
@@ -47,7 +47,11 @@ struct Args {
     paths: Vec<Vec<NodeId>>,
     responder: Option<NodeId>,
     codec: (usize, usize),
-    ack_timeout_ms: u64,
+    ack_timeout_ms: Option<u64>,
+    max_retries: Option<u32>,
+    path_bias: bool,
+    chaos: Option<String>,
+    chaos_seed: u64,
     run_secs: Option<u64>,
     seed: u64,
     stats_addr: Option<String>,
@@ -57,7 +61,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: p2p-anon-node --config FILE --id N --role relay|responder|initiator\n\
          \x20    [--paths \"1,2,3;4,5,6\"] [--responder N] [--codec M,N]\n\
-         \x20    [--ack-timeout-ms MS] [--run-secs S] [--seed N] [--stats-addr ADDR]"
+         \x20    [--ack-timeout-ms MS] [--max-retries N] [--path-bias]\n\
+         \x20    [--chaos SPEC] [--chaos-seed N]\n\
+         \x20    [--run-secs S] [--seed N] [--stats-addr ADDR]\n\
+         \n\
+         --chaos SPEC injects deterministic faults into this node's own\n\
+         transport (testing only), e.g.\n\
+         \x20    --chaos drop=0.05,delay=0.2,delay_max_ms=150,corrupt=0.01"
     );
     std::process::exit(2);
 }
@@ -70,7 +80,11 @@ fn parse_args() -> Args {
         paths: Vec::new(),
         responder: None,
         codec: (2, 4),
-        ack_timeout_ms: 1_000,
+        ack_timeout_ms: None,
+        max_retries: None,
+        path_bias: false,
+        chaos: None,
+        chaos_seed: 0,
         run_secs: None,
         seed: 0,
         stats_addr: None,
@@ -93,7 +107,13 @@ fn parse_args() -> Args {
                     n.trim().parse().unwrap_or_else(|_| usage()),
                 );
             }
-            "--ack-timeout-ms" => args.ack_timeout_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--ack-timeout-ms" => {
+                args.ack_timeout_ms = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-retries" => args.max_retries = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--path-bias" => args.path_bias = true,
+            "--chaos" => args.chaos = Some(value()),
+            "--chaos-seed" => args.chaos_seed = value().parse().unwrap_or_else(|_| usage()),
             "--run-secs" => args.run_secs = Some(value().parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--stats-addr" => args.stats_addr = Some(value()),
@@ -132,6 +152,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The roster's [policy] section is the baseline; CLI flags override.
+    let mut policy = roster.policy;
+    if let Some(ms) = args.ack_timeout_ms {
+        policy.ack_timeout_us = ms * 1_000;
+    }
+    if let Some(retries) = args.max_retries {
+        policy.max_retries = retries;
+    }
+    if args.path_bias {
+        policy.path_bias = true;
+    }
     let mut transport = match TcpTransport::bind(args.id, roster.clone()) {
         Ok(t) => t,
         Err(e) => {
@@ -139,6 +170,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    transport.set_policy(policy);
     let codec = match ErasureCodec::new(args.codec.0, args.codec.1) {
         Ok(c) => c,
         Err(e) => {
@@ -148,8 +180,7 @@ fn main() -> ExitCode {
     };
     // Distinct per-node randomness even when --seed is shared.
     let seed = args.seed ^ 0xa11ce ^ (u64::from(args.id.0) << 8);
-    let mut node = ProtocolNode::new(args.id, roster.keypair(args.id), seed)
-        .with_ack_timeout_us(args.ack_timeout_ms * 1_000);
+    let mut node = ProtocolNode::new(args.id, roster.keypair(args.id), seed).with_policy(&policy);
     match args.role.as_str() {
         "relay" => {}
         "responder" => node = node.with_auto_ack().with_codec(Box::new(codec)),
@@ -176,44 +207,70 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    let mut rt = Runtime::new(transport);
+    // --chaos wraps this node's own transport in the deterministic
+    // fault injector; the protocol stack cannot tell the difference.
+    match &args.chaos {
+        Some(spec) => {
+            let cfg = match ChaosConfig::from_spec(spec) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("p2p-anon-node: --chaos: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let chaos = ChaosTransport::new(transport, ChaosPlan::new(cfg, args.chaos_seed));
+            run_role(Runtime::new(chaos), node, &args, &roster)
+        }
+        None => run_role(Runtime::new(transport), node, &args, &roster),
+    }
+}
+
+/// Role dispatch, generic over the (possibly chaos-wrapped) transport.
+fn run_role<T: Transport>(
+    mut rt: Runtime<T>,
+    node: ProtocolNode,
+    args: &Args,
+    roster: &Roster,
+) -> ExitCode {
     let id = args.id;
     rt.add_node(node);
     say(format!("READY id={id}"));
-
     match args.role.as_str() {
-        "initiator" => run_initiator(rt, &args, &roster),
-        _ => {
-            // Relays and responders are passive: pump events, print
-            // deliveries, run until killed (or --run-secs).
-            let deadline = args.run_secs.map(|s| s * 1_000_000).unwrap_or(u64::MAX);
-            let mut printed = (0usize, 0usize);
-            while rt.transport.now_us() < deadline {
-                rt.poll_once(100_000);
-                let ev = &rt.node(id).events;
-                while printed.0 < ev.deliveries.len() {
-                    let (mid, index, _) = ev.deliveries[printed.0];
-                    say(format!("DELIVERED mid={} index={index}", mid.0));
-                    printed.0 += 1;
-                }
-                while printed.1 < ev.completed.len() {
-                    let (mid, msg) = &ev.completed[printed.1];
-                    say(format!(
-                        "MESSAGE mid={} text={}",
-                        mid.0,
-                        String::from_utf8_lossy(msg)
-                    ));
-                    printed.1 += 1;
-                }
-            }
-            ExitCode::SUCCESS
+        "initiator" => run_initiator(rt, args, roster),
+        _ => run_passive(rt, args),
+    }
+}
+
+/// Relays and responders are passive: pump events, print deliveries,
+/// run until killed (or `--run-secs`).
+fn run_passive<T: Transport>(mut rt: Runtime<T>, args: &Args) -> ExitCode {
+    let id = args.id;
+    let deadline = args.run_secs.map(|s| s * 1_000_000).unwrap_or(u64::MAX);
+    let mut printed = (0usize, 0usize);
+    while rt.transport.now_us() < deadline {
+        rt.poll_once(100_000);
+        let ev = &rt.node(id).events;
+        while printed.0 < ev.deliveries.len() {
+            let (mid, index, _) = ev.deliveries[printed.0];
+            say(format!("DELIVERED mid={} index={index}", mid.0));
+            printed.0 += 1;
+        }
+        while printed.1 < ev.completed.len() {
+            let (mid, msg) = &ev.completed[printed.1];
+            say(format!(
+                "MESSAGE mid={} text={}",
+                mid.0,
+                String::from_utf8_lossy(msg)
+            ));
+            printed.1 += 1;
         }
     }
+    ExitCode::SUCCESS
 }
 
 /// Initiator main loop: construct paths, wait for acks, then send one
 /// message per stdin line until EOF.
-fn run_initiator(mut rt: Runtime<TcpTransport>, args: &Args, roster: &Roster) -> ExitCode {
+fn run_initiator<T: Transport>(mut rt: Runtime<T>, args: &Args, roster: &Roster) -> ExitCode {
     let id = args.id;
     let Some(responder) = args.responder else {
         eprintln!("p2p-anon-node: initiator needs --responder");

@@ -10,9 +10,14 @@
 //! telemetry cannot change behavior (the determinism suite pins the
 //! equivalent invariant for the simulated stack).
 
+use crate::policy::Priority;
 use simnet::NodeId;
 use std::sync::Arc;
-use telemetry::{Counter, Gauge, Registry};
+use telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Log-linear grouping power for RTT histograms (~0.8 % relative error,
+/// matching `core_hop_latency_us`).
+const RTT_GROUPING_POWER: u32 = 7;
 
 /// Transport-wide instruments for one [`crate::TcpTransport`].
 #[derive(Clone)]
@@ -44,6 +49,12 @@ impl TcpTelemetry {
     pub fn writer(&self, peer: NodeId) -> WriterTelemetry {
         let p = peer.0.to_string();
         let labels: [(&str, &str); 1] = [("peer", &p)];
+        let shed = |class: &str| {
+            self.registry.counter(
+                "transport_frames_shed_total",
+                &[("peer", &p), ("class", class)],
+            )
+        };
         WriterTelemetry {
             connects: self.registry.counter("transport_connects_total", &labels),
             connect_failures: self
@@ -52,6 +63,18 @@ impl TcpTelemetry {
             frames_dropped: self
                 .registry
                 .counter("transport_frames_dropped_total", &labels),
+            frames_dropped_reconnect: self
+                .registry
+                .counter("transport_frames_dropped_reconnect_total", &labels),
+            breaker_trips: self
+                .registry
+                .counter("transport_breaker_trips_total", &labels),
+            breaker_recoveries: self
+                .registry
+                .counter("transport_breaker_recoveries_total", &labels),
+            shed_cover: shed("cover"),
+            shed_data: shed("data"),
+            shed_control: shed("control"),
             queue_depth: self.registry.gauge("transport_writer_queue_depth", &labels),
         }
     }
@@ -71,12 +94,43 @@ pub struct WriterTelemetry {
     /// `transport_connect_failures_total{peer}` — connect or Hello
     /// attempts that failed and fell into backoff.
     pub connect_failures: Arc<Counter>,
-    /// `transport_frames_dropped_total{peer}` — frames abandoned after
-    /// the attempt budget (the loss the protocol recovers from).
+    /// `transport_frames_dropped_total{peer}` — every frame abandoned,
+    /// whatever the reason (deadline, breaker, shed).
     pub frames_dropped: Arc<Counter>,
+    /// `transport_frames_dropped_reconnect_total{peer}` — frames lost
+    /// across a reconnect: the in-flight frame a dying connection took
+    /// with it, counted (and requeued when its deadline allows) instead
+    /// of vanishing silently.
+    pub frames_dropped_reconnect: Arc<Counter>,
+    /// `transport_breaker_trips_total{peer}` — circuit-breaker trips
+    /// (consecutive-failure threshold reached; sends fail fast).
+    pub breaker_trips: Arc<Counter>,
+    /// `transport_breaker_recoveries_total{peer}` — open breakers closed
+    /// again by a successful probe.
+    pub breaker_recoveries: Arc<Counter>,
+    /// `transport_frames_shed_total{peer,class="cover"}` — cover frames
+    /// shed by the bounded queue (always the first victims).
+    pub shed_cover: Arc<Counter>,
+    /// `transport_frames_shed_total{peer,class="data"}` — data frames
+    /// shed once no cover remained.
+    pub shed_data: Arc<Counter>,
+    /// `transport_frames_shed_total{peer,class="control"}` — control
+    /// frames shed as the last resort.
+    pub shed_control: Arc<Counter>,
     /// `transport_writer_queue_depth{peer}` — frames queued but not yet
     /// written to the socket.
     pub queue_depth: Arc<Gauge>,
+}
+
+impl WriterTelemetry {
+    /// The shed counter for `class`.
+    pub fn shed(&self, class: Priority) -> &Arc<Counter> {
+        match class {
+            Priority::Cover => &self.shed_cover,
+            Priority::Data => &self.shed_data,
+            Priority::Control => &self.shed_control,
+        }
+    }
 }
 
 /// Protocol-event instruments for one [`crate::ProtocolNode`], mirroring
@@ -102,6 +156,9 @@ pub struct NodeTelemetry {
     /// `node_stateless_drops_total{node}` — frames dropped for missing
     /// relay/initiator state.
     pub stateless_drops: Arc<Counter>,
+    /// `node_ack_rtt_us{node}` — end-to-end segment ack round-trip
+    /// times, the raw material of the health EWMA.
+    pub ack_rtt_us: Arc<Histogram>,
 }
 
 impl NodeTelemetry {
@@ -117,6 +174,7 @@ impl NodeTelemetry {
             ack_timeouts: registry.counter("node_ack_timeouts_total", &labels),
             retransmits: registry.counter("node_retransmits_total", &labels),
             stateless_drops: registry.counter("node_stateless_drops_total", &labels),
+            ack_rtt_us: registry.histogram("node_ack_rtt_us", &labels, RTT_GROUPING_POWER),
         }
     }
 }

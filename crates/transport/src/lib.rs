@@ -29,17 +29,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod instrument;
 pub mod node;
+pub mod policy;
 pub mod runtime;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosStats, ChaosTransport, Partition};
 pub use config::Roster;
 pub use instrument::{NodeTelemetry, TcpTelemetry, WriterTelemetry};
 pub use node::{Input, NodeEvents, Output, ProtocolNode};
+pub use policy::{BackoffPolicy, BreakerState, CircuitBreaker, PeerHealth, PolicyConfig, Priority};
 pub use runtime::Runtime;
 pub use sim::SimTransport;
 pub use stats::StatsServer;
@@ -130,6 +134,23 @@ pub trait Transport {
     /// the loss model the protocol's redundancy machinery expects. An
     /// `Err` means the frame could not even be queued.
     fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), TransportError>;
+
+    /// [`Transport::send`] with an explicit shed class.
+    ///
+    /// Backends with bounded outbound queues (the TCP transport) shed
+    /// lower classes first under overload; the default implementation
+    /// ignores the class. This is also the only way to mark cover
+    /// traffic: [`policy::Priority::of`] never infers it.
+    fn send_prioritized(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        frame: Frame,
+        prio: policy::Priority,
+    ) -> Result<(), TransportError> {
+        let _ = prio;
+        self.send(from, to, frame)
+    }
 
     /// Arm a timer for `owner`: a [`TransportEvent::Timer`] with `token`
     /// fires from `poll` once `after_us` elapses. Re-arming an

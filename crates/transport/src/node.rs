@@ -13,6 +13,7 @@
 //! behavior proven in simulation carries over to the live node verbatim.
 
 use crate::instrument::NodeTelemetry;
+use crate::policy::{PeerHealth, PolicyConfig};
 use anon_core::driver::CONSTRUCT_ACK;
 use anon_core::endpoint::{Initiator, Reassembler};
 use anon_core::onion::{
@@ -25,7 +26,7 @@ use erasure::{Codec, Segment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_crypto::{KeyPair, PublicKey};
-use simnet::{NodeId, SimTime};
+use simnet::{NodeId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// Default end-to-end ack deadline for live nodes (1 s).
@@ -126,9 +127,17 @@ pub struct ProtocolNode {
     timer_purpose: HashMap<u64, (MessageId, usize)>,
     /// Retransmits already spent per segment.
     retries: HashMap<(MessageId, usize), u32>,
+    /// Which path each in-flight segment last rode, and when it left:
+    /// `(mid, index)` → `(path sid, sent_at_us)`. Feeds [`PeerHealth`].
+    inflight: HashMap<(MessageId, usize), (StreamId, u64)>,
+    /// Per-path health: consecutive ack failures plus an RTT EWMA,
+    /// always tracked, consulted for path choice only under `path_bias`.
+    path_health: HashMap<StreamId, PeerHealth>,
     next_token: u64,
-    ack_timeout_us: u64,
-    max_retries: u32,
+    policy: PolicyConfig,
+    /// The caller's clock as of the last `handle`/`set_now`, letting
+    /// clock-less entry points (`send_message`) stamp send times.
+    now_hint: u64,
     /// Observable protocol events (drained/inspected by the embedder).
     pub events: NodeEvents,
     /// Live instruments mirroring the `events` record sites (optional;
@@ -155,9 +164,11 @@ impl ProtocolNode {
             pending_acks: HashMap::new(),
             timer_purpose: HashMap::new(),
             retries: HashMap::new(),
+            inflight: HashMap::new(),
+            path_health: HashMap::new(),
             next_token: 1,
-            ack_timeout_us: DEFAULT_ACK_TIMEOUT_US,
-            max_retries: DEFAULT_MAX_RETRIES,
+            policy: PolicyConfig::default(),
+            now_hint: 0,
             events: NodeEvents::default(),
             telemetry: None,
         }
@@ -186,14 +197,52 @@ impl ProtocolNode {
 
     /// Override the end-to-end ack deadline.
     pub fn with_ack_timeout_us(mut self, us: u64) -> Self {
-        self.ack_timeout_us = us;
+        self.policy.ack_timeout_us = us;
         self
     }
 
     /// Override the per-segment retransmit budget.
     pub fn with_max_retries(mut self, retries: u32) -> Self {
-        self.max_retries = retries;
+        self.policy.max_retries = retries;
         self
+    }
+
+    /// Adopt a full retry/backoff policy (ack deadlines, retransmit
+    /// budget, health-biased path choice). The default policy reproduces
+    /// the historical behavior exactly.
+    pub fn with_policy(mut self, policy: &PolicyConfig) -> Self {
+        self.policy = *policy;
+        self
+    }
+
+    /// Override the relay half's per-entry state TTL (long soaks keep
+    /// idle paths alive past the 120 s production default with this).
+    pub fn with_state_ttl(mut self, ttl: SimDuration) -> Self {
+        self.relay = self.relay.with_state_ttl(ttl);
+        self
+    }
+
+    /// Stamp the caller's clock for entry points that take no `now_us`
+    /// of their own (`send_message`, `construct_paths`). [`handle`]
+    /// stamps it automatically.
+    ///
+    /// [`handle`]: ProtocolNode::handle
+    pub fn set_now(&mut self, now_us: u64) {
+        self.now_hint = now_us;
+    }
+
+    /// Wipe the relay half's forwarding state, as a crash-and-restart
+    /// would: in-flight traffic through this node starts dying with
+    /// `stateless_drops` until paths are rebuilt. Returns the number of
+    /// forward entries wiped. (Chaos harness hook.)
+    pub fn crash_relay_state(&mut self) -> usize {
+        self.relay.crash()
+    }
+
+    /// The health record of the path `sid`, if any ack or timeout has
+    /// been attributed to it.
+    pub fn path_health(&self, sid: StreamId) -> Option<&PeerHealth> {
+        self.path_health.get(&sid)
     }
 
     /// This node's identity.
@@ -285,6 +334,7 @@ impl ProtocolNode {
         self.want.insert(mid, msgs.len());
         self.acked.entry(mid).or_default();
         for (index, msg) in msgs.into_iter().enumerate() {
+            self.inflight.insert((mid, index), (msg.sid, self.now_hint));
             out.push(Output::Send {
                 to: msg.to,
                 frame: Frame::Stream {
@@ -292,7 +342,7 @@ impl ProtocolNode {
                     wire: Wire::Payload { blob: msg.blob },
                 },
             });
-            self.arm_ack_timer(mid, index, out);
+            self.arm_ack_timer(mid, index, 0, out);
         }
         Ok(())
     }
@@ -300,6 +350,7 @@ impl ProtocolNode {
     /// Feed one event into the state machine. `now_us` is the caller's
     /// clock (transport time); effects are appended to `out`.
     pub fn handle(&mut self, now_us: u64, input: Input, out: &mut Vec<Output>) {
+        self.now_hint = now_us;
         match input {
             Input::Frame { from, frame } => match frame {
                 // Hellos identify connections; transports consume them.
@@ -323,13 +374,20 @@ impl ProtocolNode {
         t
     }
 
-    fn arm_ack_timer(&mut self, mid: MessageId, index: usize, out: &mut Vec<Output>) {
+    /// The jitter salt identifying one segment's ack-deadline stream.
+    fn ack_salt(mid: MessageId, index: usize) -> u64 {
+        mid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index as u64
+    }
+
+    fn arm_ack_timer(&mut self, mid: MessageId, index: usize, retry: u32, out: &mut Vec<Output>) {
         let token = self.alloc_token();
         self.pending_acks.insert((mid, index), token);
         self.timer_purpose.insert(token, (mid, index));
         out.push(Output::SetTimer {
             token,
-            after_us: self.ack_timeout_us,
+            after_us: self
+                .policy
+                .ack_deadline_us(retry, Self::ack_salt(mid, index)),
         });
     }
 
@@ -461,6 +519,18 @@ impl ProtocolNode {
                                 self.timer_purpose.remove(&token);
                                 out.push(Output::CancelTimer { token });
                             }
+                            // Credit the path the segment last rode with
+                            // the round trip it just completed.
+                            if let Some((path_sid, sent_at)) = self.inflight.remove(&(mid, index)) {
+                                let rtt = now_us.saturating_sub(sent_at);
+                                self.path_health
+                                    .entry(path_sid)
+                                    .or_default()
+                                    .record_success(Some(rtt));
+                                if let Some(t) = &self.telemetry {
+                                    t.ack_rtt_us.record(rtt);
+                                }
+                            }
                             self.acked.entry(mid).or_default().insert(index);
                             self.events.acks.push((mid, index, now_us));
                             if let Some(t) = &self.telemetry {
@@ -511,9 +581,14 @@ impl ProtocolNode {
     }
 
     /// An armed ack deadline fired: record the timeout and retransmit
-    /// the segment over a *rotated* path (retry `r` of segment `i` rides
-    /// path `(i + r) mod k`), so a dead path is routed around instead of
-    /// hammered.
+    /// the segment over another path, so a dead path is routed around
+    /// instead of hammered.
+    ///
+    /// Path choice is pure rotation by default (retry `r` of segment `i`
+    /// rides path `(i + r) mod k` — the behavior the driver-equivalence
+    /// test pins). Under [`PolicyConfig::path_bias`] the rotation order
+    /// becomes a preference order and the healthiest path in it wins,
+    /// steering retries away from flapping relays.
     fn on_timer(&mut self, now_us: u64, token: u64, out: &mut Vec<Output>) {
         let Some((mid, index)) = self.timer_purpose.remove(&token) else {
             return; // stale token (cancelled and re-fired in a race)
@@ -526,12 +601,20 @@ impl ProtocolNode {
         if let Some(t) = &self.telemetry {
             t.ack_timeouts.inc();
         }
+        // Debit the path that failed to produce the ack.
+        if let Some(&(path_sid, _)) = self.inflight.get(&(mid, index)) {
+            self.path_health
+                .entry(path_sid)
+                .or_default()
+                .record_failure();
+        }
         let retry = self.retries.entry((mid, index)).or_insert(0);
         *retry += 1;
-        if *retry > self.max_retries {
+        if *retry > self.policy.max_retries {
+            self.inflight.remove(&(mid, index));
             return;
         }
-        let retry = *retry as usize;
+        let retry = *retry;
         let (Some(codec), Some(init), Some(message)) = (
             self.codec.as_ref(),
             self.initiator.as_ref(),
@@ -547,12 +630,29 @@ impl ProtocolNode {
         let Some(segment) = segments.get(index) else {
             return;
         };
-        let path = &init.paths()[(index + retry) % k];
+        let start = (index + retry as usize) % k;
+        let chosen = if self.policy.path_bias {
+            // Stable min over the rotation order: equal healths reduce
+            // to pure rotation, any difference routes around it.
+            (0..k)
+                .map(|off| (start + off) % k)
+                .min_by_key(|&p| {
+                    self.path_health
+                        .get(&init.paths()[p].sid)
+                        .map(|h| h.score())
+                        .unwrap_or((0, 0))
+                })
+                .unwrap_or(start)
+        } else {
+            start
+        };
+        let path = &init.paths()[chosen];
         let (blob, _) = build_payload_onion(&path.plan, mid, segment, None, &mut self.rng);
         self.events.retransmits += 1;
         if let Some(t) = &self.telemetry {
             t.retransmits.inc();
         }
+        self.inflight.insert((mid, index), (path.sid, now_us));
         out.push(Output::Send {
             to: path.plan.first_hop(),
             frame: Frame::Stream {
@@ -560,6 +660,6 @@ impl ProtocolNode {
                 wire: Wire::Payload { blob },
             },
         });
-        self.arm_ack_timer(mid, index, out);
+        self.arm_ack_timer(mid, index, retry, out);
     }
 }

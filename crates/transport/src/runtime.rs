@@ -47,7 +47,9 @@ impl<T: Transport> Runtime<T> {
         f: impl FnOnce(&mut ProtocolNode, &mut Vec<Output>) -> R,
     ) -> R {
         let mut out = Vec::new();
+        let now = self.transport.now_us();
         let node = self.nodes.get_mut(&id).expect("known node");
+        node.set_now(now);
         let r = f(node, &mut out);
         self.apply(id, out);
         r

@@ -1,5 +1,5 @@
 //! The live backend: the [`Transport`] trait over [`std::net`], with no
-//! async runtime — plain threads, blocking sockets and channels.
+//! async runtime — plain threads, blocking sockets and condvar queues.
 //!
 //! Threading model (for a node with `p` active peers):
 //!
@@ -10,47 +10,159 @@
 //!   [`Frame::Hello`] identifying the peer, every later frame is pushed
 //!   to the owner's inbox channel. A decode error drops the connection
 //!   (the peer will reconnect and re-identify).
-//! * **1 writer thread per outbound peer** — drains that peer's
-//!   outbound queue, (re)connecting on demand with bounded backoff. A
-//!   frame that cannot be delivered within the attempt budget is
-//!   *dropped*: undeliverable traffic is exactly the loss the
-//!   protocol's ack-deadline and erasure machinery recover from, so the
-//!   transport never blocks on a dead peer.
+//! * **1 writer thread per outbound peer** — drains that peer's bounded
+//!   `OutboundQueue`, (re)connecting on demand under the
+//!   [`PolicyConfig`] retry discipline: jittered exponential backoff, a
+//!   per-frame deadline budget, and a per-peer circuit breaker that
+//!   fails fast instead of queueing behind a dead peer. A frame a dying
+//!   connection took with it is retried while its deadline allows and
+//!   *counted* (`frames_dropped_reconnect`) when it cannot be — never
+//!   silently lost. Loss is still the contract: undeliverable traffic
+//!   is exactly what the protocol's ack-deadline and erasure machinery
+//!   recover from, so the transport never blocks on a dead peer.
 //! * **the caller's thread** — [`TcpTransport::poll`] multiplexes the
 //!   inbox against a monotonic-clock timer wheel (a binary heap of
 //!   deadlines), sleeping at most until the next deadline.
+//!
+//! Under overload the queue sheds by [`Priority`]: cover traffic first,
+//! then data, control last — graceful degradation drops the traffic
+//! whose only job was to exist before the traffic that keeps paths
+//! alive.
 //!
 //! Timers are the same ack-deadline machinery the simulation runs; the
 //! wheel gives them wall-clock semantics.
 
 use crate::config::Roster;
 use crate::instrument::{TcpTelemetry, WriterTelemetry};
+use crate::policy::{PolicyConfig, Priority};
 use crate::{Transport, TransportError, TransportEvent};
 use anon_core::wire::{encode_frame, Frame, FrameReader};
 use simnet::NodeId;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-
-/// Connect/write attempts per frame before it is dropped.
-const MAX_SEND_ATTEMPTS: u32 = 5;
 
 /// Read timeout letting reader threads notice shutdown.
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// Queue-wait timeout letting writer threads notice shutdown.
+const QUEUE_WAIT: Duration = Duration::from_millis(200);
+
 /// A heap entry: `(deadline_us, seq, owner, token)`, min-ordered.
 type TimerEntry = Reverse<(u64, u64, u32, u64)>;
+
+/// One frame waiting in a peer's outbound queue.
+struct QueueEntry {
+    prio: Priority,
+    frame: Frame,
+    /// Absolute delivery deadline on the transport clock; the writer
+    /// stops retrying a frame whose deadline has passed.
+    deadline_us: u64,
+}
+
+/// What [`OutboundQueue::push`] did with the frame.
+enum PushOutcome {
+    /// Accepted; queue depth grew by one.
+    Queued,
+    /// Accepted by shedding a lower-or-equal-class queued frame of the
+    /// returned class; depth unchanged.
+    QueuedShed(Priority),
+    /// Refused: the queue is full of frames at least as important.
+    Rejected(Priority),
+}
+
+struct QueueState {
+    entries: VecDeque<QueueEntry>,
+    closed: bool,
+}
+
+/// A bounded, priority-shedding MPSC queue between the transport thread
+/// and one writer thread.
+///
+/// Overflow never blocks and never grows the queue: the push sheds the
+/// first queued frame of the lowest class ≤ the incoming frame's class,
+/// or rejects the incoming frame itself when nothing lesser is queued.
+/// Cover traffic is therefore always the first casualty and control
+/// traffic the last (capacity `0` = unbounded, never sheds).
+struct OutboundQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl OutboundQueue {
+    fn new(capacity: usize) -> Self {
+        OutboundQueue {
+            state: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, entry: QueueEntry) -> PushOutcome {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return PushOutcome::Rejected(entry.prio);
+        }
+        let outcome = if self.capacity == 0 || st.entries.len() < self.capacity {
+            st.entries.push_back(entry);
+            PushOutcome::Queued
+        } else {
+            // Shed the first queued frame of the lowest class strictly
+            // below the incoming one; failing that, a same-class frame
+            // (oldest first); failing that, reject the newcomer.
+            let victim = (0..entry.prio as u8 + 1)
+                .filter_map(|class| st.entries.iter().position(|e| e.prio as u8 == class))
+                .next();
+            match victim {
+                Some(pos) => {
+                    let shed = st.entries.remove(pos).expect("victim position valid");
+                    st.entries.push_back(entry);
+                    PushOutcome::QueuedShed(shed.prio)
+                }
+                None => PushOutcome::Rejected(entry.prio),
+            }
+        };
+        drop(st);
+        self.ready.notify_one();
+        outcome
+    }
+
+    /// Block until a frame is available, the queue closes, or `shutdown`
+    /// flips (checked every [`QUEUE_WAIT`]).
+    fn pop(&self, shutdown: &AtomicBool) -> Option<QueueEntry> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(e) = st.entries.pop_front() {
+                return Some(e);
+            }
+            if st.closed || shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(st, QUEUE_WAIT).expect("queue lock");
+            st = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
 
 /// One outbound peer: its writer queue, plus the per-peer instruments
 /// shared with the writer thread (when telemetry is attached).
 struct Peer {
-    tx: Sender<Frame>,
+    queue: Arc<OutboundQueue>,
     telemetry: Option<WriterTelemetry>,
 }
 
@@ -58,6 +170,7 @@ struct Peer {
 pub struct TcpTransport {
     local: NodeId,
     roster: Roster,
+    policy: PolicyConfig,
     epoch: Instant,
     inbox_rx: Receiver<(NodeId, Frame)>,
     peers: HashMap<NodeId, Peer>,
@@ -81,9 +194,11 @@ impl TcpTransport {
         let (inbox_tx, inbox_rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
         spawn_acceptor(listener, inbox_tx, shutdown.clone());
+        let policy = roster.policy;
         Ok(TcpTransport {
             local,
             roster,
+            policy,
             epoch: Instant::now(),
             inbox_rx,
             peers: HashMap::new(),
@@ -100,6 +215,18 @@ impl TcpTransport {
     /// peers contacted earlier run uninstrumented.
     pub fn set_telemetry(&mut self, telemetry: TcpTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Replace the retry/backoff/shed policy. Call before the first
+    /// `send`: writer threads copy the policy when spawned, so peers
+    /// contacted earlier keep the policy they started with.
+    pub fn set_policy(&mut self, policy: PolicyConfig) {
+        self.policy = policy;
+    }
+
+    /// The policy writer threads are spawned with.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
     }
 
     /// The node this transport is bound as.
@@ -135,6 +262,31 @@ impl TcpTransport {
     fn next_deadline(&self) -> Option<u64> {
         self.timers.peek().map(|&Reverse((d, ..))| d)
     }
+
+    /// The peer record for `to`, spawning its writer thread on first use.
+    fn peer(&mut self, to: NodeId) -> Result<&Peer, TransportError> {
+        if !self.peers.contains_key(&to) {
+            let addr = self
+                .roster
+                .addr(to)
+                .ok_or(TransportError::UnknownPeer(to))?
+                .to_string();
+            let queue = Arc::new(OutboundQueue::new(self.policy.queue_capacity));
+            let telemetry = self.telemetry.as_ref().map(|t| t.writer(to));
+            spawn_writer(WriterCtx {
+                local: self.local,
+                peer: to,
+                addr,
+                queue: queue.clone(),
+                shutdown: self.shutdown.clone(),
+                telemetry: telemetry.clone(),
+                policy: self.policy,
+                epoch: self.epoch,
+            });
+            self.peers.insert(to, Peer { queue, telemetry });
+        }
+        Ok(&self.peers[&to])
+    }
 }
 
 impl Transport for TcpTransport {
@@ -142,35 +294,52 @@ impl Transport for TcpTransport {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    fn send(&mut self, _from: NodeId, to: NodeId, frame: Frame) -> Result<(), TransportError> {
-        let peer = match self.peers.get(&to) {
-            Some(p) => p,
-            None => {
-                let addr = self
-                    .roster
-                    .addr(to)
-                    .ok_or(TransportError::UnknownPeer(to))?
-                    .to_string();
-                let (tx, rx) = mpsc::channel();
-                let telemetry = self.telemetry.as_ref().map(|t| t.writer(to));
-                spawn_writer(
-                    self.local,
-                    addr,
-                    rx,
-                    self.shutdown.clone(),
-                    telemetry.clone(),
-                );
-                self.peers.entry(to).or_insert(Peer { tx, telemetry })
+    fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), TransportError> {
+        let prio = Priority::of(&frame);
+        self.send_prioritized(from, to, frame, prio)
+    }
+
+    fn send_prioritized(
+        &mut self,
+        _from: NodeId,
+        to: NodeId,
+        frame: Frame,
+        prio: Priority,
+    ) -> Result<(), TransportError> {
+        let deadline_us = self.now_us().saturating_add(self.policy.frame_deadline_us);
+        let peer = self.peer(to)?;
+        let outcome = peer.queue.push(QueueEntry {
+            prio,
+            frame,
+            deadline_us,
+        });
+        let wt = peer.telemetry.clone();
+        match outcome {
+            PushOutcome::Queued => {
+                if let Some(wt) = &wt {
+                    wt.queue_depth.add(1);
+                }
+                if let Some(t) = &self.telemetry {
+                    t.frames_enqueued.inc();
+                }
             }
-        };
-        // The writer thread only exits at shutdown, so this cannot fail
-        // while the transport lives.
-        let _ = peer.tx.send(frame);
-        if let Some(wt) = &peer.telemetry {
-            wt.queue_depth.add(1);
-        }
-        if let Some(t) = &self.telemetry {
-            t.frames_enqueued.inc();
+            PushOutcome::QueuedShed(class) => {
+                // One in, one out: depth unchanged, the shed victim is
+                // loss the protocol recovers from.
+                if let Some(wt) = &wt {
+                    wt.shed(class).inc();
+                    wt.frames_dropped.inc();
+                }
+                if let Some(t) = &self.telemetry {
+                    t.frames_enqueued.inc();
+                }
+            }
+            PushOutcome::Rejected(class) => {
+                if let Some(wt) = &wt {
+                    wt.shed(class).inc();
+                    wt.frames_dropped.inc();
+                }
+            }
         }
         Ok(())
     }
@@ -227,8 +396,11 @@ impl Transport for TcpTransport {
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Dropping the queues unblocks the writer threads; readers exit
+        // Closing the queues unblocks the writer threads; readers exit
         // within one read timeout.
+        for peer in self.peers.values() {
+            peer.queue.close();
+        }
         self.peers.clear();
     }
 }
@@ -297,65 +469,140 @@ fn spawn_reader(stream: TcpStream, inbox_tx: Sender<(NodeId, Frame)>, shutdown: 
     });
 }
 
-/// Drain one peer's outbound queue, (re)connecting with bounded backoff
-/// and dropping frames that exhaust their attempt budget.
-fn spawn_writer(
+/// Everything one writer thread needs, bundled.
+struct WriterCtx {
     local: NodeId,
+    peer: NodeId,
     addr: String,
-    rx: Receiver<Frame>,
+    queue: Arc<OutboundQueue>,
     shutdown: Arc<AtomicBool>,
     telemetry: Option<WriterTelemetry>,
-) {
-    thread::spawn(move || {
-        let hello = encode_frame(&Frame::Hello { node: local });
-        let mut stream: Option<TcpStream> = None;
-        while let Ok(frame) = rx.recv() {
-            if let Some(t) = &telemetry {
-                t.queue_depth.sub(1);
+    policy: PolicyConfig,
+    epoch: Instant,
+}
+
+/// Why the writer abandoned a frame.
+enum Abandon {
+    /// Deadline passed while (re)connecting — the frame never left.
+    Deadline,
+    /// Deadline passed after a write error — the dying connection took
+    /// the frame with it and the budget ran out before a retry landed.
+    Reconnect,
+    /// The breaker is open: fail fast instead of burning the budget.
+    BreakerOpen,
+}
+
+fn spawn_writer(ctx: WriterCtx) {
+    thread::spawn(move || writer_loop(ctx));
+}
+
+/// Drain one peer's outbound queue under the policy's retry discipline.
+fn writer_loop(ctx: WriterCtx) {
+    let hello = encode_frame(&Frame::Hello { node: ctx.local });
+    let backoff = ctx.policy.reconnect();
+    let salt = ctx.peer.0 as u64;
+    let mut breaker = ctx.policy.breaker();
+    let mut stream: Option<TcpStream> = None;
+    while let Some(entry) = ctx.queue.pop(&ctx.shutdown) {
+        if let Some(t) = &ctx.telemetry {
+            t.queue_depth.sub(1);
+        }
+        let bytes = encode_frame(&entry.frame);
+        let mut attempt = 0u32;
+        // Did a live connection already fail mid-frame? Distinguishes a
+        // reconnect loss from a frame that never left the queue.
+        let mut write_failed = false;
+        let abandoned = loop {
+            if ctx.shutdown.load(Ordering::Relaxed) {
+                return;
             }
-            let bytes = encode_frame(&frame);
-            let mut attempt = 0u32;
-            let delivered = loop {
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                if stream.is_none() {
-                    match TcpStream::connect(&addr) {
-                        Ok(mut s) => {
-                            let _ = s.set_nodelay(true);
-                            if s.write_all(&hello).is_ok() {
-                                if let Some(t) = &telemetry {
-                                    t.connects.inc();
-                                }
-                                stream = Some(s);
-                            } else if let Some(t) = &telemetry {
-                                t.connect_failures.inc();
+            let now = ctx.epoch.elapsed().as_micros() as u64;
+            if now >= entry.deadline_us {
+                break Some(if write_failed {
+                    Abandon::Reconnect
+                } else {
+                    Abandon::Deadline
+                });
+            }
+            if !breaker.check(now) {
+                break Some(Abandon::BreakerOpen);
+            }
+            if stream.is_none() {
+                match connect(&ctx.addr, &hello) {
+                    Ok(s) => {
+                        if let Some(t) = &ctx.telemetry {
+                            t.connects.inc();
+                        }
+                        if breaker.record_success() {
+                            if let Some(t) = &ctx.telemetry {
+                                t.breaker_recoveries.inc();
                             }
                         }
-                        Err(_) => {
-                            if let Some(t) = &telemetry {
-                                t.connect_failures.inc();
+                        stream = Some(s);
+                    }
+                    Err(_) => {
+                        if let Some(t) = &ctx.telemetry {
+                            t.connect_failures.inc();
+                        }
+                        if breaker.record_failure(now) {
+                            if let Some(t) = &ctx.telemetry {
+                                t.breaker_trips.inc();
                             }
                         }
+                        attempt += 1;
+                        // Sleep the jittered backoff, but never past the
+                        // frame's remaining budget.
+                        let budget = entry.deadline_us - now;
+                        let delay = backoff.delay_us(attempt, salt).min(budget);
+                        thread::sleep(Duration::from_micros(delay));
+                        continue;
                     }
                 }
-                if let Some(s) = stream.as_mut() {
-                    match s.write_all(&bytes) {
-                        Ok(()) => break true,
-                        Err(_) => stream = None, // reconnect-on-drop
+            }
+            if let Some(s) = stream.as_mut() {
+                match s.write_all(&bytes) {
+                    Ok(()) => {
+                        if breaker.record_success() {
+                            if let Some(t) = &ctx.telemetry {
+                                t.breaker_recoveries.inc();
+                            }
+                        }
+                        break None; // delivered
+                    }
+                    Err(_) => {
+                        // The connection died with the frame possibly
+                        // half-written: reconnect and resend it while
+                        // the deadline allows (requeue-or-count).
+                        stream = None;
+                        write_failed = true;
+                        if breaker.record_failure(now) {
+                            if let Some(t) = &ctx.telemetry {
+                                t.breaker_trips.inc();
+                            }
+                        }
+                        attempt += 1;
+                        let budget = entry.deadline_us - now;
+                        let delay = backoff.delay_us(attempt, salt).min(budget);
+                        thread::sleep(Duration::from_micros(delay));
                     }
                 }
-                attempt += 1;
-                if attempt >= MAX_SEND_ATTEMPTS {
-                    break false; // drop the frame: loss, not deadlock
-                }
-                thread::sleep(Duration::from_millis(10 << attempt.min(4)));
-            };
-            if !delivered {
-                if let Some(t) = &telemetry {
-                    t.frames_dropped.inc();
+            }
+        };
+        if let Some(reason) = abandoned {
+            if let Some(t) = &ctx.telemetry {
+                t.frames_dropped.inc();
+                if matches!(reason, Abandon::Reconnect) {
+                    t.frames_dropped_reconnect.inc();
                 }
             }
         }
-    });
+    }
+}
+
+/// Connect and send the identifying Hello, as one fallible step.
+fn connect(addr: &str, hello: &[u8]) -> std::io::Result<TcpStream> {
+    let mut s = TcpStream::connect(addr)?;
+    let _ = s.set_nodelay(true);
+    s.write_all(hello)?;
+    Ok(s)
 }

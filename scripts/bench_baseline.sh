@@ -39,6 +39,12 @@ fi
 ./target/release/perf $QUICK --out BENCH_simulator.json
 echo "baseline written to BENCH_simulator.json"
 
+# Chaos soak throughput: thousands of faulted protocol rounds through
+# the live stack; rounds_per_sec is the tracked number. The harness
+# asserts its own recovery invariants and exits nonzero if any break.
+./target/release/chaos_soak $QUICK --out BENCH_chaos_soak.json
+echo "chaos soak written to BENCH_chaos_soak.json"
+
 # Append this run to the history as a single JSON line tagged with the
 # UTC timestamp, commit, and mode, preserving every previous baseline.
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -49,6 +55,12 @@ MODE="full"
   printf '{"timestamp":"%s","commit":"%s","mode":"%s","results":' \
     "$STAMP" "$COMMIT" "$MODE"
   tr -d '\n' < BENCH_simulator.json
+  printf '}\n'
+} >> BENCH_HISTORY.jsonl
+{
+  printf '{"timestamp":"%s","commit":"%s","mode":"%s-chaos-soak","results":' \
+    "$STAMP" "$COMMIT" "$MODE"
+  tr -d '\n' < BENCH_chaos_soak.json
   printf '}\n'
 } >> BENCH_HISTORY.jsonl
 echo "history appended to BENCH_HISTORY.jsonl ($STAMP, $COMMIT, $MODE)"
