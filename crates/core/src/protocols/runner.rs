@@ -524,7 +524,11 @@ pub fn run_recovery_experiment_instrumented(
     let mut driver = Driver::new(
         cfg.world.n,
         world.schedule.clone(),
-        world.latency.clone(),
+        world
+            .latency
+            .as_matrix()
+            .expect("message-level runs use matrix-backed topologies")
+            .clone(),
         initiator_id,
         cfg.world.seed ^ 0xD21F,
     )

@@ -1,7 +1,8 @@
 //! The trajectory-level simulation world: the paper's evaluation substrate.
 //!
-//! A [`World`] bundles the ground-truth churn schedule, the latency matrix
-//! and the gossip-driven membership layer. Path construction and message
+//! A [`World`] bundles the ground-truth churn schedule, the latency model
+//! (dense matrix at paper scale, O(1)-memory procedural at 100k–1M nodes)
+//! and the membership layer. Path construction and message
 //! delivery are evaluated hop by hop against the schedule: a message
 //! leaving node `a` at time `t` reaches node `b` at `t + owd(a, b)` and
 //! survives only if `b` is up at the arrival instant — exactly the
@@ -14,7 +15,7 @@ use membership::{MembershipConfig, MembershipLayer, NodeCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{
-    ChurnEvent, ChurnSchedule, LatencyMatrix, LifetimeDistribution, NodeId, SimDuration, SimTime,
+    ChurnEvent, ChurnSchedule, Latency, LifetimeDistribution, NodeId, SimDuration, SimTime,
     TopologyKind,
 };
 use std::cell::Cell;
@@ -161,8 +162,9 @@ pub struct World {
     pub cfg: WorldConfig,
     /// Ground-truth churn.
     pub schedule: ChurnSchedule,
-    /// Pairwise one-way delays.
-    pub latency: LatencyMatrix,
+    /// Pairwise one-way delays (dense matrix or O(1)-memory procedural,
+    /// depending on `cfg.topology`).
+    pub latency: Latency,
     /// Membership/liveness layer.
     pub membership: MembershipLayer,
     /// The world's RNG (mix choice, gossip, jitter).
@@ -191,7 +193,7 @@ impl World {
             cfg.horizon + cfg.schedule_margin,
             &mut rng,
         );
-        let latency = cfg.topology.latency_matrix(cfg.n, cfg.avg_rtt_ms, &mut rng);
+        let latency = cfg.topology.latency_model(cfg.n, cfg.avg_rtt_ms, &mut rng);
         let membership = MembershipLayer::new(cfg.n, cfg.membership, &mut rng);
         for &event in &cfg.churn_events {
             schedule.apply_event(event, &cfg.lifetime, &mut rng);
@@ -217,6 +219,20 @@ impl World {
     /// Advance the membership layer to `t`.
     pub fn advance_gossip(&mut self, t: SimTime) {
         self.membership.advance(&self.schedule, t, &mut self.rng);
+    }
+
+    /// Materialize `node`'s membership view at `now`.
+    ///
+    /// Required before mix choice on the sampled layer (large-`n` worlds
+    /// hold no per-node state until asked); a no-op on the full layers,
+    /// which already hold every node's cache.
+    pub fn track_node(&mut self, node: NodeId, now: SimTime) {
+        self.membership.track(node, &self.schedule, now);
+    }
+
+    /// Release `node`'s materialized view (no-op on the full layers).
+    pub fn untrack_node(&mut self, node: NodeId) {
+        self.membership.untrack(node);
     }
 
     /// The membership cache of `node` (for mix choice).
@@ -686,6 +702,61 @@ mod tests {
             assert_ne!(*hop, NodeId(0));
             assert_ne!(*hop, NodeId(1));
         }
+    }
+
+    #[test]
+    fn king_world_latency_is_the_legacy_matrix_bit_for_bit() {
+        // The pluggable-model refactor must not move the King path off the
+        // historical dense matrix: same seed, same draws, same bytes.
+        let w = tiny_world(7);
+        assert_eq!(w.latency.label(), "matrix");
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = ChurnSchedule::generate(
+            w.cfg.n,
+            &w.cfg.lifetime,
+            &w.cfg.downtime,
+            w.cfg.horizon + w.cfg.schedule_margin,
+            &mut rng,
+        );
+        let legacy = TopologyKind::King.latency_matrix(w.cfg.n, w.cfg.avg_rtt_ms, &mut rng);
+        let got = w.latency.as_matrix().expect("king is matrix-backed");
+        for a in 0..w.cfg.n {
+            for b in 0..w.cfg.n {
+                assert_eq!(
+                    got.owd(NodeId::from(a), NodeId::from(b)),
+                    legacy.owd(NodeId::from(a), NodeId::from(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn procedural_sampled_world_runs_flows_without_dense_state() {
+        // A 50k-node world must build fast and run flows end to end; with
+        // the dense matrix this would be 20 GB of latency entries.
+        let mut w = World::new(WorldConfig {
+            n: 50_000,
+            topology: simnet::TopologyKind::Procedural,
+            membership: MembershipConfig::sampled_default(),
+            horizon: SimTime::from_secs(600),
+            schedule_margin: SimDuration::from_secs(600),
+            ..WorldConfig::paper_default(42)
+        });
+        assert_eq!(w.latency.label(), "procedural");
+        let t = SimTime::from_secs(120);
+        w.advance_gossip(t);
+        let initiator = w.random_live_node(&[], t).expect("network not empty");
+        w.track_node(initiator, t);
+        let responder = w
+            .random_live_node(&[initiator], t)
+            .expect("network not empty");
+        let path = w
+            .pick_replacement_path(initiator, responder, &[], MixStrategy::Biased, t)
+            .expect("sampled view yields a path");
+        assert_eq!(path.len(), 3);
+        let out = w.construct_path(initiator, &path, responder, t);
+        assert!(out.links >= 1);
+        w.untrack_node(initiator);
     }
 
     #[test]

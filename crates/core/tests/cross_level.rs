@@ -42,7 +42,11 @@ fn trajectory_level_matches_driver_ground_truth() {
     let responder_id = NodeId(1);
     let mut world = validation_world();
     let schedule = world.schedule.clone();
-    let latency = world.latency.clone();
+    let latency = world
+        .latency
+        .as_matrix()
+        .expect("validation worlds use matrix-backed topologies")
+        .clone();
     let codec = ErasureCodec::new(1, 4).unwrap(); // SimEra(k=4, r=4)
     let k = 4;
 

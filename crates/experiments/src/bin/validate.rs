@@ -48,7 +48,11 @@ fn main() {
     let mut world = World::new(cfg.clone());
     world.pin_up(&[initiator_id, responder_id]);
     let schedule = world.schedule.clone();
-    let latency = world.latency.clone();
+    let latency = world
+        .latency
+        .as_matrix()
+        .expect("validation worlds use matrix-backed topologies")
+        .clone();
 
     let codec = ErasureCodec::new(1, 4).unwrap(); // SimEra(k=4, r=4)
     let k = 4;

@@ -5,6 +5,7 @@
 use crate::cache::NodeCache;
 use crate::gossip::{GossipConfig, GossipSim};
 use crate::onehop::{OneHopConfig, OneHopSim};
+use crate::sampled::{SampledConfig, SampledView};
 use rand::Rng;
 use simnet::{ChurnSchedule, NodeId, SimTime};
 
@@ -16,6 +17,9 @@ pub enum MembershipConfig {
     /// Hierarchical OneHop dissemination (what the paper's evaluation ran
     /// on).
     OneHop(OneHopConfig),
+    /// Seed-deterministic sampled views with bounded-staleness ground-truth
+    /// observations — the O(sample) layer for 100k–1M-node worlds.
+    Sampled(SampledConfig),
 }
 
 impl Default for MembershipConfig {
@@ -30,11 +34,17 @@ impl MembershipConfig {
         MembershipConfig::OneHop(OneHopConfig::default())
     }
 
+    /// Sampled views with default parameters.
+    pub fn sampled_default() -> Self {
+        MembershipConfig::Sampled(SampledConfig::default())
+    }
+
     /// Short label for experiment tables.
     pub fn label(&self) -> &'static str {
         match self {
             MembershipConfig::Gossip(_) => "gossip",
             MembershipConfig::OneHop(_) => "onehop",
+            MembershipConfig::Sampled(_) => "sampled",
         }
     }
 }
@@ -45,6 +55,8 @@ pub enum MembershipLayer {
     Gossip(GossipSim),
     /// OneHop instance.
     OneHop(OneHopSim),
+    /// Sampled-view instance (only tracked nodes hold state).
+    Sampled(SampledView),
 }
 
 impl MembershipLayer {
@@ -53,6 +65,7 @@ impl MembershipLayer {
         match cfg {
             MembershipConfig::Gossip(g) => MembershipLayer::Gossip(GossipSim::new(n, g, rng)),
             MembershipConfig::OneHop(o) => MembershipLayer::OneHop(OneHopSim::new(n, o)),
+            MembershipConfig::Sampled(s) => MembershipLayer::Sampled(SampledView::new(n, s, rng)),
         }
     }
 
@@ -61,14 +74,35 @@ impl MembershipLayer {
         match self {
             MembershipLayer::Gossip(g) => g.advance(schedule, until, rng),
             MembershipLayer::OneHop(o) => o.advance(schedule, until, rng),
+            MembershipLayer::Sampled(s) => s.advance(schedule, until),
+        }
+    }
+
+    /// Materialize `node`'s view at `now` (sampled layer only; the full
+    /// layers already hold every node's cache, so this is a no-op there).
+    pub fn track(&mut self, node: NodeId, schedule: &ChurnSchedule, now: SimTime) {
+        if let MembershipLayer::Sampled(s) = self {
+            s.track(node, schedule, now);
+        }
+    }
+
+    /// Release `node`'s materialized view (no-op for the full layers).
+    pub fn untrack(&mut self, node: NodeId) {
+        if let MembershipLayer::Sampled(s) = self {
+            s.untrack(node);
         }
     }
 
     /// A node's membership cache.
+    ///
+    /// # Panics
+    /// On the sampled layer, panics for nodes that were never
+    /// [`MembershipLayer::track`]ed.
     pub fn cache(&self, node: NodeId) -> &NodeCache {
         match self {
             MembershipLayer::Gossip(g) => g.cache(node),
             MembershipLayer::OneHop(o) => o.cache(node),
+            MembershipLayer::Sampled(s) => s.cache(node),
         }
     }
 
@@ -77,6 +111,7 @@ impl MembershipLayer {
         match self {
             MembershipLayer::Gossip(g) => g.cache_mut(node),
             MembershipLayer::OneHop(o) => o.cache_mut(node),
+            MembershipLayer::Sampled(s) => s.cache_mut(node),
         }
     }
 
@@ -85,6 +120,7 @@ impl MembershipLayer {
         match self {
             MembershipLayer::Gossip(g) => g.now(),
             MembershipLayer::OneHop(o) => o.now(),
+            MembershipLayer::Sampled(s) => s.now(),
         }
     }
 }
@@ -122,5 +158,27 @@ mod tests {
     fn labels() {
         assert_eq!(MembershipConfig::default().label(), "gossip");
         assert_eq!(MembershipConfig::onehop_default().label(), "onehop");
+        assert_eq!(MembershipConfig::sampled_default().label(), "sampled");
+    }
+
+    #[test]
+    fn sampled_layer_tracks_behind_the_same_api() {
+        let n = 64;
+        let horizon = SimTime::from_secs(600);
+        let dist = LifetimeDistribution::pareto_with_median(300.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let schedule = ChurnSchedule::generate(n, &dist, &dist, horizon, &mut rng);
+        let mut layer = MembershipLayer::new(n, MembershipConfig::sampled_default(), &mut rng);
+        let t = SimTime::from_secs(120);
+        layer.track(NodeId(0), &schedule, t);
+        assert_eq!(layer.cache(NodeId(0)).len(), n - 1);
+        layer.cache_mut(NodeId(0)).record_death(NodeId(1), t);
+        assert_eq!(layer.cache(NodeId(0)).predictor(NodeId(1), t), Some(0.0));
+        layer.untrack(NodeId(0));
+        // track/untrack are no-ops on the full layers.
+        let mut gossip = MembershipLayer::new(n, MembershipConfig::default(), &mut rng);
+        gossip.track(NodeId(0), &schedule, t);
+        gossip.untrack(NodeId(0));
+        assert_eq!(gossip.cache(NodeId(0)).len(), n - 1);
     }
 }

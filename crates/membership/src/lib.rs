@@ -19,18 +19,25 @@
 //!   rules.
 //! * [`gossip`] — a round-based epidemic protocol driving caches across a
 //!   churning network.
+//! * [`onehop`] — hierarchical OneHop dissemination.
+//! * [`sampled`] — seed-deterministic sampled views with bounded-staleness
+//!   ground-truth observations; O(sample) state for 100k–1M-node worlds.
+//! * [`layer`] — the [`MembershipLayer`] facade the experiments swap
+//!   substrates through.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod gossip;
 pub mod layer;
 pub mod liveness;
 pub mod onehop;
+pub mod sampled;
 
 pub use cache::{CacheEntry, NodeCache};
 pub use gossip::{GossipConfig, GossipSim};
 pub use layer::{MembershipConfig, MembershipLayer};
 pub use liveness::{predictor, survival_probability, LivenessInfo};
 pub use onehop::{OneHopConfig, OneHopSim};
+pub use sampled::{SampledConfig, SampledView};

@@ -110,7 +110,7 @@ pub struct Scenario {
     pub hops: usize,
     /// Target mean RTT of the latency model.
     pub avg_rtt_ms: f64,
-    /// Membership layer (gossip or OneHop).
+    /// Membership layer (gossip, OneHop, or sampled).
     pub membership: MembershipConfig,
     /// Measurement warm-up.
     pub warmup: SimTime,
@@ -333,9 +333,12 @@ fn parse_topology(root: &Table) -> Result<TopologyKind, SpecError> {
             groups: get_usize(t, "topology", "groups", 2)?.max(1),
             cross_penalty: get_f64(t, "topology", "cross_penalty", 50.0)?,
         }),
+        "procedural" => Ok(TopologyKind::Procedural),
         other => key_err(
             "topology.kind",
-            format!("unknown topology `{other}` (king, scale-free, star, ring, partitioned)"),
+            format!(
+                "unknown topology `{other}` (king, scale-free, star, ring, partitioned, procedural)"
+            ),
         ),
     }
 }
@@ -670,10 +673,11 @@ impl Scenario {
                     let membership = match get_str(w, "world", "membership", "gossip")?.as_str() {
                         "gossip" => MembershipConfig::default(),
                         "onehop" => MembershipConfig::onehop_default(),
+                        "sampled" => MembershipConfig::sampled_default(),
                         other => {
                             return key_err(
                                 "world.membership",
-                                format!("unknown membership `{other}` (gossip, onehop)"),
+                                format!("unknown membership `{other}` (gossip, onehop, sampled)"),
                             )
                         }
                     };

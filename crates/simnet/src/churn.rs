@@ -203,9 +203,21 @@ impl ChurnEvent {
 
 /// Ground-truth churn schedule: every node's up-intervals, pre-generated
 /// for the whole simulation horizon.
+///
+/// Storage is struct-of-arrays: all sessions live in one pooled `Vec` in
+/// node order, with a CSR-style offset table mapping a node to its span.
+/// A 1M-node schedule is therefore two flat allocations instead of one
+/// million per-node `Vec`s — the layout that lets `World` construction
+/// stay O(N) at scale, and keeps `is_up` queries cache-friendly (a span
+/// is a contiguous slice). Node ids are compact `u32` indices
+/// ([`NodeId`]); the offset table is indexed directly by them.
 #[derive(Clone)]
 pub struct ChurnSchedule {
-    sessions: Vec<Vec<Session>>,
+    /// Pooled session storage: node `i`'s sessions are
+    /// `sessions[offsets[i]..offsets[i + 1]]`, each span time-ordered.
+    sessions: Vec<Session>,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
     horizon: SimTime,
 }
 
@@ -214,6 +226,10 @@ impl ChurnSchedule {
     /// at time 0 (the paper runs one warm-up hour before measuring, so the
     /// synchronous start transient is discarded). Both up and down interval
     /// lengths are drawn from `lifetimes` / `downtimes` respectively.
+    ///
+    /// The RNG draw order (per node: lifetime, downtime, lifetime, …) is
+    /// part of the determinism contract and predates the pooled layout;
+    /// schedules are bit-identical to those generated before it.
     pub fn generate<R: Rng>(
         n: usize,
         lifetimes: &LifetimeDistribution,
@@ -221,22 +237,27 @@ impl ChurnSchedule {
         horizon: SimTime,
         rng: &mut R,
     ) -> Self {
-        let mut sessions = Vec::with_capacity(n);
+        let mut sessions = Vec::with_capacity(n * 2);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
         for _ in 0..n {
-            let mut node_sessions = Vec::new();
             let mut t = SimTime::ZERO;
             while t < horizon {
                 let up = lifetimes.sample(rng);
                 let end = (t + up).min(horizon);
                 if end > t {
-                    node_sessions.push(Session { start: t, end });
+                    sessions.push(Session { start: t, end });
                 }
                 let down = downtimes.sample(rng);
                 t = end + down;
             }
-            sessions.push(node_sessions);
+            offsets.push(sessions.len());
         }
-        ChurnSchedule { sessions, horizon }
+        ChurnSchedule {
+            sessions,
+            offsets,
+            horizon,
+        }
     }
 
     /// Every node up for the whole horizon (no churn).
@@ -246,8 +267,41 @@ impl ChurnSchedule {
             end: horizon,
         };
         ChurnSchedule {
-            sessions: vec![vec![s]; n],
+            sessions: vec![s; n],
+            offsets: (0..=n).collect(),
             horizon,
+        }
+    }
+
+    /// Build a schedule from explicit per-node session lists (tests and
+    /// hand-crafted scenarios). Each list must be time-ordered and
+    /// non-overlapping.
+    pub fn from_sessions(per_node: Vec<Vec<Session>>, horizon: SimTime) -> Self {
+        let mut sessions = Vec::with_capacity(per_node.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(per_node.len() + 1);
+        offsets.push(0);
+        for node_sessions in per_node {
+            sessions.extend(node_sessions);
+            offsets.push(sessions.len());
+        }
+        ChurnSchedule {
+            sessions,
+            offsets,
+            horizon,
+        }
+    }
+
+    /// Replace node `i`'s span with `new`, shifting the pooled storage and
+    /// fixing up the offset table. O(total sessions) worst case — fine for
+    /// the handful of pins/events the experiments apply, not a hot path.
+    fn splice_node(&mut self, i: usize, new: Vec<Session>) {
+        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        let delta = new.len() as isize - (end - start) as isize;
+        self.sessions.splice(start..end, new);
+        if delta != 0 {
+            for off in &mut self.offsets[i + 1..] {
+                *off = (*off as isize + delta) as usize;
+            }
         }
     }
 
@@ -255,20 +309,29 @@ impl ChurnSchedule {
     /// and responder). The session end is placed far beyond the horizon so
     /// pinned nodes never register as failing.
     pub fn pin_up(&mut self, node: NodeId) {
-        self.sessions[node.index()] = vec![Session {
-            start: SimTime::ZERO,
-            end: SimTime(u64::MAX / 2),
-        }];
+        self.splice_node(
+            node.index(),
+            vec![Session {
+                start: SimTime::ZERO,
+                end: SimTime(u64::MAX / 2),
+            }],
+        );
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the schedule covers zero nodes.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.len() == 0
+    }
+
+    /// Total number of sessions across all nodes (the pooled storage
+    /// footprint; the `scale` experiment reports it).
+    pub fn total_sessions(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Simulation horizon.
@@ -276,14 +339,15 @@ impl ChurnSchedule {
         self.horizon
     }
 
-    /// All sessions of a node, in time order.
+    /// All sessions of a node, in time order (a contiguous slice of the
+    /// pooled storage).
     pub fn sessions(&self, node: NodeId) -> &[Session] {
-        &self.sessions[node.index()]
+        &self.sessions[self.offsets[node.index()]..self.offsets[node.index() + 1]]
     }
 
     /// The session containing `t`, if the node is up at `t`.
     pub fn session_at(&self, node: NodeId, t: SimTime) -> Option<&Session> {
-        let sessions = &self.sessions[node.index()];
+        let sessions = self.sessions(node);
         // Sessions are sorted by start; binary search for the candidate.
         let idx = sessions.partition_point(|s| s.start <= t);
         idx.checked_sub(1)
@@ -316,13 +380,13 @@ impl ChurnSchedule {
 
     /// Fraction of nodes up at `t`.
     pub fn availability_at(&self, t: SimTime) -> f64 {
-        if self.sessions.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let up = (0..self.sessions.len())
+        let up = (0..self.len())
             .filter(|&i| self.is_up(NodeId::from(i), t))
             .count();
-        up as f64 / self.sessions.len() as f64
+        up as f64 / self.len() as f64
     }
 
     /// Apply a scripted [`ChurnEvent`] on top of the generated schedule.
@@ -341,28 +405,33 @@ impl ChurnSchedule {
                 if at >= self.horizon {
                     return;
                 }
-                for i in 0..self.sessions.len() {
+                for i in 0..self.len() {
                     let node = NodeId::from(i);
                     let hit = rng.gen::<f64>() < fraction;
                     if self.is_up(node, at) || !hit {
                         continue;
                     }
                     let up = lifetimes.sample(rng);
-                    let sessions = &mut self.sessions[i];
-                    let idx = sessions.partition_point(|s| s.start <= at);
+                    let span_start = self.offsets[i];
+                    let span = self.sessions(node);
+                    let idx = span.partition_point(|s| s.start <= at);
                     // Keep a strict gap after the previous session (whose
                     // end may coincide with `at`) and before the next one,
                     // and stay inside the horizon.
                     let mut start = at;
-                    if let Some(prev) = idx.checked_sub(1).map(|p| &sessions[p]) {
+                    if let Some(prev) = idx.checked_sub(1).map(|p| span[p]) {
                         start = start.max(SimTime(prev.end.0 + 1));
                     }
                     let mut end = (start + up).min(self.horizon);
-                    if let Some(next) = sessions.get(idx) {
+                    if let Some(next) = span.get(idx) {
                         end = end.min(SimTime(next.start.0.saturating_sub(1)));
                     }
                     if end > start {
-                        sessions.insert(idx, Session { start, end });
+                        self.sessions
+                            .insert(span_start + idx, Session { start, end });
+                        for off in &mut self.offsets[i + 1..] {
+                            *off += 1;
+                        }
                     }
                 }
             }
@@ -372,27 +441,36 @@ impl ChurnSchedule {
                 downtime,
             } => {
                 let back_up = at + downtime.max(SimDuration(1));
-                for i in 0..self.sessions.len() {
+                for i in 0..self.len() {
                     let node = NodeId::from(i);
                     let hit = rng.gen::<f64>() < fraction;
                     if !self.is_up(node, at) || !hit {
                         continue;
                     }
-                    let sessions = &mut self.sessions[i];
-                    // Truncate the live session at the crash instant...
-                    let idx = sessions.partition_point(|s| s.start <= at) - 1;
-                    if sessions[idx].start < at {
-                        sessions[idx].end = at;
-                    } else {
-                        sessions.remove(idx);
-                    }
-                    // ...then cancel or clip sessions inside the outage.
-                    sessions.retain_mut(|s| {
+                    // Rebuild this node's span with the outage applied,
+                    // then splice it back into the pooled storage.
+                    let span = self.sessions(node);
+                    let idx = span.partition_point(|s| s.start <= at) - 1;
+                    let mut rebuilt: Vec<Session> = Vec::with_capacity(span.len());
+                    for (j, s) in span.iter().enumerate() {
+                        let mut s = *s;
+                        // Truncate the live session at the crash instant...
+                        if j == idx {
+                            if s.start < at {
+                                s.end = at;
+                            } else {
+                                continue;
+                            }
+                        }
+                        // ...then cancel or clip sessions inside the outage.
                         if s.start >= at && s.start < back_up {
                             s.start = back_up;
                         }
-                        s.start < s.end
-                    });
+                        if s.start < s.end {
+                            rebuilt.push(s);
+                        }
+                    }
+                    self.splice_node(i, rebuilt);
                 }
             }
         }
@@ -402,9 +480,9 @@ impl ChurnSchedule {
     /// gossip-layer join/leave processing.
     pub fn transitions(&self) -> Vec<(SimTime, NodeId, bool)> {
         let mut events = Vec::new();
-        for (i, sessions) in self.sessions.iter().enumerate() {
+        for i in 0..self.len() {
             let node = NodeId::from(i);
-            for s in sessions {
+            for s in self.sessions(node) {
                 events.push((s.start, node, true));
                 if s.end < self.horizon {
                     events.push((s.end, node, false));
@@ -533,8 +611,8 @@ mod tests {
 
     #[test]
     fn up_through_detects_mid_interval_failure() {
-        let mut sched = ChurnSchedule {
-            sessions: vec![vec![
+        let mut sched = ChurnSchedule::from_sessions(
+            vec![vec![
                 Session {
                     start: SimTime::ZERO,
                     end: SimTime::from_secs(10),
@@ -544,8 +622,8 @@ mod tests {
                     end: SimTime::from_secs(30),
                 },
             ]],
-            horizon: SimTime::from_secs(40),
-        };
+            SimTime::from_secs(40),
+        );
         let n = NodeId(0);
         assert!(sched.up_through(n, SimTime::from_secs(1), SimTime::from_secs(9)));
         assert!(!sched.up_through(n, SimTime::from_secs(1), SimTime::from_secs(10)));
@@ -681,8 +759,8 @@ mod tests {
     #[test]
     fn event_at_coinciding_with_session_edge_keeps_invariants() {
         let dist = LifetimeDistribution::pareto_with_median(300.0);
-        let mut sched = ChurnSchedule {
-            sessions: vec![vec![
+        let mut sched = ChurnSchedule::from_sessions(
+            vec![vec![
                 Session {
                     start: SimTime::ZERO,
                     end: SimTime::from_secs(100),
@@ -692,8 +770,8 @@ mod tests {
                     end: SimTime::from_secs(300),
                 },
             ]],
-            horizon: SimTime::from_secs(400),
-        };
+            SimTime::from_secs(400),
+        );
         // Flash crowd exactly when the first session ends: the joined
         // session must keep a strict gap on both sides.
         sched.apply_event(
@@ -716,6 +794,34 @@ mod tests {
             &mut StdRng::seed_from_u64(15),
         );
         assert_invariants(&sched);
+    }
+
+    #[test]
+    fn pooled_layout_survives_pins_and_splices() {
+        // pin_up replaces spans of different lengths mid-pool; every other
+        // node's slice must come back bit-identical after the splice.
+        let mut rng = StdRng::seed_from_u64(21);
+        let dist = LifetimeDistribution::pareto_with_median(600.0);
+        let horizon = SimTime::from_secs(7200);
+        let mut sched = ChurnSchedule::generate(32, &dist, &dist, horizon, &mut rng);
+        let before: Vec<Vec<Session>> = (0..32usize)
+            .map(|i| sched.sessions(NodeId::from(i)).to_vec())
+            .collect();
+        sched.pin_up(NodeId(5));
+        sched.pin_up(NodeId(17));
+        for (i, orig) in before.iter().enumerate() {
+            let node = NodeId::from(i);
+            if i == 5 || i == 17 {
+                assert_eq!(sched.sessions(node).len(), 1);
+                assert!(sched.is_up(node, SimTime::from_secs(999_999)));
+            } else {
+                assert_eq!(sched.sessions(node), &orig[..], "node {i} span moved");
+            }
+        }
+        let span_sum: usize = (0..32usize)
+            .map(|i| sched.sessions(NodeId::from(i)).len())
+            .sum();
+        assert_eq!(sched.total_sessions(), span_sum, "offsets inconsistent");
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   times, with cancellation handles.
 //! * [`sched`] — pluggable queue disciplines behind the [`Scheduler`]
 //!   trait: the default calendar queue and the binary-heap reference.
-//! * [`latency`] — synthetic pairwise one-way-delay matrix calibrated to a
-//!   target average RTT (the paper's network averages 152 ms RTT).
+//! * [`latency`] — pluggable pairwise one-way-delay models behind the
+//!   [`LatencyModel`] trait, calibrated to a target average RTT (the
+//!   paper's network averages 152 ms RTT): the dense synthetic matrix
+//!   (≤ ~10k nodes, byte-identical to every committed result) and the
+//!   O(1)-memory procedural backend that scales to 1M nodes.
 //! * [`churn`] — lifetime distributions, per-node session schedules, and
 //!   scripted churn events (flash crowds, mass failures).
 //! * [`topology`] — overlay-topology generators (King, Barabási–Albert,
@@ -47,7 +50,7 @@ pub use churn::{ChurnEvent, ChurnSchedule, LifetimeDistribution, Session};
 pub use engine::{Engine, EventHandle};
 pub use fault::{FaultConfig, FaultPlan};
 pub use instrument::EngineTelemetry;
-pub use latency::{LatencyMatrix, LatencyRow};
+pub use latency::{Latency, LatencyMatrix, LatencyModel, LatencyRow, ProceduralLatency};
 pub use node::NodeId;
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};

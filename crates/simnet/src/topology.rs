@@ -11,7 +11,7 @@
 //!
 //! All generators are deterministic functions of `(kind, n, seed RNG)`.
 
-use crate::latency::LatencyMatrix;
+use crate::latency::{Latency, LatencyMatrix, ProceduralLatency};
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -21,6 +21,12 @@ pub enum TopologyKind {
     /// The paper's default: a King-style synthetic dense latency matrix
     /// (2-D virtual coordinates, no explicit overlay graph).
     King,
+    /// The King construction with the O(1)-memory procedural backend
+    /// ([`ProceduralLatency`]): same 2-D coordinate model, but delays are
+    /// hash-derived on demand instead of materialized as an N² matrix.
+    /// This is the only topology that scales to 100k–1M nodes; the
+    /// `scale` experiment runs on it.
+    Procedural,
     /// Barabási–Albert preferential attachment: each new node attaches
     /// `m` edges to existing nodes with probability proportional to
     /// degree, yielding a scale-free (power-law tail) overlay.
@@ -49,6 +55,7 @@ impl TopologyKind {
     pub fn label(&self) -> String {
         match self {
             TopologyKind::King => "king".into(),
+            TopologyKind::Procedural => "procedural".into(),
             TopologyKind::BarabasiAlbert { m } => format!("ba(m={m})"),
             TopologyKind::Star => "star".into(),
             TopologyKind::Ring => "ring".into(),
@@ -62,7 +69,10 @@ impl TopologyKind {
     pub fn build_graph<R: Rng>(&self, n: usize, rng: &mut R) -> TopologyGraph {
         assert!(n >= 1, "need at least one node");
         match *self {
-            TopologyKind::King => TopologyGraph::complete(n),
+            // Both all-pairs models have no explicit overlay. Note the
+            // complete graph is O(N²) — never build it at procedural
+            // scale; `latency_model` is the scalable entry point.
+            TopologyKind::King | TopologyKind::Procedural => TopologyGraph::complete(n),
             TopologyKind::BarabasiAlbert { m } => barabasi_albert(n, m.max(1), rng),
             TopologyKind::Star => {
                 let mut g = TopologyGraph::empty(n);
@@ -103,7 +113,7 @@ impl TopologyKind {
     /// bit-identical to the hand-coded bins; graph topologies map hop
     /// distance plus per-pair jitter to delay and rescale to the target.
     pub fn latency_matrix<R: Rng>(&self, n: usize, avg_rtt_ms: f64, rng: &mut R) -> LatencyMatrix {
-        if let TopologyKind::King = self {
+        if matches!(self, TopologyKind::King | TopologyKind::Procedural) {
             return LatencyMatrix::synthetic(n, avg_rtt_ms, rng);
         }
         let graph = self.build_graph(n, rng);
@@ -136,6 +146,23 @@ impl TopologyKind {
             rel[idx] = max_hops as f64 * cross_penalty;
         }
         LatencyMatrix::from_relative(n, &rel, avg_rtt_ms)
+    }
+
+    /// Resolve this topology into a pluggable [`Latency`] backend — the
+    /// entry point [`anon_core`-level worlds](crate) build against.
+    ///
+    /// `King` and the graph kinds materialize their dense matrix through
+    /// [`Self::latency_matrix`] with the *identical* RNG draw sequence, so
+    /// every pre-existing world is bit-identical. `Procedural` draws
+    /// exactly one `u64` (the hash seed) and allocates nothing, so world
+    /// construction stays O(N) at 1M nodes.
+    pub fn latency_model<R: Rng>(&self, n: usize, avg_rtt_ms: f64, rng: &mut R) -> Latency {
+        match self {
+            TopologyKind::Procedural => {
+                Latency::Procedural(ProceduralLatency::new(n, avg_rtt_ms, rng.gen::<u64>()))
+            }
+            _ => Latency::Matrix(self.latency_matrix(n, avg_rtt_ms, rng)),
+        }
     }
 }
 
@@ -407,6 +434,39 @@ mod tests {
                 assert_eq!(a.owd(NodeId(i), NodeId(j)), b.owd(NodeId(i), NodeId(j)));
             }
         }
+    }
+
+    #[test]
+    fn latency_model_king_is_bit_identical_to_matrix_path() {
+        // The proof obligation for the pluggable backend: resolving King
+        // through `latency_model` consumes the same RNG draws and yields
+        // the same delays as the historical dense-matrix path.
+        use crate::node::NodeId;
+        let via_model = TopologyKind::King.latency_model(32, 152.0, &mut StdRng::seed_from_u64(7));
+        let direct = LatencyMatrix::synthetic(32, 152.0, &mut StdRng::seed_from_u64(7));
+        for i in 0..32u32 {
+            for j in 0..32u32 {
+                assert_eq!(
+                    via_model.owd(NodeId(i), NodeId(j)),
+                    direct.owd(NodeId(i), NodeId(j))
+                );
+            }
+        }
+        assert!(via_model.as_matrix().is_some());
+    }
+
+    #[test]
+    fn latency_model_procedural_is_seed_deterministic() {
+        use crate::node::NodeId;
+        let a =
+            TopologyKind::Procedural.latency_model(10_000, 152.0, &mut StdRng::seed_from_u64(3));
+        let b =
+            TopologyKind::Procedural.latency_model(10_000, 152.0, &mut StdRng::seed_from_u64(3));
+        for (i, j) in [(0u32, 1u32), (42, 9999), (5000, 5001)] {
+            assert_eq!(a.owd(NodeId(i), NodeId(j)), b.owd(NodeId(i), NodeId(j)));
+        }
+        assert!(a.as_matrix().is_none(), "procedural never densifies");
+        assert_eq!(TopologyKind::Procedural.label(), "procedural");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! process).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
 pub mod config;

@@ -77,6 +77,15 @@ impl Priority {
 ///
 /// The jitter draw is deterministic: `hash_unit(seed, salt, attempt)`,
 /// so a given `(seed, salt)` stream always backs off identically.
+///
+/// ```
+/// use transport::BackoffPolicy;
+///
+/// let p = BackoffPolicy { base_us: 1_000, max_us: 8_000, multiplier: 2.0, jitter: 0.0, seed: 0 };
+/// assert_eq!(p.delay_us(1, 7), 1_000);
+/// assert_eq!(p.delay_us(2, 7), 2_000);
+/// assert_eq!(p.delay_us(5, 7), 8_000, "capped at max_us");
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BackoffPolicy {
     /// First-attempt delay, microseconds.

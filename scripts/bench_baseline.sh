@@ -45,6 +45,13 @@ echo "baseline written to BENCH_simulator.json"
 ./target/release/chaos_soak $QUICK --out BENCH_chaos_soak.json
 echo "chaos soak written to BENCH_chaos_soak.json"
 
+# Large-N scaling curve: per-N success rate, latency, events/sec and peak
+# RSS on the procedural latency backend and sampled membership layer
+# (quick: {1k,10k,50k}; full sweeps to 1M nodes). Each grid point runs in
+# its own child process so its VmHWM is attributable to that N.
+./target/release/scale $QUICK --out BENCH_scale.json
+echo "scale sweep written to BENCH_scale.json"
+
 # Append this run to the history as a single JSON line tagged with the
 # UTC timestamp, commit, and mode, preserving every previous baseline.
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -61,6 +68,12 @@ MODE="full"
   printf '{"timestamp":"%s","commit":"%s","mode":"%s-chaos-soak","results":' \
     "$STAMP" "$COMMIT" "$MODE"
   tr -d '\n' < BENCH_chaos_soak.json
+  printf '}\n'
+} >> BENCH_HISTORY.jsonl
+{
+  printf '{"timestamp":"%s","commit":"%s","mode":"%s-scale","results":' \
+    "$STAMP" "$COMMIT" "$MODE"
+  tr -d '\n' < BENCH_scale.json
   printf '}\n'
 } >> BENCH_HISTORY.jsonl
 echo "history appended to BENCH_HISTORY.jsonl ($STAMP, $COMMIT, $MODE)"
