@@ -198,13 +198,7 @@ fn main() {
         let field = |k: &str| -> f64 {
             line.split(&format!("\"{k}\": "))
                 .nth(1)
-                .and_then(|rest| {
-                    rest.split([',', '}'])
-                        .next()?
-                        .trim()
-                        .parse()
-                        .ok()
-                })
+                .and_then(|rest| rest.split([',', '}']).next()?.trim().parse().ok())
                 .unwrap_or(f64::NAN)
         };
         println!(

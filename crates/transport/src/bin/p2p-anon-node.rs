@@ -36,14 +36,48 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 use transport::{
-    ChaosConfig, ChaosPlan, ChaosTransport, NodeTelemetry, ProtocolNode, Roster, Runtime,
-    StatsServer, TcpTelemetry, TcpTransport, Transport,
+    ChaosConfig, ChaosPlan, ChaosTransport, EventedTransport, NodeTelemetry, PolicyConfig,
+    ProtocolNode, Roster, Runtime, StatsServer, TcpTelemetry, TcpTransport, Transport,
+    TransportError,
 };
+
+/// The two live backends behind one construction/configuration surface,
+/// so role dispatch stays generic over `--transport`.
+trait LiveBackend: Transport + Sized {
+    fn bind_to(id: NodeId, roster: Roster) -> Result<Self, TransportError>;
+    fn configure(&mut self, policy: PolicyConfig);
+    fn attach_telemetry(&mut self, telemetry: TcpTelemetry);
+}
+
+impl LiveBackend for TcpTransport {
+    fn bind_to(id: NodeId, roster: Roster) -> Result<Self, TransportError> {
+        TcpTransport::bind(id, roster)
+    }
+    fn configure(&mut self, policy: PolicyConfig) {
+        self.set_policy(policy);
+    }
+    fn attach_telemetry(&mut self, telemetry: TcpTelemetry) {
+        self.set_telemetry(telemetry);
+    }
+}
+
+impl LiveBackend for EventedTransport {
+    fn bind_to(id: NodeId, roster: Roster) -> Result<Self, TransportError> {
+        EventedTransport::bind(id, roster)
+    }
+    fn configure(&mut self, policy: PolicyConfig) {
+        self.set_policy(policy);
+    }
+    fn attach_telemetry(&mut self, telemetry: TcpTelemetry) {
+        self.set_telemetry(telemetry);
+    }
+}
 
 struct Args {
     config: String,
     id: NodeId,
     role: String,
+    transport: String,
     paths: Vec<Vec<NodeId>>,
     responder: Option<NodeId>,
     codec: (usize, usize),
@@ -55,15 +89,17 @@ struct Args {
     run_secs: Option<u64>,
     seed: u64,
     stats_addr: Option<String>,
+    quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: p2p-anon-node --config FILE --id N --role relay|responder|initiator\n\
+         \x20    [--transport threaded|evented]\n\
          \x20    [--paths \"1,2,3;4,5,6\"] [--responder N] [--codec M,N]\n\
          \x20    [--ack-timeout-ms MS] [--max-retries N] [--path-bias]\n\
          \x20    [--chaos SPEC] [--chaos-seed N]\n\
-         \x20    [--run-secs S] [--seed N] [--stats-addr ADDR]\n\
+         \x20    [--run-secs S] [--seed N] [--stats-addr ADDR] [--quiet]\n\
          \n\
          --chaos SPEC injects deterministic faults into this node's own\n\
          transport (testing only), e.g.\n\
@@ -77,6 +113,7 @@ fn parse_args() -> Args {
         config: String::new(),
         id: NodeId(u32::MAX),
         role: String::new(),
+        transport: "threaded".to_string(),
         paths: Vec::new(),
         responder: None,
         codec: (2, 4),
@@ -88,6 +125,7 @@ fn parse_args() -> Args {
         run_secs: None,
         seed: 0,
         stats_addr: None,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -96,6 +134,7 @@ fn parse_args() -> Args {
             "--config" => args.config = value(),
             "--id" => args.id = NodeId(value().parse().unwrap_or_else(|_| usage())),
             "--role" => args.role = value(),
+            "--transport" => args.transport = value(),
             "--responder" => {
                 args.responder = Some(NodeId(value().parse().unwrap_or_else(|_| usage())))
             }
@@ -117,6 +156,7 @@ fn parse_args() -> Args {
             "--run-secs" => args.run_secs = Some(value().parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--stats-addr" => args.stats_addr = Some(value()),
+            "--quiet" => args.quiet = true,
             "--paths" => {
                 args.paths = value()
                     .split(';')
@@ -163,14 +203,6 @@ fn main() -> ExitCode {
     if args.path_bias {
         policy.path_bias = true;
     }
-    let mut transport = match TcpTransport::bind(args.id, roster.clone()) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("p2p-anon-node: bind {}: {e}", args.id);
-            return ExitCode::FAILURE;
-        }
-    };
-    transport.set_policy(policy);
     let codec = match ErasureCodec::new(args.codec.0, args.codec.1) {
         Ok(c) => c,
         Err(e) => {
@@ -187,12 +219,35 @@ fn main() -> ExitCode {
         "initiator" => node = node.with_codec(Box::new(codec)),
         _ => usage(),
     }
+    match args.transport.as_str() {
+        "threaded" => run_with_backend::<TcpTransport>(node, policy, &args, &roster),
+        "evented" => run_with_backend::<EventedTransport>(node, policy, &args, &roster),
+        _ => usage(),
+    }
+}
+
+/// Bind the selected backend, wire optional stats/chaos, and hand off to
+/// role dispatch. Generic so both `--transport` values share one path.
+fn run_with_backend<T: LiveBackend>(
+    mut node: ProtocolNode,
+    policy: PolicyConfig,
+    args: &Args,
+    roster: &Roster,
+) -> ExitCode {
+    let mut transport = match T::bind_to(args.id, roster.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("p2p-anon-node: bind {}: {e}", args.id);
+            return ExitCode::FAILURE;
+        }
+    };
+    transport.configure(policy);
     // --stats-addr: register live instruments and serve them until the
     // process exits (the guard keeps the listener thread alive).
     let _stats = match &args.stats_addr {
         Some(addr) => {
             let registry = Arc::new(telemetry::Registry::new());
-            transport.set_telemetry(TcpTelemetry::register(registry.clone()));
+            transport.attach_telemetry(TcpTelemetry::register(registry.clone()));
             node = node.with_telemetry(NodeTelemetry::register(&registry, args.id));
             match StatsServer::serve(addr, registry, Some(Duration::from_secs(10))) {
                 Ok(server) => {
@@ -219,9 +274,9 @@ fn main() -> ExitCode {
                 }
             };
             let chaos = ChaosTransport::new(transport, ChaosPlan::new(cfg, args.chaos_seed));
-            run_role(Runtime::new(chaos), node, &args, &roster)
+            run_role(Runtime::new(chaos), node, args, roster)
         }
-        None => run_role(Runtime::new(transport), node, &args, &roster),
+        None => run_role(Runtime::new(transport), node, args, roster),
     }
 }
 
@@ -243,12 +298,25 @@ fn run_role<T: Transport>(
 
 /// Relays and responders are passive: pump events, print deliveries,
 /// run until killed (or `--run-secs`).
+///
+/// `--quiet` suppresses the per-event `DELIVERED`/`MESSAGE` narration
+/// (a responder under load-generator traffic would otherwise spend its
+/// time formatting stdout); `READY` still prints.
 fn run_passive<T: Transport>(mut rt: Runtime<T>, args: &Args) -> ExitCode {
     let id = args.id;
     let deadline = args.run_secs.map(|s| s * 1_000_000).unwrap_or(u64::MAX);
     let mut printed = (0usize, 0usize);
     while rt.transport.now_us() < deadline {
         rt.poll_once(100_000);
+        if args.quiet {
+            // Nothing reads the narration logs in quiet mode; trim them
+            // so a responder under sustained load stays flat in memory.
+            let ev = &mut rt.node_mut(id).events;
+            ev.deliveries.clear();
+            ev.completed.clear();
+            ev.acks.clear();
+            continue;
+        }
         let ev = &rt.node(id).events;
         while printed.0 < ev.deliveries.len() {
             let (mid, index, _) = ev.deliveries[printed.0];

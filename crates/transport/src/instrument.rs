@@ -29,6 +29,10 @@ pub struct TcpTelemetry {
     /// `transport_frames_enqueued_total` — frames accepted by `send`
     /// and handed to a writer queue.
     pub frames_enqueued: Arc<Counter>,
+    /// `transport_accept_errors_total` — fatal listener accept errors
+    /// (not `WouldBlock`, not a doomed in-flight connection): the
+    /// listener itself is in trouble.
+    pub accept_errors: Arc<Counter>,
 }
 
 impl TcpTelemetry {
@@ -38,10 +42,12 @@ impl TcpTelemetry {
     pub fn register(registry: Arc<Registry>) -> Self {
         let timer_fires = registry.counter("transport_timer_fires_total", &[]);
         let frames_enqueued = registry.counter("transport_frames_enqueued_total", &[]);
+        let accept_errors = registry.counter("transport_accept_errors_total", &[]);
         TcpTelemetry {
             registry,
             timer_fires,
             frames_enqueued,
+            accept_errors,
         }
     }
 

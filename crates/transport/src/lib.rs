@@ -31,6 +31,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod evented;
 pub mod instrument;
 pub mod node;
 pub mod policy;
@@ -41,6 +42,7 @@ pub mod tcp;
 
 pub use chaos::{ChaosConfig, ChaosPlan, ChaosStats, ChaosTransport, Partition};
 pub use config::Roster;
+pub use evented::EventedTransport;
 pub use instrument::{NodeTelemetry, TcpTelemetry, WriterTelemetry};
 pub use node::{Input, NodeEvents, Output, ProtocolNode};
 pub use policy::{BackoffPolicy, BreakerState, CircuitBreaker, PeerHealth, PolicyConfig, Priority};

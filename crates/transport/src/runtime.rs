@@ -38,6 +38,12 @@ impl<T: Transport> Runtime<T> {
         &self.nodes[&id]
     }
 
+    /// Mutable access to a node, e.g. to trim its event logs during a
+    /// long-running process (the logs otherwise grow without bound).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ProtocolNode {
+        self.nodes.get_mut(&id).expect("known node")
+    }
+
     /// Drive a node directly (construct paths, send a message): `f`
     /// appends outputs which are applied to the transport as the node's
     /// own sends would be.

@@ -36,17 +36,19 @@ use crate::config::Roster;
 use crate::instrument::{TcpTelemetry, WriterTelemetry};
 use crate::policy::{PolicyConfig, Priority};
 use crate::{Transport, TransportError, TransportEvent};
-use anon_core::wire::{encode_frame, Frame, FrameReader};
+use anon_core::pool::BufferPool;
+use anon_core::wire::{encode_frame, encode_frame_into, Frame, FrameReader};
 use simnet::NodeId;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
+use telemetry::Counter;
 
 /// Read timeout letting reader threads notice shutdown.
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
@@ -181,6 +183,9 @@ pub struct TcpTransport {
     armed: HashMap<(NodeId, u64), u64>,
     timer_seq: u64,
     shutdown: Arc<AtomicBool>,
+    /// Handed to the (already running) accept thread; filled by
+    /// `set_telemetry` so fatal accept errors count from then on.
+    accept_errors: Arc<OnceLock<Arc<Counter>>>,
 }
 
 impl TcpTransport {
@@ -193,7 +198,8 @@ impl TcpTransport {
         listener.set_nonblocking(true)?;
         let (inbox_tx, inbox_rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
-        spawn_acceptor(listener, inbox_tx, shutdown.clone());
+        let accept_errors = Arc::new(OnceLock::new());
+        spawn_acceptor(listener, inbox_tx, shutdown.clone(), accept_errors.clone());
         let policy = roster.policy;
         Ok(TcpTransport {
             local,
@@ -206,6 +212,7 @@ impl TcpTransport {
             armed: HashMap::new(),
             timer_seq: 0,
             shutdown,
+            accept_errors,
             telemetry: None,
         })
     }
@@ -214,6 +221,7 @@ impl TcpTransport {
     /// threads pick up their per-peer instruments when spawned, so
     /// peers contacted earlier run uninstrumented.
     pub fn set_telemetry(&mut self, telemetry: TcpTelemetry) {
+        let _ = self.accept_errors.set(telemetry.accept_errors.clone());
         self.telemetry = Some(telemetry);
     }
 
@@ -406,10 +414,19 @@ impl Drop for TcpTransport {
 }
 
 /// Accept loop: one reader thread per inbound connection.
+///
+/// Error discipline (instead of the former blanket sleep-and-retry):
+/// `WouldBlock` is the normal idle case and sleeps the short poll
+/// interval; errors naming a doomed in-flight connection (aborted,
+/// reset, interrupted) skip straight to the next `accept`; anything
+/// else means the *listener* is in trouble — counted in
+/// `transport_accept_errors_total` and backed off harder so a wedged
+/// listener can't spin a core while it stays visible in telemetry.
 fn spawn_acceptor(
     listener: TcpListener,
     inbox_tx: Sender<(NodeId, Frame)>,
     shutdown: Arc<AtomicBool>,
+    accept_errors: Arc<OnceLock<Arc<Counter>>>,
 ) {
     thread::spawn(move || loop {
         if shutdown.load(Ordering::Relaxed) {
@@ -419,7 +436,22 @@ fn spawn_acceptor(
             Ok((stream, _)) => {
                 spawn_reader(stream, inbox_tx.clone(), shutdown.clone());
             }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionAborted
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::Interrupted
+                ) => {}
+            Err(_) => {
+                if let Some(counter) = accept_errors.get() {
+                    counter.inc();
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
         }
     });
 }
@@ -503,11 +535,16 @@ fn writer_loop(ctx: WriterCtx) {
     let salt = ctx.peer.0 as u64;
     let mut breaker = ctx.policy.breaker();
     let mut stream: Option<TcpStream> = None;
+    // Frame encode reuses pooled buffers: after the first few frames
+    // size the pool, the steady-state encode path never allocates
+    // (pinned by the `writer_encode_path_is_allocation_free` test).
+    let mut pool = BufferPool::new();
     while let Some(entry) = ctx.queue.pop(&ctx.shutdown) {
         if let Some(t) = &ctx.telemetry {
             t.queue_depth.sub(1);
         }
-        let bytes = encode_frame(&entry.frame);
+        let mut bytes = pool.get();
+        encode_frame_into(&entry.frame, &mut bytes);
         let mut attempt = 0u32;
         // Did a live connection already fail mid-frame? Distinguishes a
         // reconnect loss from a frame that never left the queue.
@@ -596,6 +633,7 @@ fn writer_loop(ctx: WriterCtx) {
                 }
             }
         }
+        pool.put(bytes);
     }
 }
 

@@ -1,0 +1,153 @@
+//! Allocation-count regression test for the threaded writer's encode
+//! path, mirroring the onion pipeline's `alloc_regression` pin.
+//!
+//! The writer thread encodes each queued frame into a pooled buffer
+//! ([`anon_core::pool::BufferPool`] + `encode_frame_into`), so once the
+//! pool and the outbound queue are warm, pushing pre-built frames
+//! through `send` and onto the wire must not touch the allocator: the
+//! only per-frame work is a pooled-buffer reuse, an in-place encode and
+//! a `write_all`.
+//!
+//! The counter is process-global and the writer runs on its own thread,
+//! so the test pre-builds every frame before the measured windows and
+//! uses the same retry-window tolerance as the original pin.
+
+use anon_core::wire::{encode_frame, Frame, Wire};
+use anon_core::StreamId;
+use simnet::NodeId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Read;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use transport::{Roster, TcpTransport, Transport};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn payload(b: u8) -> Frame {
+    Frame::Stream {
+        sid: StreamId(3),
+        wire: Wire::Payload { blob: vec![b; 512] },
+    }
+}
+
+/// Spin (without allocating) until the receiver byte count reaches
+/// `want` or `timeout` passes.
+fn wait_bytes(received: &AtomicU64, want: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while received.load(Ordering::Relaxed) < want {
+        assert!(
+            Instant::now() < deadline,
+            "receiver saw {} of {want} bytes",
+            received.load(Ordering::Relaxed)
+        );
+        thread::yield_now();
+    }
+}
+
+#[test]
+fn writer_encode_path_is_allocation_free() {
+    // Raw byte-sink peer: accepts the writer's one connection and counts
+    // bytes into a fixed stack buffer — no allocations after spawn.
+    let sink = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+    let sink_addr = sink.local_addr().unwrap().to_string();
+    let received = Arc::new(AtomicU64::new(0));
+    let counter = received.clone();
+    thread::spawn(move || {
+        let (mut conn, _) = sink.accept().expect("accept writer");
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    counter.fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+
+    let local = TcpListener::bind("127.0.0.1:0").expect("reserve local port");
+    let local_addr = local.local_addr().unwrap().to_string();
+    drop(local);
+    let mut roster = Roster::new(7);
+    roster.insert(NodeId(0), local_addr);
+    roster.insert(NodeId(1), sink_addr);
+    let mut transport = TcpTransport::bind(NodeId(0), roster).expect("bind transport");
+
+    let frame_len = encode_frame(&payload(0)).len() as u64;
+    let hello_len = encode_frame(&Frame::Hello { node: NodeId(0) }).len() as u64;
+
+    // Pre-build every frame up front: constructing a payload blob
+    // allocates, and that cost belongs to the *caller*, not the writer.
+    const WARMUP: u64 = 32;
+    const WINDOWS: u64 = 3;
+    const PER_WINDOW: u64 = 16;
+    let mut frames: Vec<Frame> = (0..WARMUP + WINDOWS * PER_WINDOW)
+        .map(|i| payload((i % 251) as u8))
+        .collect();
+
+    // Warm-up: first connect (+ Hello), queue growth, pool sizing.
+    for _ in 0..WARMUP {
+        transport
+            .send(NodeId(0), NodeId(1), frames.pop().unwrap())
+            .unwrap();
+    }
+    let mut expected = hello_len + WARMUP * frame_len;
+    wait_bytes(&received, expected, Duration::from_secs(10));
+
+    // Steady state: enqueue → pooled encode → write must be silent.
+    // The counter is process-global (acceptor and sink threads run
+    // too), so retry windows exactly as the onion pin does.
+    let mut clean_window = false;
+    for _ in 0..WINDOWS {
+        let before = allocations();
+        for _ in 0..PER_WINDOW {
+            transport
+                .send(NodeId(0), NodeId(1), frames.pop().unwrap())
+                .unwrap();
+        }
+        expected += PER_WINDOW * frame_len;
+        wait_bytes(&received, expected, Duration::from_secs(10));
+        if allocations() == before {
+            clean_window = true;
+            break;
+        }
+    }
+    assert!(
+        clean_window,
+        "warmed-up writer encode path must be allocation-free"
+    );
+}

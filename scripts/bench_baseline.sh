@@ -28,6 +28,7 @@ for arg in "$@"; do
 done
 
 cargo build --release -p experiments
+cargo build --release -p loadgen -p transport
 
 if [[ $CRITERION -eq 1 ]]; then
   # Criterion groups over the same hot paths (quick mode keeps the
@@ -52,6 +53,23 @@ echo "chaos soak written to BENCH_chaos_soak.json"
 ./target/release/scale $QUICK --out BENCH_scale.json
 echo "scale sweep written to BENCH_scale.json"
 
+# Live onion-forward throughput: the load generator spins a real
+# one-relay chain (three OS processes over localhost TCP, evented
+# backend) and drives a closed loop through it. ops_per_sec,
+# relay_forwards_per_sec, and the CO-safe latency percentiles are the
+# tracked numbers; see PERFORMANCE.md §8.
+if [[ -n $QUICK ]]; then
+  ./target/release/p2p-anon-loadgen \
+    --auto-chain 1 --transport evented --mode closed --in-flight 8 \
+    --warmup-secs 1 --measure-secs 3 --drain-secs 1 \
+    --out BENCH_loadgen.json
+else
+  ./target/release/p2p-anon-loadgen \
+    --auto-chain 1 --transport evented --mode closed --in-flight 32 \
+    --out BENCH_loadgen.json
+fi
+echo "loadgen run written to BENCH_loadgen.json"
+
 # Append this run to the history as a single JSON line tagged with the
 # UTC timestamp, commit, and mode, preserving every previous baseline.
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -74,6 +92,12 @@ MODE="full"
   printf '{"timestamp":"%s","commit":"%s","mode":"%s-scale","results":' \
     "$STAMP" "$COMMIT" "$MODE"
   tr -d '\n' < BENCH_scale.json
+  printf '}\n'
+} >> BENCH_HISTORY.jsonl
+{
+  printf '{"timestamp":"%s","commit":"%s","mode":"%s-loadgen","results":' \
+    "$STAMP" "$COMMIT" "$MODE"
+  tr -d '\n' < BENCH_loadgen.json
   printf '}\n'
 } >> BENCH_HISTORY.jsonl
 echo "history appended to BENCH_HISTORY.jsonl ($STAMP, $COMMIT, $MODE)"

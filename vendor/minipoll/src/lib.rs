@@ -1,0 +1,27 @@
+//! # minipoll — a thin, dependency-free epoll wrapper
+//!
+//! In-tree (offline) miniature of the mio idea: an owned epoll
+//! instance ([`Poll`]) delivering level- or edge-triggered readiness
+//! ([`Interest`], [`Events`]) for caller-owned fds identified by
+//! [`Token`]s, plus the two things a protocol event loop always needs
+//! next — keyed re-armable timers ([`Timers`], a deadline heap with the
+//! same replace-on-re-arm contract as the transport `set_timer`) and a
+//! [`TimerFd`] to turn the earliest deadline into a sub-millisecond
+//! epoll wakeup — and non-blocking connect helpers
+//! ([`net::connect_nonblocking`], [`net::take_socket_error`]).
+//!
+//! All `unsafe` (raw syscall bindings against the libc that `std`
+//! already links) is confined to the private `sys` module. Linux-only;
+//! other platforms compile but every entry point returns
+//! [`std::io::ErrorKind::Unsupported`].
+
+#![deny(missing_docs)]
+
+mod sys;
+
+pub mod net;
+pub mod poll;
+pub mod timer;
+
+pub use poll::{Event, Events, Interest, Poll, Token};
+pub use timer::{TimerFd, Timers};

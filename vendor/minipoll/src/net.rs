@@ -1,0 +1,20 @@
+//! Non-blocking socket helpers for event-loop use.
+
+use crate::sys;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// Begin a non-blocking TCP connect. Returns the stream and whether the
+/// connection is already established; when `false`, register the stream
+/// for writability and call [`take_socket_error`] once it fires to
+/// learn the outcome.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<(TcpStream, bool)> {
+    sys::connect_nonblocking(&addr)
+}
+
+/// Consume the socket's pending `SO_ERROR`: `Ok(None)` means the
+/// in-progress connect succeeded, `Ok(Some(e))` that it failed with
+/// `e`.
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<Option<io::Error>> {
+    sys::take_socket_error(stream)
+}

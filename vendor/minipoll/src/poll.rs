@@ -1,0 +1,213 @@
+//! The epoll instance wrapper: registration and readiness delivery.
+
+use crate::sys;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// An opaque registration identifier, echoed back verbatim in every
+/// [`Event`] for the registered fd. Callers typically encode a
+/// connection index or a discriminant (listener / stream / timerfd).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// What readiness to ask for and how it is delivered.
+///
+/// Level-triggered by default (an event repeats while the condition
+/// holds); [`Interest::edge`] switches to edge-triggered (one event per
+/// transition, caller must drain until `WouldBlock`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+    edge: bool,
+}
+
+impl Interest {
+    /// Readable-only, level-triggered.
+    pub const READABLE: Interest = Interest {
+        read: true,
+        write: false,
+        edge: false,
+    };
+    /// Writable-only, level-triggered.
+    pub const WRITABLE: Interest = Interest {
+        read: false,
+        write: true,
+        edge: false,
+    };
+
+    /// This interest plus readability.
+    pub const fn and_readable(self) -> Interest {
+        Interest { read: true, ..self }
+    }
+
+    /// This interest plus writability.
+    pub const fn and_writable(self) -> Interest {
+        Interest {
+            write: true,
+            ..self
+        }
+    }
+
+    /// This interest, delivered edge-triggered instead of level.
+    pub const fn edge(self) -> Interest {
+        Interest { edge: true, ..self }
+    }
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.read {
+            // RDHUP rides along with read interest so a peer's
+            // half-close surfaces as `read_closed` instead of a silent
+            // zero-byte read storm under edge triggering.
+            bits |= sys::EVENT_IN | sys::EVENT_RDHUP;
+        }
+        if self.write {
+            bits |= sys::EVENT_OUT;
+        }
+        if self.edge {
+            bits |= sys::EVENT_ET;
+        }
+        bits
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token supplied at registration.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The fd can be read without blocking (includes hang-up, so a
+    /// reader always observes EOF rather than waiting forever).
+    pub fn readable(&self) -> bool {
+        self.bits & (sys::EVENT_IN | sys::EVENT_HUP | sys::EVENT_ERR) != 0
+    }
+
+    /// The fd can be written without blocking.
+    pub fn writable(&self) -> bool {
+        self.bits & (sys::EVENT_OUT | sys::EVENT_ERR) != 0
+    }
+
+    /// An error condition is pending on the fd (e.g. a failed
+    /// non-blocking connect); fetch it with
+    /// [`crate::net::take_socket_error`].
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EVENT_ERR != 0
+    }
+
+    /// The peer closed its end (full hang-up or write-half shutdown).
+    pub fn read_closed(&self) -> bool {
+        self.bits & (sys::EVENT_HUP | sys::EVENT_RDHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness notifications filled by
+/// [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `cap` notifications per poll call.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent::zeroed(); cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of notifications from the most recent poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the most recent poll returned no notifications.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the notifications from the most recent poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy fields out of the (possibly packed) struct by value;
+            // never take references into it.
+            let bits = raw.events;
+            let data = raw.data;
+            Event {
+                token: Token(data),
+                bits,
+            }
+        })
+    }
+}
+
+/// The epoll instance. Owns the epoll fd; registered fds remain owned
+/// by the caller and must be deregistered (or closed) by the caller.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Start watching `fd` with the given interest; `token` is echoed
+    /// back in every event for this fd.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.epfd, fd, interest.bits(), token.0)
+    }
+
+    /// Replace the interest/token of an already-registered fd.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_mod(self.epfd, fd, interest.bits(), token.0)
+    }
+
+    /// Stop watching `fd`. Safe to call for fds about to be closed;
+    /// kernel-side cleanup on close makes a failure here non-fatal.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_del(self.epfd, fd)
+    }
+
+    /// Block until readiness or timeout; fills `events` and returns the
+    /// notification count. `None` blocks indefinitely; `Some(d)` rounds
+    /// *up* to whole milliseconds (so a 100 µs timeout still sleeps
+    /// ~1 ms rather than spinning — pair with a
+    /// [`crate::timer::TimerFd`] registered in this poll when
+    /// sub-millisecond deadlines matter). Returns 0 on timeout and on
+    /// spurious wakeups; callers must treat an empty batch as normal.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        events.len = sys::epoll_wait_events(self.epfd, &mut events.buf, timeout_ms)?;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}

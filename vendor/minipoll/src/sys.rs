@@ -1,0 +1,318 @@
+//! The system-call layer: everything `unsafe` in this crate lives here.
+//!
+//! The bindings are declared directly (`extern "C"`) against the
+//! platform libc that `std` already links, so no external crate is
+//! needed. Only Linux has a real implementation; every other platform
+//! gets a stub that returns [`std::io::ErrorKind::Unsupported`], keeping
+//! the workspace compiling (the evented transport falls back to the
+//! threaded backend there).
+
+/// Readiness bit: the fd is readable (`EPOLLIN`).
+pub const EVENT_IN: u32 = 0x001;
+/// Readiness bit: the fd is writable (`EPOLLOUT`).
+pub const EVENT_OUT: u32 = 0x004;
+/// Readiness bit: an error condition is pending (`EPOLLERR`).
+pub const EVENT_ERR: u32 = 0x008;
+/// Readiness bit: hang-up — the peer closed the connection (`EPOLLHUP`).
+pub const EVENT_HUP: u32 = 0x010;
+/// Readiness bit: the peer shut down its write half (`EPOLLRDHUP`).
+pub const EVENT_RDHUP: u32 = 0x2000;
+/// Registration flag: edge-triggered delivery (`EPOLLET`).
+pub const EVENT_ET: u32 = 1 << 31;
+
+/// One kernel readiness record, layout-compatible with
+/// `struct epoll_event` (packed on x86-64, naturally aligned elsewhere —
+/// the kernel ABI quirk every epoll binding reproduces).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EVENT_*`).
+    pub events: u32,
+    /// The caller's registration token, returned verbatim.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty record for pre-sizing wait buffers.
+    pub const fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_NONBLOCK: i32 = 0o4000;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_ERROR: i32 = 4;
+    const EINPROGRESS: i32 = 115;
+    const EINTR: i32 = 4;
+
+    const CLOCK_MONOTONIC: i32 = 1;
+    const TFD_NONBLOCK: i32 = 0o4000;
+    const TFD_CLOEXEC: i32 = 0o2000000;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[repr(C)]
+    struct ITimerSpec {
+        interval: Timespec,
+        value: Timespec,
+    }
+
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    struct SockAddrIn6 {
+        family: u16,
+        port_be: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn getsockopt(fd: i32, level: i32, name: i32, value: *mut i32, len: *mut u32) -> i32;
+        fn timerfd_create(clockid: i32, flags: i32) -> i32;
+        fn timerfd_settime(
+            fd: i32,
+            flags: i32,
+            new: *const ITimerSpec,
+            old: *mut ITimerSpec,
+        ) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    }
+
+    fn cvt(res: i32) -> io::Result<i32> {
+        if res < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(res)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, retrying transparently on `EINTR`.
+    pub fn epoll_wait_events(
+        epfd: RawFd,
+        buf: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() != Some(EINTR) {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        let _ = unsafe { close(fd) };
+    }
+
+    /// Create a non-blocking TCP socket and start connecting it to
+    /// `addr`. Returns the stream plus whether the connect completed
+    /// immediately (`false` = in progress: wait for writability, then
+    /// check [`take_socket_error`]).
+    pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(TcpStream, bool)> {
+        let domain = match addr {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+        // From here on the fd is owned by the TcpStream, so any error
+        // path closes it via Drop.
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        let res = match addr {
+            SocketAddr::V4(a) => {
+                let sa = SockAddrIn {
+                    family: AF_INET as u16,
+                    port_be: a.port().to_be(),
+                    addr: a.ip().octets(),
+                    zero: [0; 8],
+                };
+                unsafe {
+                    connect(
+                        fd,
+                        (&sa as *const SockAddrIn).cast(),
+                        std::mem::size_of::<SockAddrIn>() as u32,
+                    )
+                }
+            }
+            SocketAddr::V6(a) => {
+                let sa = SockAddrIn6 {
+                    family: AF_INET6 as u16,
+                    port_be: a.port().to_be(),
+                    flowinfo: a.flowinfo(),
+                    addr: a.ip().octets(),
+                    scope_id: a.scope_id(),
+                };
+                unsafe {
+                    connect(
+                        fd,
+                        (&sa as *const SockAddrIn6).cast(),
+                        std::mem::size_of::<SockAddrIn6>() as u32,
+                    )
+                }
+            }
+        };
+        if res == 0 {
+            return Ok((stream, true));
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINPROGRESS) {
+            Ok((stream, false))
+        } else {
+            Err(err)
+        }
+    }
+
+    /// The pending `SO_ERROR` on a socket, consumed: `Some` if the
+    /// in-progress connect failed, `None` if it succeeded.
+    pub fn take_socket_error(stream: &TcpStream) -> io::Result<Option<io::Error>> {
+        let mut value: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        cvt(unsafe {
+            getsockopt(
+                stream.as_raw_fd(),
+                SOL_SOCKET,
+                SO_ERROR,
+                &mut value,
+                &mut len,
+            )
+        })?;
+        Ok(if value == 0 {
+            None
+        } else {
+            Some(io::Error::from_raw_os_error(value))
+        })
+    }
+
+    pub fn timerfd_new() -> io::Result<RawFd> {
+        cvt(unsafe { timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC) })
+    }
+
+    /// Arm (or, with `ns == 0`, disarm) a one-shot timerfd expiry
+    /// `ns` nanoseconds from now.
+    pub fn timerfd_arm(fd: RawFd, ns: u64) -> io::Result<()> {
+        let spec = ITimerSpec {
+            interval: Timespec {
+                tv_sec: 0,
+                tv_nsec: 0,
+            },
+            value: Timespec {
+                tv_sec: (ns / 1_000_000_000) as i64,
+                tv_nsec: (ns % 1_000_000_000) as i64,
+            },
+        };
+        cvt(unsafe { timerfd_settime(fd, 0, &spec, std::ptr::null_mut()) }).map(|_| ())
+    }
+
+    /// Consume a timerfd's expiry count so it stops reporting readable.
+    /// A no-op when nothing expired (the fd is non-blocking).
+    pub fn timerfd_drain(fd: RawFd) {
+        let mut buf = [0u8; 8];
+        let _ = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::RawFd;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "minipoll requires Linux (epoll)",
+        ))
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        unsupported()
+    }
+    pub fn epoll_add(_: RawFd, _: RawFd, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn epoll_mod(_: RawFd, _: RawFd, _: u32, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn epoll_del(_: RawFd, _: RawFd) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn epoll_wait_events(_: RawFd, _: &mut [EpollEvent], _: i32) -> io::Result<usize> {
+        unsupported()
+    }
+    pub fn close_fd(_: RawFd) {}
+    pub fn connect_nonblocking(_: &SocketAddr) -> io::Result<(TcpStream, bool)> {
+        unsupported()
+    }
+    pub fn take_socket_error(_: &TcpStream) -> io::Result<Option<io::Error>> {
+        unsupported()
+    }
+    pub fn timerfd_new() -> io::Result<RawFd> {
+        unsupported()
+    }
+    pub fn timerfd_arm(_: RawFd, _: u64) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn timerfd_drain(_: RawFd) {}
+}
+
+pub use imp::*;

@@ -1,0 +1,168 @@
+//! Timer integration: a deadline heap for arbitrary keyed timers plus a
+//! `timerfd` handle that turns the earliest deadline into an epoll
+//! wakeup with nanosecond (not millisecond) resolution.
+
+use crate::sys;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::io;
+use std::os::fd::RawFd;
+
+/// A monotonic deadline heap with keyed re-arm/cancel semantics:
+/// arming a key that is already armed *replaces* its deadline (the
+/// stale heap entry is skipped lazily on pop), matching the transport
+/// `set_timer` contract.
+///
+/// Deadlines are caller-defined absolute microseconds (any monotonic
+/// epoch works as long as `arm` and `pop_due` agree on it).
+///
+/// ```
+/// use minipoll::Timers;
+/// let mut t: Timers<u32> = Timers::new();
+/// t.arm(7, 1_000);
+/// t.arm(9, 500);
+/// t.arm(7, 200); // re-arm replaces
+/// assert_eq!(t.pop_due(600), Some(7));
+/// assert_eq!(t.pop_due(600), Some(9));
+/// assert_eq!(t.pop_due(600), None);
+/// ```
+pub struct Timers<K> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    keys: HashMap<u64, K>,
+    armed: HashMap<K, u64>,
+    seq: u64,
+}
+
+impl<K: Hash + Eq + Copy> Timers<K> {
+    /// An empty timer set.
+    pub fn new() -> Timers<K> {
+        Timers {
+            heap: BinaryHeap::new(),
+            keys: HashMap::new(),
+            armed: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arm (or re-arm, replacing any earlier deadline) `key` to fire at
+    /// `deadline_us`.
+    pub fn arm(&mut self, key: K, deadline_us: u64) {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(old) = self.armed.insert(key, seq) {
+            self.keys.remove(&old);
+        }
+        self.keys.insert(seq, key);
+        self.heap.push(Reverse((deadline_us, seq)));
+    }
+
+    /// Disarm `key`; returns whether it was armed. The heap entry is
+    /// dropped lazily when it surfaces.
+    pub fn cancel(&mut self, key: K) -> bool {
+        match self.armed.remove(&key) {
+            Some(seq) => {
+                self.keys.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest live deadline, pruning stale (re-armed/cancelled)
+    /// entries off the top of the heap.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(Reverse((deadline, seq))) = self.heap.peek().copied() {
+            if self.keys.contains_key(&seq) {
+                return Some(deadline);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pop the earliest timer whose deadline is `<= now_us`, if any.
+    /// Ties fire in arm order. Call repeatedly until `None` to drain
+    /// everything due.
+    pub fn pop_due(&mut self, now_us: u64) -> Option<K> {
+        while let Some(Reverse((deadline, seq))) = self.heap.peek().copied() {
+            let Some(&key) = self.keys.get(&seq) else {
+                self.heap.pop(); // stale: re-armed or cancelled
+                continue;
+            };
+            if deadline > now_us {
+                return None;
+            }
+            self.heap.pop();
+            self.keys.remove(&seq);
+            self.armed.remove(&key);
+            return Some(key);
+        }
+        None
+    }
+
+    /// Number of currently armed timers.
+    pub fn len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Whether no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+}
+
+impl<K: Hash + Eq + Copy> Default for Timers<K> {
+    fn default() -> Self {
+        Timers::new()
+    }
+}
+
+/// A one-shot `timerfd` that can be registered in a [`crate::Poll`] so
+/// the earliest [`Timers`] deadline wakes the event loop with
+/// sub-millisecond precision (epoll's own timeout only resolves whole
+/// milliseconds).
+///
+/// Usage: register [`TimerFd::as_raw_fd`] readable, call
+/// [`TimerFd::arm_in_us`] with `next_deadline - now` before each poll,
+/// and [`TimerFd::drain`] when it reports readable.
+pub struct TimerFd {
+    fd: RawFd,
+}
+
+impl TimerFd {
+    /// Create a non-blocking monotonic timerfd.
+    pub fn new() -> io::Result<TimerFd> {
+        Ok(TimerFd {
+            fd: sys::timerfd_new()?,
+        })
+    }
+
+    /// The raw fd, for registration in a [`crate::Poll`].
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Arm a single expiry `us` microseconds from now. `0` is clamped
+    /// to 1 ns (an immediate fire) because a zero `it_value` would
+    /// disarm instead.
+    pub fn arm_in_us(&self, us: u64) -> io::Result<()> {
+        sys::timerfd_arm(self.fd, us.saturating_mul(1_000).max(1))
+    }
+
+    /// Disarm any pending expiry.
+    pub fn disarm(&self) -> io::Result<()> {
+        sys::timerfd_arm(self.fd, 0)
+    }
+
+    /// Consume the expiry count so the fd stops reporting readable.
+    pub fn drain(&self) {
+        sys::timerfd_drain(self.fd);
+    }
+}
+
+impl Drop for TimerFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
