@@ -1,0 +1,95 @@
+//! Posterior → anonymity metrics: Shannon entropy, min-entropy and the
+//! effective anonymity-set size, after Piotrowska's trilemma simulator
+//! (and Serjantov–Danezis/Díaz et al., who introduced entropy-based
+//! anonymity measurement).
+//!
+//! All functions accept *unnormalized* non-negative weights and
+//! normalize internally; an all-zero (or empty) posterior is treated as
+//! "the attacker knows nothing about nothing" and scores zero bits.
+
+/// Normalize non-negative weights into a probability vector. Negative
+/// weights are clamped to zero; an all-zero input normalizes to the
+/// empty-information vector (all zeros), which the entropy functions
+/// score as zero bits.
+pub fn normalized(posterior: &[f64]) -> Vec<f64> {
+    let clamped: Vec<f64> = posterior
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let total: f64 = clamped.iter().sum();
+    if total <= 0.0 {
+        return clamped;
+    }
+    clamped.into_iter().map(|w| w / total).collect()
+}
+
+/// Shannon entropy in bits: `-Σ p·log2(p)`. `log2(N)` for a uniform
+/// posterior over `N` candidates, `0` for a point mass.
+pub fn shannon_entropy_bits(posterior: &[f64]) -> f64 {
+    let p = normalized(posterior);
+    let h: f64 = p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum();
+    // -Σ over a point mass is -0.0; report a clean +0.0.
+    h.max(0.0)
+}
+
+/// Min-entropy in bits: `-log2(max p)` — the single-guess exposure.
+/// Equal to Shannon entropy on uniform and point-mass posteriors, lower
+/// everywhere else.
+pub fn min_entropy_bits(posterior: &[f64]) -> f64 {
+    let p = normalized(posterior);
+    let max = p.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        0.0
+    } else {
+        (-max.log2()).max(0.0)
+    }
+}
+
+/// Effective anonymity-set size `2^H` under the Shannon entropy: the
+/// number of equiprobable candidates that would produce the same
+/// uncertainty.
+pub fn anonymity_set_size(posterior: &[f64]) -> f64 {
+    shannon_entropy_bits(posterior).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_posterior_is_log2_n() {
+        let p = vec![1.0; 8];
+        assert!((shannon_entropy_bits(&p) - 3.0).abs() < 1e-12);
+        assert!((min_entropy_bits(&p) - 3.0).abs() < 1e-12);
+        assert!((anonymity_set_size(&p) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_mass_is_zero_bits() {
+        let mut p = vec![0.0; 16];
+        p[5] = 7.5;
+        assert_eq!(shannon_entropy_bits(&p), 0.0);
+        assert_eq!(min_entropy_bits(&p), 0.0);
+        assert_eq!(anonymity_set_size(&p), 1.0);
+    }
+
+    #[test]
+    fn all_zero_posterior_scores_zero() {
+        assert_eq!(shannon_entropy_bits(&[0.0, 0.0]), 0.0);
+        assert_eq!(min_entropy_bits(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_entropy_never_exceeds_shannon() {
+        let p = [0.5, 0.25, 0.125, 0.125];
+        assert!(min_entropy_bits(&p) <= shannon_entropy_bits(&p) + 1e-12);
+        assert!((min_entropy_bits(&p) - 1.0).abs() < 1e-12, "-log2(0.5)");
+        assert!((shannon_entropy_bits(&p) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_weights_are_clamped() {
+        let p = [f64::NAN, -3.0, 1.0, 1.0];
+        assert!((shannon_entropy_bits(&p) - 1.0).abs() < 1e-12);
+    }
+}

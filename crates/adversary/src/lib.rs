@@ -1,0 +1,95 @@
+//! Adversary models for the anonymity-trilemma suite.
+//!
+//! Every model here is a *passive consumer* of the driver observation
+//! tap ([`anon_core::observe`]): it reads per-relay packet timings and
+//! construction metadata recorded during a run and produces an
+//! [`Assessment`] — it never touches the simulation itself, so runs are
+//! byte-identical with or without an adversary attached (the tap's
+//! inertness proof obligation, pinned in `anon-core`).
+//!
+//! Three models behind one [`Adversary`] trait:
+//!
+//! * [`colluding::ColludingRelays`] — the paper's §5/§7 adversary: a
+//!   fraction `f` of nodes collude; a compromised *first* relay sees the
+//!   initiator directly, any other view leaves a uniform posterior over
+//!   the non-colluding nodes. Generalizes `anon_core::attack` to the
+//!   trait, including §7's staying adversary as uptime-biased
+//!   infiltration. Its mean posterior mass on the true initiator
+//!   reproduces Equation 4's `p_initiator_identified` at the
+//!   uniform-choice point.
+//! * [`timing::TimingEavesdropper`] — Ghaderi & Srikant's passive
+//!   eavesdropper ("Towards a Theory of Anonymous Networking"): observes
+//!   ingress/egress timestamps at a fraction of relays and scores
+//!   source–destination linkability by inter-packet-delay correlation;
+//!   defeated in proportion to cover traffic and mix delay.
+//! * [`colluding::Fused`] — colluding relays that additionally run the
+//!   timing correlator over their own vantage points (the strongest
+//!   model the suite sweeps).
+//!
+//! [`entropy`] holds the posterior → anonymity metrics (Shannon
+//! entropy, min-entropy, effective anonymity-set size) in the style of
+//! Piotrowska's trilemma simulator ("Studying the anonymity trilemma
+//! with a discrete-event mix network simulator").
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod colluding;
+pub mod entropy;
+pub mod timing;
+
+use anon_core::observe::ObservedRun;
+
+/// One adversary's judgment of an observed run.
+///
+/// Fields an adversary cannot estimate are `NaN` (the timing
+/// eavesdropper has no sender posterior; the colluding-relay model has
+/// no timing correlator) — CSV/snapshot renderers print them as `nan`.
+#[derive(Clone, Copy, Debug)]
+pub struct Assessment {
+    /// Mean Shannon entropy (bits) of the attacker's per-flow posterior
+    /// over initiators. `log2(candidates)` when the attacker learned
+    /// nothing, `0` when every flow identified its initiator.
+    pub shannon_entropy_bits: f64,
+    /// Mean min-entropy (bits) of the per-flow posterior — the
+    /// worst-case single-guess exposure.
+    pub min_entropy_bits: f64,
+    /// Effective anonymity-set size `2^H` under the Shannon entropy.
+    pub anonymity_set: f64,
+    /// Mean posterior mass the attacker puts on the *true* initiator —
+    /// the empirical counterpart of Equation 4's
+    /// `p_initiator_identified`.
+    pub p_identified: f64,
+    /// Source–destination linkability: AUC of the timing correlator's
+    /// true-pair score against false pairings (1.0 = always linkable,
+    /// 0.5 = chance).
+    pub linkability_auc: f64,
+}
+
+impl Assessment {
+    /// An assessment carrying no information at all: uniform posterior
+    /// over `n` candidates, chance-level linkability.
+    pub fn uninformed(n: usize) -> Self {
+        let bits = (n.max(1) as f64).log2();
+        Assessment {
+            shannon_entropy_bits: bits,
+            min_entropy_bits: bits,
+            anonymity_set: n.max(1) as f64,
+            p_identified: 1.0 / n.max(1) as f64,
+            linkability_auc: 0.5,
+        }
+    }
+}
+
+/// A passive adversary model: consumes one run's observations, returns
+/// an anonymity assessment. Implementations must be deterministic in
+/// their own configuration (seeds included) and must never mutate the
+/// run.
+pub trait Adversary {
+    /// Short label for CSV columns and snapshot axes
+    /// (e.g. `timing(0.20)`, `colluding(f=0.10,stays)`).
+    fn label(&self) -> String;
+
+    /// Assess one observed run.
+    fn assess(&self, run: &ObservedRun) -> Assessment;
+}

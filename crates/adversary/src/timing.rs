@@ -1,0 +1,298 @@
+//! Passive timing-correlation eavesdropper after Ghaderi & Srikant
+//! ("Towards a Theory of Anonymous Networking"): an observer that taps a
+//! fraction of relays, sees only packet timestamps there, and tries to
+//! link a source's transmission schedule to a destination's delivery
+//! schedule by counting inter-packet delays that fall inside a pairing
+//! window.
+//!
+//! The linkability score for a candidate (source stream `S`, destination
+//! stream `D`) pair is the windowed coincidence count normalized by
+//! `sqrt(|S|·|D|)`; the reported metric is an AUC over ordered flow
+//! pairs — how often the true pairing outscores a false one (1.0 =
+//! perfect linking, 0.5 = chance). Cover traffic is modeled as
+//! deterministic synthetic emissions mixed into both streams at a
+//! configurable rate: extra coincidences accrue to true and false
+//! pairings alike, so the AUC decays toward 0.5 as the cover rate grows
+//! — the bandwidth leg of the anonymity trilemma.
+
+use crate::{Adversary, Assessment};
+use anon_core::observe::ObservedRun;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use simnet::NodeId;
+use std::collections::HashSet;
+
+/// An eavesdropper tapping a uniform fraction of relays.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingEavesdropper {
+    /// Fraction of non-endpoint nodes whose links the adversary taps.
+    pub relay_fraction: f64,
+    /// Pairing window in seconds: a source emission at `s` and delivery
+    /// at `d` coincide when `0 ≤ d − s ≤ window_secs`.
+    pub window_secs: f64,
+    /// Defender's cover-traffic rate in emissions per minute, mixed into
+    /// every observed stream.
+    pub cover_per_min: f64,
+    /// Seed for the tap-placement draw and cover synthesis.
+    pub seed: u64,
+}
+
+impl TimingEavesdropper {
+    /// The tapped relay set: a seeded uniform draw over the non-endpoint
+    /// nodes, deterministic in `(self.seed, run.n)`.
+    pub fn observed(&self, run: &ObservedRun) -> HashSet<NodeId> {
+        let mut candidates: Vec<NodeId> = (0..run.n)
+            .map(NodeId::from)
+            .filter(|id| *id != run.initiator && *id != run.responder)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x71A1);
+        candidates.shuffle(&mut rng);
+        let k = ((candidates.len() as f64) * self.relay_fraction).round() as usize;
+        candidates.into_iter().take(k).collect()
+    }
+}
+
+impl Adversary for TimingEavesdropper {
+    fn label(&self) -> String {
+        format!(
+            "timing({:.2},w={:.1}s,cover={:.1}/min)",
+            self.relay_fraction, self.window_secs, self.cover_per_min
+        )
+    }
+
+    fn assess(&self, run: &ObservedRun) -> Assessment {
+        let observed = self.observed(run);
+        Assessment {
+            shannon_entropy_bits: f64::NAN,
+            min_entropy_bits: f64::NAN,
+            anonymity_set: f64::NAN,
+            p_identified: f64::NAN,
+            linkability_auc: linkability_auc(
+                run,
+                &observed,
+                self.window_secs,
+                self.cover_per_min,
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// Windowed coincidence score between a source timestamp stream and a
+/// *sorted* destination timestamp stream: pairs with `0 ≤ d − s ≤
+/// window`, normalized by `sqrt(|S|·|D|)`. Zero if either stream is
+/// empty. Counting is a binary-search range query per source timestamp,
+/// so heavy cover traffic stays affordable.
+fn window_score(src: &[f64], dst_sorted: &[f64], window: f64) -> f64 {
+    if src.is_empty() || dst_sorted.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0u64;
+    for &s in src {
+        let lo = dst_sorted.partition_point(|&d| d < s);
+        let hi = dst_sorted.partition_point(|&d| d <= s + window);
+        hits += (hi - lo) as u64;
+    }
+    hits as f64 / ((src.len() as f64) * (dst_sorted.len() as f64)).sqrt()
+}
+
+/// Source–destination linkability AUC over the flows of an observed run,
+/// scored from the vantage points in `observed`.
+///
+/// Per flow the source stream is the send timestamps whose first relay
+/// is tapped, and the destination stream is the delivery timestamps when
+/// any of the flow's last relays is tapped; flows invisible on either
+/// side contribute chance (0.5) to the AUC. Synthetic cover emissions
+/// (`cover_per_min` per stream, seeded deterministically per flow from
+/// `seed`) are appended to both streams before scoring. Returns `NaN`
+/// when fewer than two flows exist (no false pairings to rank against).
+pub fn linkability_auc(
+    run: &ObservedRun,
+    observed: &HashSet<NodeId>,
+    window_secs: f64,
+    cover_per_min: f64,
+    seed: u64,
+) -> f64 {
+    let flows = &run.flows;
+    if flows.len() < 2 {
+        return f64::NAN;
+    }
+    // Time span covered by the run, for cover synthesis.
+    let all_sent: Vec<f64> = flows
+        .iter()
+        .flat_map(|f| f.sent_at.iter().map(|t| t.as_secs_f64()))
+        .collect();
+    let t0 = all_sent.iter().cloned().fold(f64::INFINITY, f64::min);
+    let t1 = all_sent.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if t0.is_finite() {
+        (t1 - t0) + 60.0
+    } else {
+        60.0
+    };
+    let origin = if t0.is_finite() { t0 } else { 0.0 };
+    let cover_count = (cover_per_min * span / 60.0).round() as usize;
+
+    let cover = |flow_idx: u64, side: u64| -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ flow_idx.wrapping_mul(0x9E37_79B9) ^ side.wrapping_mul(0xC0FE),
+        );
+        (0..cover_count)
+            .map(|_| origin + rng.gen_range(0.0..span))
+            .collect()
+    };
+
+    // Per-flow observed streams (None = invisible to this adversary).
+    let mut src: Vec<Option<Vec<f64>>> = Vec::with_capacity(flows.len());
+    let mut dst: Vec<Option<Vec<f64>>> = Vec::with_capacity(flows.len());
+    for (i, f) in flows.iter().enumerate() {
+        let s: Vec<f64> = f
+            .sent_at
+            .iter()
+            .zip(&f.first_relays)
+            .filter(|(_, r)| observed.contains(r))
+            .map(|(t, _)| t.as_secs_f64())
+            .collect();
+        let seen_exit = f.last_relays.iter().any(|r| observed.contains(r));
+        let d: Vec<f64> = if seen_exit {
+            f.delivered_at.iter().map(|t| t.as_secs_f64()).collect()
+        } else {
+            Vec::new()
+        };
+        src.push((!s.is_empty()).then(|| {
+            let mut s = s;
+            s.extend(cover(i as u64, 0));
+            s
+        }));
+        dst.push((seen_exit && !d.is_empty()).then(|| {
+            let mut d = d;
+            d.extend(cover(i as u64, 1));
+            // Sorted once here so window_score can range-query it.
+            d.sort_by(f64::total_cmp);
+            d
+        }));
+    }
+
+    // AUC: for each ordered pair (i, j), i ≠ j, does the true pairing
+    // (S_i, D_i) outscore the false pairing (S_i, D_j)?
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..flows.len() {
+        for j in 0..flows.len() {
+            if i == j {
+                continue;
+            }
+            pairs += 1;
+            let (Some(si), Some(di), Some(dj)) = (&src[i], &dst[i], &dst[j]) else {
+                total += 0.5; // invisible on some side: chance
+                continue;
+            };
+            let true_score = window_score(si, di, window_secs);
+            let false_score = window_score(si, dj, window_secs);
+            if true_score > false_score {
+                total += 1.0;
+            } else if true_score == false_score {
+                total += 0.5;
+            }
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anon_core::observe::{FlowTruth, ObservationLog, ObservedRun};
+    use anon_core::MessageId;
+    use simnet::SimTime;
+
+    /// A run with `k` flows, each one segment sent at `100·i` s through
+    /// first relay 2 and delivered 1 s later via last relay 3 — widely
+    /// separated, so a small window links them perfectly.
+    fn separated_run(k: usize) -> ObservedRun {
+        let flows = (0..k)
+            .map(|i| FlowTruth {
+                mid: MessageId(i as u64),
+                sent_at: vec![SimTime::from_secs(100 * i as u64)],
+                delivered_at: vec![SimTime::from_secs(100 * i as u64 + 1)],
+                first_relays: vec![NodeId(2)],
+                last_relays: vec![NodeId(3)],
+            })
+            .collect();
+        ObservedRun {
+            log: ObservationLog::new(),
+            n: 16,
+            initiator: NodeId(0),
+            responder: NodeId(1),
+            flows,
+        }
+    }
+
+    fn tap(ids: &[u32]) -> HashSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn separated_flows_link_perfectly_without_cover() {
+        let run = separated_run(6);
+        let auc = linkability_auc(&run, &tap(&[2, 3]), 5.0, 0.0, 7);
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn unobserved_relays_leave_chance() {
+        let run = separated_run(6);
+        let auc = linkability_auc(&run, &tap(&[9]), 5.0, 0.0, 7);
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn cover_traffic_degrades_linkability() {
+        let run = separated_run(8);
+        let clean = linkability_auc(&run, &tap(&[2, 3]), 5.0, 0.0, 7);
+        let heavy = linkability_auc(&run, &tap(&[2, 3]), 5.0, 120.0, 7);
+        assert_eq!(clean, 1.0);
+        assert!(
+            heavy < clean,
+            "120 cover msgs/min must dilute the correlator (got {heavy})"
+        );
+        assert!((0.0..=1.0).contains(&heavy));
+    }
+
+    #[test]
+    fn fewer_than_two_flows_is_nan() {
+        let run = separated_run(1);
+        assert!(linkability_auc(&run, &tap(&[2, 3]), 5.0, 0.0, 7).is_nan());
+    }
+
+    #[test]
+    fn tap_placement_is_deterministic_and_sized() {
+        let run = separated_run(2);
+        let adv = TimingEavesdropper {
+            relay_fraction: 0.5,
+            window_secs: 5.0,
+            cover_per_min: 0.0,
+            seed: 11,
+        };
+        let a = adv.observed(&run);
+        let b = adv.observed(&run);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7, "round(14 non-endpoint nodes * 0.5)");
+        assert!(!a.contains(&run.initiator) && !a.contains(&run.responder));
+    }
+
+    #[test]
+    fn assessment_has_timing_fields_only() {
+        let run = separated_run(4);
+        let adv = TimingEavesdropper {
+            relay_fraction: 1.0,
+            window_secs: 5.0,
+            cover_per_min: 0.0,
+            seed: 3,
+        };
+        let a = adv.assess(&run);
+        assert!(a.shannon_entropy_bits.is_nan());
+        assert!(a.p_identified.is_nan());
+        assert_eq!(a.linkability_auc, 1.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the entropy-based anonymity metrics: the algebraic
+//! identities every posterior scorer must satisfy (uniform → `log2(N)`,
+//! point mass → `0`, permutation invariance, min ≤ Shannon).
+
+use adversary::entropy::{anonymity_set_size, min_entropy_bits, normalized, shannon_entropy_bits};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A uniform posterior over `n` candidates scores exactly `log2(n)`
+    /// bits under both entropies, regardless of the (positive) weight
+    /// scale.
+    #[test]
+    fn uniform_posterior_scores_log2_n(n in 1usize..512, scale in 0.001f64..1000.0) {
+        let p = vec![scale; n];
+        let expect = (n as f64).log2();
+        prop_assert!((shannon_entropy_bits(&p) - expect).abs() < 1e-9);
+        prop_assert!((min_entropy_bits(&p) - expect).abs() < 1e-9);
+        prop_assert!((anonymity_set_size(&p) - n as f64).abs() < 1e-6 * n as f64);
+    }
+
+    /// A point mass scores zero bits wherever it sits and whatever its
+    /// weight.
+    #[test]
+    fn point_mass_scores_zero(n in 1usize..512, idx in 0usize..512, w in 0.001f64..1000.0) {
+        let mut p = vec![0.0; n];
+        p[idx % n] = w;
+        prop_assert_eq!(shannon_entropy_bits(&p), 0.0);
+        prop_assert_eq!(min_entropy_bits(&p), 0.0);
+        prop_assert_eq!(anonymity_set_size(&p), 1.0);
+    }
+
+    /// Entropy is a function of the multiset of probabilities: rotating
+    /// the posterior never changes the score.
+    #[test]
+    fn permutation_invariance(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..64),
+        rot in 0usize..64,
+    ) {
+        let mut rotated = weights.clone();
+        rotated.rotate_left(rot % weights.len());
+        prop_assert!(
+            (shannon_entropy_bits(&weights) - shannon_entropy_bits(&rotated)).abs() < 1e-9
+        );
+        prop_assert!(
+            (min_entropy_bits(&weights) - min_entropy_bits(&rotated)).abs() < 1e-9
+        );
+    }
+
+    /// Min-entropy never exceeds Shannon entropy, and both stay within
+    /// `[0, log2(n)]`.
+    #[test]
+    fn entropy_bounds_hold(weights in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        let h = shannon_entropy_bits(&weights);
+        let hmin = min_entropy_bits(&weights);
+        prop_assert!(hmin <= h + 1e-9);
+        prop_assert!(h >= 0.0 && hmin >= 0.0);
+        prop_assert!(h <= (weights.len() as f64).log2() + 1e-9);
+    }
+
+    /// `normalized` returns a probability vector (sums to 1) whenever
+    /// any weight is positive, and never produces negatives or NaN.
+    #[test]
+    fn normalized_is_a_distribution(weights in proptest::collection::vec(-10.0f64..100.0, 1..64)) {
+        let p = normalized(&weights);
+        prop_assert_eq!(p.len(), weights.len());
+        prop_assert!(p.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let total: f64 = p.iter().sum();
+        if weights.iter().any(|&w| w > 0.0) {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(total, 0.0);
+        }
+    }
+}

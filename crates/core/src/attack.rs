@@ -42,34 +42,42 @@ pub struct AttackResult {
     pub slots_total: u64,
 }
 
+/// NaN-free rate: `num / den`, or `0.0` when the denominator is zero
+/// (no observations means no evidence of compromise, not undefined).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 impl AttackResult {
     /// Empirical `P(first relay compromised)` — compare with `f` (the
     /// §5 exact Case-1 probability under uniform choice).
     pub fn first_relay_rate(&self) -> f64 {
-        if self.constructions == 0 {
-            0.0
-        } else {
-            self.first_relay_compromised as f64 / self.constructions as f64
-        }
+        ratio(self.first_relay_compromised, self.constructions)
     }
 
     /// Empirical full-path compromise rate (~`f^L` under uniform choice).
     pub fn full_path_rate(&self) -> f64 {
-        if self.constructions == 0 {
-            0.0
-        } else {
-            self.fully_compromised as f64 / self.constructions as f64
-        }
+        ratio(self.fully_compromised, self.constructions)
     }
 
     /// Fraction of relay slots held by the adversary.
     pub fn occupancy(&self) -> f64 {
-        if self.slots_total == 0 {
-            0.0
-        } else {
-            self.slots_compromised as f64 / self.slots_total as f64
-        }
+        ratio(self.slots_compromised, self.slots_total)
     }
+}
+
+/// Deterministically select the attacker's nodes: a uniform `f` fraction
+/// of the ID space drawn from `rng` (shuffle-and-take, so any two callers
+/// with the same RNG state agree on the set).
+pub fn select_compromised(n: usize, f: f64, rng: &mut impl rand::Rng) -> HashSet<NodeId> {
+    let mut ids: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+    ids.shuffle(rng);
+    let num_bad = ((n as f64) * f).round() as usize;
+    ids.into_iter().take(num_bad).collect()
 }
 
 /// Run the attack measurement: `events` constructions by random live
@@ -86,10 +94,7 @@ pub fn run_attack_experiment(
     let mut world = World::new(world_cfg.clone());
 
     // Pick the compromised set deterministically from the world's RNG.
-    let mut ids: Vec<NodeId> = (0..world_cfg.n).map(NodeId::from).collect();
-    ids.shuffle(&mut world.rng);
-    let num_bad = ((world_cfg.n as f64) * attack.f).round() as usize;
-    let compromised: HashSet<NodeId> = ids.into_iter().take(num_bad).collect();
+    let compromised = select_compromised(world_cfg.n, attack.f, &mut world.rng);
     if attack.adversary_stays {
         let bad: Vec<NodeId> = compromised.iter().copied().collect();
         world.pin_up(&bad);
@@ -186,6 +191,30 @@ mod tests {
             horizon: SimTime::from_secs(3600),
             ..WorldConfig::paper_default(seed)
         }
+    }
+
+    #[test]
+    fn zero_constructions_yields_zero_rates_not_nan() {
+        // An experiment that never observes a construction (or a slot)
+        // must report clean 0.0 rates, never NaN — downstream CSV cells
+        // and golden snapshots assume finite values here.
+        let empty = AttackResult::default();
+        assert_eq!(empty.first_relay_rate(), 0.0);
+        assert_eq!(empty.full_path_rate(), 0.0);
+        assert_eq!(empty.occupancy(), 0.0);
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(3, 4), 0.75);
+    }
+
+    #[test]
+    fn compromised_set_size_tracks_fraction() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let set = select_compromised(200, 0.25, &mut rng);
+        assert_eq!(set.len(), 50);
+        // Deterministic for a given RNG stream.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(set, select_compromised(200, 0.25, &mut rng2));
     }
 
     #[test]

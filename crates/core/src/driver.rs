@@ -13,6 +13,7 @@
 use crate::endpoint::{Initiator, Outgoing};
 use crate::ids::{MessageId, StreamId};
 use crate::instrument::{wire_tag, DriverTelemetry};
+use crate::observe::ObservationLog;
 use crate::onion::{build_reverse_payload_into, peel_reverse_payload_in_place, PathPlan};
 use crate::pool::BufferPool;
 use crate::relay::{PeeledAction, Relay, RelayAction};
@@ -111,6 +112,10 @@ pub struct DriverWorld {
     /// Optional live instruments (see [`crate::instrument`]); write-only,
     /// so `None` vs `Some` cannot change a trajectory.
     pub telemetry: Option<DriverTelemetry>,
+    /// Optional adversary observation tap (see [`crate::observe`]):
+    /// record-only like telemetry, so attaching it cannot change a
+    /// trajectory — pinned by `observation_tap_changes_nothing`.
+    pub tap: Option<ObservationLog>,
     initiator: NodeId,
     /// Initiator-side path plans keyed by initiator stream id, needed to
     /// peel reverse onions arriving back at the initiator.
@@ -182,6 +187,7 @@ impl Driver {
             auto_ack: false,
             pool: BufferPool::new(),
             telemetry: None,
+            tap: None,
             initiator: initiator_id,
             plans: HashMap::new(),
             pending_acks: HashMap::new(),
@@ -218,9 +224,35 @@ impl Driver {
         self
     }
 
+    /// Attach the adversary observation tap: every subsequent link
+    /// crossing and path registration is recorded into an
+    /// [`ObservationLog`], retrievable with
+    /// [`take_observations`](Self::take_observations). Record-only —
+    /// the trajectory is identical with or without this call.
+    pub fn with_observation(mut self) -> Self {
+        self.world.tap = Some(ObservationLog::new());
+        self
+    }
+
+    /// Detach and return the observation log (`None` if the tap was
+    /// never attached).
+    pub fn take_observations(&mut self) -> Option<ObservationLog> {
+        self.world.tap.take()
+    }
+
     /// Register an initiator-side path plan so reverse onions arriving on
     /// its stream id can be peeled (required for auto-ack traffic).
     pub fn register_path(&mut self, sid: StreamId, plan: PathPlan) {
+        if let Some(tap) = &mut self.world.tap {
+            let relays = plan.hops[..plan.hops.len() - 1].to_vec();
+            tap.record_construction(
+                self.initiator_id,
+                plan.responder(),
+                relays,
+                sid,
+                self.engine.now(),
+            );
+        }
         self.world.plans.insert(sid, plan);
     }
 
@@ -339,7 +371,13 @@ impl Driver {
                 if let Some(t) = &w.telemetry {
                     t.record_send(tag, bytes.len() as u64, owd.as_micros());
                 }
+                if let Some(tap) = &mut w.tap {
+                    tap.record_egress(from, to, now, tag, bytes.len() as u64, sid);
+                }
                 e.schedule_at(now + owd, move |w, e| {
+                    if let Some(tap) = &mut w.tap {
+                        tap.record_ingress(from, to, e.now(), tag, bytes.len() as u64, sid);
+                    }
                     let frame =
                         wire::decode_frame_vec(bytes).expect("driver-encoded frames decode");
                     let Frame::Stream { sid, wire } = frame else {
@@ -802,6 +840,74 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true), "empty plan is event-for-event inert");
+    }
+
+    #[test]
+    fn observation_tap_changes_nothing() {
+        // The adversary tap is record-only: attaching it must leave the
+        // trajectory event-for-event identical — same engine counters,
+        // same delivery times — exactly like FaultPlan::none() and
+        // telemetry-off.
+        let (schedule, latency) = always_up(12);
+        let paths = [
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+        ];
+        let codec = ErasureCodec::new(1, 2).unwrap();
+        let times = [(MessageId(5), SimTime::from_secs(2))];
+        let run = |observed: bool| {
+            let (schedule, latency) = (schedule.clone(), latency.clone());
+            let mut driver = Driver::new(12, schedule, latency, NodeId(0), 3).with_auto_ack();
+            if observed {
+                driver = driver.with_observation();
+            }
+            let mut initiator = Initiator::new(NodeId(0));
+            let mut rng = StdRng::seed_from_u64(0x51ed ^ 3);
+            let hop_lists: Vec<Vec<(NodeId, PublicKey)>> = paths
+                .iter()
+                .map(|p| driver.world.hops(p, NodeId(11)))
+                .collect();
+            let msgs = initiator.construct_paths(&hop_lists, &mut rng);
+            for p in initiator.paths() {
+                driver.register_path(p.sid, p.plan.clone());
+            }
+            for msg in &msgs {
+                driver.launch_construction(msg, SimTime::from_secs(1));
+            }
+            let payload = vec![0xEEu8; 1024];
+            for &(mid, at) in &times {
+                let out = initiator
+                    .send_message(mid, &payload, &codec, None, &mut rng)
+                    .unwrap();
+                for msg in &out {
+                    driver.launch_payload(msg, at);
+                }
+            }
+            driver.run_until(SimTime::from_secs(100));
+            let obs = driver.take_observations();
+            if observed {
+                let log = obs.expect("tap attached");
+                assert!(!log.packets.is_empty(), "link crossings observed");
+                assert_eq!(log.constructions.len(), paths.len());
+                assert!(
+                    log.packets.iter().any(|p| p.ingress) && log.packets.iter().any(|p| !p.ingress),
+                    "both directions observed"
+                );
+            } else {
+                assert!(obs.is_none());
+            }
+            (
+                driver.engine.counters(),
+                driver
+                    .world
+                    .deliveries
+                    .iter()
+                    .map(|d| d.at)
+                    .collect::<Vec<_>>(),
+                driver.world.acks.len(),
+            )
+        };
+        assert_eq!(run(false), run(true), "the tap is event-for-event inert");
     }
 
     #[test]

@@ -51,6 +51,9 @@
 //!   and corrected).
 //! * [`attack`] — adversary simulation: empirical compromise rates and
 //!   the §7 staying-adversary analysis.
+//! * [`observe`] — the read-only observation tap (packet timings +
+//!   construction metadata) consumed by the `adversary` crate; proven
+//!   inert when detached.
 //! * [`rendezvous`] — §3 mutual anonymity via a rendezvous point.
 //! * [`metrics`] — the four-metric evaluation framework (§6.1).
 //! * [`pool`] — reusable byte-buffer pool backing the driver hot path.
@@ -73,6 +76,7 @@ pub mod ids;
 pub mod instrument;
 pub mod metrics;
 pub mod mix;
+pub mod observe;
 pub mod onion;
 pub mod pool;
 pub mod protocols;

@@ -1,26 +1,36 @@
 //! Adversary measurement: empirical §5 anonymity over real path
 //! constructions, plus the §7 "adversary stays online" risk analysis
 //! under biased mix choice.
+//!
+//! ```text
+//! attack [--seed S] [--trials N]
+//! ```
+//!
+//! `--seed` moves the world seed (default 31); `--trials` overrides the
+//! number of path constructions measured per point (default 2000, or
+//! 300 under `EXPERIMENT_QUICK=1`).
 
 use anon_core::anonymity;
 use anon_core::attack::{run_attack_experiment, staying_adversary_advantage, AttackConfig};
 use anon_core::mix::MixStrategy;
 use anon_core::sim::WorldConfig;
 use experiments::experiments::Scale;
-use experiments::{default_threads, par_map, Table};
+use experiments::{default_threads, par_map, resolve_flag, Table};
 
 fn main() {
     let scale = Scale::from_env();
-    let (n, events) = match scale {
+    let (n, default_events) = match scale {
         Scale::Full => (1024usize, 2000usize),
         Scale::Quick => (192, 300),
     };
+    let seed: u64 = resolve_flag("--seed").unwrap_or(31);
+    let events: usize = resolve_flag("--trials").unwrap_or(default_events);
     let world = WorldConfig {
         n,
-        ..scale.world(31)
+        ..scale.world(seed)
     };
     let warmup = scale.warmup();
-    println!("adversary measurement — n = {n}, {events} constructions per point\n");
+    println!("adversary measurement — n = {n}, {events} constructions per point, seed {seed}\n");
 
     // ---- Part 1: empirical Eq. 4 (random choice, churning adversary) ----
     let fs = [0.1f64, 0.2, 0.3, 0.4, 0.5];

@@ -1,18 +1,30 @@
 //! §5 anonymity analysis: `P(x = I)` (Equation 4) for N = 1024, L = 3,
 //! across the colluding fraction `f`, with a Monte-Carlo attack simulation.
+//!
+//! ```text
+//! eq4 [--seed S] [--trials N]
+//! ```
+//!
+//! `--seed` moves the Monte-Carlo seed (default 5); `--trials` overrides
+//! the trial count per point (default 400 000, or 40 000 under
+//! `EXPERIMENT_QUICK=1`).
 
 use experiments::experiments::{eq4_data, Scale};
-use experiments::Table;
+use experiments::{resolve_flag, Table};
 
 fn main() {
     let scale = Scale::from_env();
-    let trials = match scale {
+    let default_trials = match scale {
         Scale::Full => 400_000,
         Scale::Quick => 40_000,
     };
-    println!("Eq. 4 — initiator identification probability, N = 1024, L = 3, trials = {trials}\n");
+    let seed: u64 = resolve_flag("--seed").unwrap_or(5);
+    let trials: usize = resolve_flag("--trials").unwrap_or(default_trials);
+    println!(
+        "Eq. 4 — initiator identification probability, N = 1024, L = 3, trials = {trials}, seed {seed}\n"
+    );
 
-    let rows = eq4_data(1024, 3, trials, 5);
+    let rows = eq4_data(1024, 3, trials, seed);
     let mut table = Table::new(
         "Equation 4: P(x = I) vs f",
         &[

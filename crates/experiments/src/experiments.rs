@@ -13,7 +13,8 @@ use anon_core::metrics::ProtocolMetrics;
 use anon_core::mix::MixStrategy;
 use anon_core::protocols::runner::{
     run_performance_experiment_traced, run_recovery_experiment_instrumented,
-    run_setup_experiment_traced, PerfConfig, RecoveryConfig, RecoveryParams, SetupConfig,
+    run_recovery_experiment_observed, run_setup_experiment_traced, PerfConfig, RecoveryConfig,
+    RecoveryParams, SetupConfig,
 };
 use anon_core::protocols::ProtocolKind;
 use anon_core::sim::WorldConfig;
@@ -728,6 +729,240 @@ pub fn eq4_data(n: usize, l: usize, trials: usize, seed: u64) -> Vec<Eq4Row> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------- Trilemma sweep
+
+/// One row of the anonymity-trilemma sweep: a simulated
+/// (protocol × mix strategy) run assessed under one
+/// (cover rate × adversary strength) grid cell.
+///
+/// The simulation itself never sees the cover rate or the adversary —
+/// both are assessment-side parameters consumed from the observation
+/// tap, which is why one run can be scored under the whole grid (and why
+/// attaching the adversary is provably inert).
+#[derive(Clone, Debug)]
+pub struct TrilemmaRow {
+    /// Protocol label (`CurMix`, `SimRep(r=2)`, `SimEra(k=4,r=2)`).
+    pub protocol: String,
+    /// Mix-choice strategy (`random` or `biased`).
+    pub strategy: &'static str,
+    /// Defender cover-traffic rate in emissions per minute per stream.
+    pub cover_per_min: f64,
+    /// Adversary strength: colluding fraction and timing-tap fraction.
+    pub f: f64,
+    /// Mean Shannon entropy (bits) of the colluding adversary's
+    /// per-construction posterior over initiators.
+    pub shannon_bits: f64,
+    /// Effective anonymity-set size `2^H`.
+    pub anonymity_set: f64,
+    /// Mean posterior mass on the true initiator.
+    pub p_identified: f64,
+    /// Equation 4's analytic `p_initiator_identified(n, f, L)` for this
+    /// scale — the value `p_identified` converges to at the
+    /// uniform-choice (random mix) point.
+    pub eq4_analytic: f64,
+    /// Timing-correlation linkability AUC (0.5 = chance).
+    pub linkability_auc: f64,
+    /// End-to-end delivery rate of the underlying run.
+    pub delivery: f64,
+    /// Mean end-to-end message latency (ms) of the underlying run.
+    pub latency_ms: f64,
+    /// Bandwidth overhead: retransmitted segments per first-transmission
+    /// segment plus modeled cover emissions per data message.
+    pub bandwidth_overhead: f64,
+}
+
+/// Cover-traffic rates (emissions per minute) the sweep visits.
+pub fn trilemma_cover_rates() -> Vec<f64> {
+    vec![0.0, 6.0, 30.0, 120.0]
+}
+
+/// Adversary strengths (colluding/tap fraction) the sweep visits.
+pub fn trilemma_fractions() -> Vec<f64> {
+    vec![0.1, 0.2, 0.4]
+}
+
+/// Timing-correlation pairing window (seconds) used by the sweep.
+pub const TRILEMMA_WINDOW_SECS: f64 = 2.0;
+
+/// Anonymity-trilemma sweep: cover rate × mix strategy × protocol ×
+/// adversary strength. One sharded simulation job per
+/// (protocol, strategy, seed); every job is assessed post-hoc under the
+/// full (cover, f) grid by the `adversary` crate, so the grid multiplies
+/// rows without multiplying simulations.
+pub fn trilemma_data(scale: Scale, threads: usize) -> Traced<Vec<TrilemmaRow>> {
+    use adversary::colluding::ColludingRelays;
+    use adversary::timing::TimingEavesdropper;
+    use adversary::Adversary;
+
+    let protocols = [
+        ProtocolKind::CurMix,
+        ProtocolKind::SimRep { k: 2 },
+        ProtocolKind::SimEra { k: 4, r: 2 },
+    ];
+    let strategies = [
+        ("random", MixStrategy::Random),
+        ("biased", MixStrategy::Biased),
+    ];
+    let covers = trilemma_cover_rates();
+    let fracs = trilemma_fractions();
+    let messages = match scale {
+        Scale::Full => 50,
+        Scale::Quick => 12,
+    };
+    let seeds = scale.seeds();
+    let world = scale.world(0);
+    let (world_n, world_l) = (world.n, world.l);
+    let msg_interval = SimDuration::from_secs(20);
+
+    let mut points: Vec<(String, &'static str, RecoveryConfig)> = Vec::new();
+    for protocol in protocols {
+        for (sname, strategy) in strategies {
+            let label = format!("{}/{}", protocol.label(), sname);
+            let cfg = RecoveryConfig {
+                world: world.clone(),
+                protocol,
+                strategy,
+                faults: FaultConfig::NONE,
+                recovery: RecoveryParams::default(),
+                warmup: scale.warmup(),
+                msg_interval,
+                msg_bytes: 1024,
+                messages,
+            };
+            points.push((label, sname, cfg));
+        }
+    }
+
+    // Per-run grid cell: (shannon_bits, anonymity_set, p_identified, auc),
+    // indexed `fi * covers.len() + ci`; plus the run's own
+    // (delivery, latency_ms, retransmit_overhead).
+    type Cell = (f64, f64, f64, f64);
+    type TriRun = (Vec<Cell>, f64, f64, f64);
+
+    let jobs: Vec<RunSpec<RecoveryConfig>> = points
+        .iter()
+        .flat_map(|(label, _, base)| {
+            seeds.iter().map(move |&seed| RunSpec {
+                label: label.clone(),
+                seed,
+                payload: RecoveryConfig {
+                    world: WorldConfig {
+                        seed,
+                        ..base.world.clone()
+                    },
+                    ..base.clone()
+                },
+            })
+        })
+        .collect();
+
+    // Equation 4 is an expectation over adversary placements; one
+    // infiltration draw against a handful of constructions is pure
+    // noise, so each run's colluding assessment is averaged over many
+    // independent draws (the Monte-Carlo runs in adversary space — the
+    // simulation is never re-run).
+    const INFILTRATION_DRAWS: u64 = 32;
+
+    let (results, traces) = run_all("trilemma", jobs, threads, |spec| {
+        let (res, stats, obs) = run_recovery_experiment_observed(&spec.payload, None, true);
+        let run = obs.expect("observation requested");
+        let mut cells: Vec<Cell> = Vec::with_capacity(fracs.len() * covers.len());
+        for &f in &fracs {
+            let mut acc = (0.0, 0.0, 0.0);
+            for draw in 0..INFILTRATION_DRAWS {
+                let a = ColludingRelays {
+                    fraction: f,
+                    adversary_stays: false,
+                    seed: (spec.seed ^ 0xC011).wrapping_add(draw.wrapping_mul(0x9E37_79B9)),
+                }
+                .assess(&run);
+                acc.0 += a.shannon_entropy_bits;
+                acc.1 += a.anonymity_set;
+                acc.2 += a.p_identified;
+            }
+            let d = INFILTRATION_DRAWS as f64;
+            let coll = adversary::Assessment {
+                shannon_entropy_bits: acc.0 / d,
+                min_entropy_bits: f64::NAN,
+                anonymity_set: acc.1 / d,
+                p_identified: acc.2 / d,
+                linkability_auc: f64::NAN,
+            };
+            for &cover in &covers {
+                let tim = TimingEavesdropper {
+                    relay_fraction: f,
+                    window_secs: TRILEMMA_WINDOW_SECS,
+                    cover_per_min: cover,
+                    seed: spec.seed ^ 0x71AE,
+                }
+                .assess(&run);
+                cells.push((
+                    coll.shannon_entropy_bits,
+                    coll.anonymity_set,
+                    coll.p_identified,
+                    tim.linkability_auc,
+                ));
+            }
+        }
+        let values = vec![
+            ("delivery_rate".to_string(), res.delivery_rate()),
+            ("latency_ms".to_string(), res.metrics.latency_ms.mean()),
+            ("entropy_f0_c0".to_string(), cells[0].0),
+            ("auc_f0_c0".to_string(), cells[0].3),
+        ];
+        (
+            (
+                cells,
+                res.delivery_rate(),
+                res.metrics.latency_ms.mean(),
+                res.retransmit_overhead(),
+            ),
+            stats,
+            values,
+        )
+    });
+
+    // NaN-tolerant mean: latency is NaN for runs that delivered nothing
+    // and the AUC is NaN below two flows; average only the finite ones.
+    let mean_finite = |vals: Vec<f64>| {
+        let finite: Vec<f64> = vals.into_iter().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    };
+
+    let s = seeds.len();
+    let mut rows = Vec::with_capacity(points.len() * fracs.len() * covers.len());
+    for (i, (_, sname, cfg)) in points.iter().enumerate() {
+        let runs: &[TriRun] = &results[i * s..(i + 1) * s];
+        for (fi, &f) in fracs.iter().enumerate() {
+            for (ci, &cover) in covers.iter().enumerate() {
+                let cell = fi * covers.len() + ci;
+                // Cover emissions per data message: rate × the cadence.
+                let cover_per_msg = cover * msg_interval.as_secs_f64() / 60.0;
+                rows.push(TrilemmaRow {
+                    protocol: cfg.protocol.label(),
+                    strategy: sname,
+                    cover_per_min: cover,
+                    f,
+                    shannon_bits: mean_finite(runs.iter().map(|r| r.0[cell].0).collect()),
+                    anonymity_set: mean_finite(runs.iter().map(|r| r.0[cell].1).collect()),
+                    p_identified: mean_finite(runs.iter().map(|r| r.0[cell].2).collect()),
+                    eq4_analytic: anonymity::p_initiator_identified(world_n, f, world_l),
+                    linkability_auc: mean_finite(runs.iter().map(|r| r.0[cell].3).collect()),
+                    delivery: mean_finite(runs.iter().map(|r| r.1).collect()),
+                    latency_ms: mean_finite(runs.iter().map(|r| r.2).collect()),
+                    bandwidth_overhead: mean_finite(runs.iter().map(|r| r.3).collect())
+                        + cover_per_msg,
+                });
+            }
+        }
+    }
+    Traced { data: rows, traces }
 }
 
 #[cfg(test)]

@@ -18,7 +18,8 @@ pub mod scenario_runner;
 
 pub use report::Table;
 pub use runner::{
-    resolve_threads, run_all, run_all_instrumented, RunSpec, RunTrace, TraceSet, Traced,
+    resolve_flag, resolve_threads, run_all, run_all_instrumented, RunSpec, RunTrace, TraceSet,
+    Traced,
 };
 
 /// Whether live telemetry collection is enabled for this process:

@@ -500,6 +500,27 @@ pub fn resolve_threads() -> usize {
     crate::default_threads()
 }
 
+/// Resolve one `--name N` / `--name=N` CLI flag to a parsed value, or
+/// `None` when absent or unparsable. The shared idiom behind the
+/// binaries' `--seed` / `--trials` knobs (same shape as
+/// [`resolve_threads`], which keeps its environment-variable fallback).
+pub fn resolve_flag<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let prefix = format!("{name}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            if let Some(v) = args.next().and_then(|v| v.parse::<T>().ok()) {
+                return Some(v);
+            }
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
+            if let Ok(v) = v.parse::<T>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,11 +7,45 @@
 //! sharding guarantee: results are byte-identical at any thread count.
 
 use crate::runner::{run_all, RunSpec, TraceSet};
-use anon_core::protocols::runner::run_recovery_experiment_traced;
+use adversary::colluding::{ColludingRelays, Fused};
+use adversary::timing::TimingEavesdropper;
+use adversary::{Adversary, Assessment};
+use anon_core::observe::ObservedRun;
+use anon_core::protocols::runner::{
+    run_recovery_experiment_observed, run_recovery_experiment_traced,
+};
 use scenario::{
-    check_snapshot, render_snapshot, JobResult, Scenario, ScenarioJob, SnapshotOutcome,
+    check_snapshot, render_snapshot, AdversaryKind, AdversaryReading, AdversarySpec, JobResult,
+    Scenario, ScenarioJob, SnapshotOutcome,
 };
 use std::path::{Path, PathBuf};
+
+/// Score one observed run under the scenario's declared adversary.
+///
+/// Assessment is post-hoc: the adversary consumes the tap's record and
+/// never feeds back into the simulation, so the delivery/latency columns
+/// are identical with and without this call.
+fn assess(adv: &AdversarySpec, seed: u64, run: &ObservedRun) -> Assessment {
+    match adv.kind {
+        AdversaryKind::Timing => TimingEavesdropper {
+            relay_fraction: adv.fraction,
+            window_secs: adv.window_secs,
+            cover_per_min: adv.cover_per_min,
+            seed: seed ^ 0x7111,
+        }
+        .assess(run),
+        AdversaryKind::Colluding => Fused {
+            colluding: ColludingRelays {
+                fraction: adv.fraction,
+                adversary_stays: adv.adversary_stays,
+                seed: seed ^ 0xC011,
+            },
+            window_secs: adv.window_secs,
+            cover_per_min: adv.cover_per_min,
+        }
+        .assess(run),
+    }
+}
 
 /// Run every job of a scenario through the shared pool. Returns the
 /// per-job results (job-grid order, independent of `threads`) plus the
@@ -29,7 +63,26 @@ pub fn run_scenario(sc: &Scenario, threads: usize) -> (Vec<JobResult>, TraceSet)
     let experiment = format!("scenario-{}", sc.name);
     run_all(&experiment, jobs, threads, |spec| {
         let job = &spec.payload;
-        let (res, stats) = run_recovery_experiment_traced(&job.cfg);
+        // Only record observations when an adversary will consume them;
+        // the tap is byte-inert either way (observe.rs inertness tests),
+        // so both paths produce identical metrics.
+        let (res, stats, assessment) = match &sc.adversary {
+            None => {
+                let (res, stats) = run_recovery_experiment_traced(&job.cfg);
+                (res, stats, None)
+            }
+            Some(adv) => {
+                let (res, stats, observed) = run_recovery_experiment_observed(&job.cfg, None, true);
+                let run = observed.expect("observation requested");
+                let a = assess(adv, job.seed, &run);
+                let reading = AdversaryReading {
+                    shannon_bits: a.shannon_entropy_bits,
+                    p_identified: a.p_identified,
+                    linkability_auc: a.linkability_auc,
+                };
+                (res, stats, Some(reading))
+            }
+        };
         let result = JobResult {
             label: job.label.clone(),
             seed: job.seed,
@@ -41,6 +94,7 @@ pub fn run_scenario(sc: &Scenario, threads: usize) -> (Vec<JobResult>, TraceSet)
             paths_rebuilt: res.paths_rebuilt,
             fault_drops: stats.fault_drops,
             cover_overhead: sc.cover_overhead(job.cover_rate_per_min, res.segments_sent),
+            assessment,
         };
         let values = vec![
             ("delivery_rate".to_string(), res.delivery_rate()),

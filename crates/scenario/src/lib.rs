@@ -30,4 +30,7 @@ pub mod snapshot;
 pub mod spec;
 
 pub use snapshot::{check_snapshot, diff_with_context, render_snapshot, SnapshotOutcome};
-pub use spec::{JobResult, Scenario, ScenarioJob, SpecError, Workload};
+pub use spec::{
+    AdversaryKind, AdversaryReading, AdversarySpec, JobResult, Scenario, ScenarioJob, SpecError,
+    Workload,
+};

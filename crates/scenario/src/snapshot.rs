@@ -71,11 +71,21 @@ pub fn render_snapshot(scenario: &Scenario, results: &[JobResult]) -> String {
         scenario.nodes, scenario.hops, scenario.avg_rtt_ms, scenario.seeds, scenario.messages
     );
     let _ = writeln!(out);
-    let _ = writeln!(
-        out,
+    // Assessment columns only appear when the scenario declares an
+    // adversary axis, so every pre-adversary golden stays byte-identical.
+    let assessed = scenario.adversary.is_some();
+    let mut header = format!(
         "{:<32} {:>9} {:>9} {:>12} {:>8} {:>8} {:>8} {:>8}",
         "label", "delivery", "partial", "latency_ms", "retx", "rebuilt", "drops", "cover"
     );
+    if assessed {
+        let _ = write!(
+            header,
+            " {:>12} {:>8} {:>8}",
+            "entropy_bits", "p_ident", "link_auc"
+        );
+    }
+    let _ = writeln!(out, "{header}");
 
     let mut labels: Vec<&str> = Vec::new();
     for r in results {
@@ -106,8 +116,7 @@ pub fn render_snapshot(scenario: &Scenario, results: &[JobResult]) -> String {
         let rebuilt = rate(|r| r.paths_rebuilt as f64);
         let drops = rate(|r| r.fault_drops as f64);
         let cover = rate(|r| r.cover_overhead);
-        let _ = writeln!(
-            out,
+        let mut line = format!(
             "{:<32} {:>9} {:>9} {:>12} {:>8} {:>8} {:>8} {:>8}",
             label,
             cell(delivery),
@@ -118,6 +127,19 @@ pub fn render_snapshot(scenario: &Scenario, results: &[JobResult]) -> String {
             cell(drops),
             cell(cover)
         );
+        if assessed {
+            let reading = |f: fn(&crate::spec::AdversaryReading) -> f64| {
+                nan_mean(rows.iter().filter_map(|r| r.assessment.as_ref().map(f)))
+            };
+            let _ = write!(
+                line,
+                " {:>12} {:>8} {:>8}",
+                cell(reading(|a| a.shannon_bits)),
+                cell(reading(|a| a.p_identified)),
+                cell(reading(|a| a.linkability_auc)),
+            );
+        }
+        let _ = writeln!(out, "{line}");
     }
     out
 }
@@ -219,6 +241,7 @@ mod tests {
                 paths_rebuilt: 2,
                 fault_drops: 3,
                 cover_overhead: 0.0,
+                assessment: None,
             })
             .collect()
     }
@@ -246,6 +269,30 @@ mod tests {
         }
         let snap = render_snapshot(&s, &results);
         assert!(snap.contains("nan"), "{snap}");
+    }
+
+    #[test]
+    fn adversary_columns_only_when_declared() {
+        let plain = Scenario::parse("name = \"p\"\nseeds = [1]\n").unwrap();
+        let snap = render_snapshot(&plain, &fake_results(&plain));
+        assert!(!snap.contains("entropy_bits"), "{snap}");
+
+        let src = "name = \"p\"\nseeds = [1]\n[adversary]\nkind = \"colluding\"\nfraction = 0.1\n";
+        let assessed = Scenario::parse(src).unwrap();
+        let mut results = fake_results(&assessed);
+        for r in &mut results {
+            r.assessment = Some(crate::spec::AdversaryReading {
+                shannon_bits: 5.5,
+                p_identified: 0.125,
+                linkability_auc: f64::NAN,
+            });
+        }
+        let snap = render_snapshot(&assessed, &results);
+        assert!(snap.contains("entropy_bits"), "{snap}");
+        assert!(snap.contains("5.5000"), "{snap}");
+        assert!(snap.contains("0.1250"), "{snap}");
+        assert!(snap.contains("nan"), "AUC NaN renders stable: {snap}");
+        assert!(snap.contains("adversary=colluding(0.10)"), "{snap}");
     }
 
     #[test]

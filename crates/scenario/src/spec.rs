@@ -86,6 +86,52 @@ impl Workload {
     }
 }
 
+/// The adversary axis: a passive assessment run over the driver
+/// observation tap after each job. Purely post-hoc — attaching an
+/// adversary never changes the simulated trajectory (the tap's
+/// inertness obligation), it only adds assessment columns to the
+/// snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversarySpec {
+    /// Which model scores the run.
+    pub kind: AdversaryKind,
+    /// Adversary strength: colluding fraction, or fraction of relays
+    /// the timing eavesdropper taps.
+    pub fraction: f64,
+    /// §7 staying adversary (colluding only): infiltrate the busiest
+    /// relay slots instead of a uniform draw.
+    pub adversary_stays: bool,
+    /// Timing-correlation pairing window in seconds.
+    pub window_secs: f64,
+    /// Modeled defender cover-traffic rate (emissions per minute) fed to
+    /// the timing correlator.
+    pub cover_per_min: f64,
+}
+
+/// The adversary model selected by `[adversary] kind`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdversaryKind {
+    /// Passive timing-correlation eavesdropper at a fraction of relays.
+    Timing,
+    /// Colluding relays (fused with the timing correlator at their own
+    /// vantage points, so every assessment column is populated).
+    Colluding,
+}
+
+impl AdversarySpec {
+    /// Compact axes-summary label, e.g. `timing(0.20)` or
+    /// `colluding(0.10,stays)`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            AdversaryKind::Timing => format!("timing({:.2})", self.fraction),
+            AdversaryKind::Colluding if self.adversary_stays => {
+                format!("colluding({:.2},stays)", self.fraction)
+            }
+            AdversaryKind::Colluding => format!("colluding({:.2})", self.fraction),
+        }
+    }
+}
+
 /// One cell of the protocol grid.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProtocolEntry {
@@ -138,6 +184,9 @@ pub struct Scenario {
     pub protocols: Vec<ProtocolEntry>,
     /// Recovery-layer knobs.
     pub recovery: RecoveryParams,
+    /// Optional adversary axis; `None` renders the classic snapshot
+    /// byte-identically.
+    pub adversary: Option<AdversarySpec>,
 }
 
 /// One runnable job resolved from a scenario: a `(label, seed)` pair with
@@ -178,6 +227,22 @@ pub struct JobResult {
     pub fault_drops: u64,
     /// Modeled cover segments per data segment (0 without cover).
     pub cover_overhead: f64,
+    /// Adversary assessment of this job's observed run; `None` when the
+    /// scenario declares no adversary axis.
+    pub assessment: Option<AdversaryReading>,
+}
+
+/// The three assessment numbers a scenario adversary contributes to the
+/// snapshot (plain floats so the spec/render layer stays independent of
+/// the `adversary` crate; `NaN` = not applicable to that model).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversaryReading {
+    /// Mean Shannon entropy (bits) of the posterior over initiators.
+    pub shannon_bits: f64,
+    /// Mean posterior mass on the true initiator.
+    pub p_identified: f64,
+    /// Timing-correlation linkability AUC (0.5 = chance).
+    pub linkability_auc: f64,
 }
 
 // ---------------------------------------------------------------- parsing
@@ -553,6 +618,72 @@ fn parse_protocols(root: &Table) -> Result<Vec<ProtocolEntry>, SpecError> {
     Ok(out)
 }
 
+fn parse_adversary(root: &Table) -> Result<Option<AdversarySpec>, SpecError> {
+    let Some(t) = sub_table(root, "adversary")? else {
+        return Ok(None);
+    };
+    check_keys(
+        t,
+        "adversary",
+        &[
+            "kind",
+            "fraction",
+            "adversary_stays",
+            "window_secs",
+            "cover_per_min",
+        ],
+    )?;
+    let kind = match get_str(t, "adversary", "kind", "")?.as_str() {
+        "timing" => AdversaryKind::Timing,
+        "colluding" => AdversaryKind::Colluding,
+        other => {
+            return key_err(
+                "adversary.kind",
+                format!("unknown adversary `{other}` (timing, colluding)"),
+            )
+        }
+    };
+    let adversary_stays = match t.get("adversary_stays") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => {
+                return key_err(
+                    "adversary.adversary_stays",
+                    format!("expected a boolean, got {}", v.type_name()),
+                )
+            }
+        },
+    };
+    if adversary_stays && kind == AdversaryKind::Timing {
+        return key_err(
+            "adversary.adversary_stays",
+            "only the colluding adversary can stay (the eavesdropper taps links, not slots)",
+        );
+    }
+    let cover = get_f64(t, "adversary", "cover_per_min", 0.0)?;
+    if cover < 0.0 {
+        return key_err(
+            "adversary.cover_per_min",
+            format!("must be >= 0, got {cover}"),
+        );
+    }
+    let window = get_f64(t, "adversary", "window_secs", 2.0)?;
+    if window <= 0.0 {
+        return key_err(
+            "adversary.window_secs",
+            format!("must be > 0, got {window}"),
+        );
+    }
+    Ok(Some(AdversarySpec {
+        kind,
+        fraction: fraction(t, "adversary", "fraction", 0.2)?,
+        adversary_stays,
+        window_secs: window,
+        cover_per_min: cover,
+    }))
+}
+
 fn parse_recovery(root: &Table) -> Result<RecoveryParams, SpecError> {
     let Some(t) = sub_table(root, "recovery")? else {
         return Ok(RecoveryParams::default());
@@ -604,6 +735,7 @@ impl Scenario {
                 "faults",
                 "protocol",
                 "recovery",
+                "adversary",
             ],
         )?;
         let name = get_str(&root, "", "name", "")?;
@@ -711,6 +843,7 @@ impl Scenario {
         let faults = parse_faults(&root)?;
         let protocols = parse_protocols(&root)?;
         let recovery = parse_recovery(&root)?;
+        let adversary = parse_adversary(&root)?;
 
         Ok(Scenario {
             name,
@@ -733,6 +866,7 @@ impl Scenario {
             faults,
             protocols,
             recovery,
+            adversary,
         })
     }
 
@@ -847,14 +981,20 @@ impl Scenario {
             }
             s
         };
-        format!(
+        let mut s = format!(
             "topology={} churn={} events={} workload={} faults=[{}]",
             self.topology.label(),
             dist_label(&self.lifetime),
             self.churn_events.len(),
             self.workload.label(),
             faults,
-        )
+        );
+        // The adversary axis only appears when declared, so every
+        // pre-adversary golden snapshot stays byte-identical.
+        if let Some(adv) = &self.adversary {
+            s.push_str(&format!(" adversary={}", adv.label()));
+        }
+        s
     }
 }
 
@@ -1005,6 +1145,50 @@ retry_budget = 3
         let src = "name = \"x\"\n[world]\nhorizon_secs = 1000\n[[churn.event]]\nkind = \"flash_crowd\"\nat_secs = 2000\n";
         let e = Scenario::parse(src).unwrap_err();
         assert!(e.to_string().contains("at_secs"), "{e}");
+    }
+
+    #[test]
+    fn adversary_axis_parses_and_labels() {
+        let src = "name = \"a\"\n[adversary]\nkind = \"colluding\"\nfraction = 0.1\nadversary_stays = true\ncover_per_min = 6.0\n";
+        let s = Scenario::parse(src).unwrap();
+        let adv = s.adversary.expect("adversary axis");
+        assert_eq!(adv.kind, AdversaryKind::Colluding);
+        assert!(adv.adversary_stays);
+        assert_eq!(adv.fraction, 0.1);
+        assert_eq!(adv.window_secs, 2.0, "default window");
+        assert_eq!(adv.label(), "colluding(0.10,stays)");
+        assert!(s.axes_summary().contains("adversary=colluding(0.10,stays)"));
+
+        let t = Scenario::parse("name = \"t\"\n[adversary]\nkind = \"timing\"\n").unwrap();
+        assert_eq!(t.adversary.unwrap().label(), "timing(0.20)");
+        // No adversary table -> None, and no adversary axis in the summary.
+        let none = Scenario::parse("name = \"n\"\n").unwrap();
+        assert!(none.adversary.is_none());
+        assert!(!none.axes_summary().contains("adversary"));
+    }
+
+    #[test]
+    fn adversary_axis_rejects_bad_keys() {
+        // Unknown key, with its dotted path.
+        let e = Scenario::parse("name = \"x\"\n[adversary]\nkind = \"timing\"\nfrac = 0.2\n")
+            .unwrap_err();
+        assert!(
+            matches!(&e, SpecError::Key { path, .. } if path == "adversary.frac"),
+            "{e}"
+        );
+        // Unknown kind.
+        let e = Scenario::parse("name = \"x\"\n[adversary]\nkind = \"psychic\"\n").unwrap_err();
+        assert!(e.to_string().contains("unknown adversary"), "{e}");
+        // Staying eavesdropper makes no sense.
+        let e = Scenario::parse(
+            "name = \"x\"\n[adversary]\nkind = \"timing\"\nadversary_stays = true\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("adversary_stays"), "{e}");
+        // Fraction outside [0, 1].
+        let e = Scenario::parse("name = \"x\"\n[adversary]\nkind = \"timing\"\nfraction = 1.5\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("[0, 1]"), "{e}");
     }
 
     #[test]

@@ -70,6 +70,18 @@ else
 fi
 echo "loadgen run written to BENCH_loadgen.json"
 
+# Adversary trilemma sweep throughput: simulated protocol grid plus the
+# post-hoc (cover x f) assessment grid over the observation tap;
+# points_per_sec is the tracked number. The bin asserts its own shape
+# properties (entropy/identification monotone in f, Eq. 4 match,
+# cover-vs-linkability) and exits nonzero on NOT-REPRODUCED.
+if [[ -n $QUICK ]]; then
+  EXPERIMENT_QUICK=1 ./target/release/trilemma --out BENCH_trilemma.json
+else
+  ./target/release/trilemma --out BENCH_trilemma.json
+fi
+echo "trilemma sweep written to BENCH_trilemma.json"
+
 # Append this run to the history as a single JSON line tagged with the
 # UTC timestamp, commit, and mode, preserving every previous baseline.
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -98,6 +110,12 @@ MODE="full"
   printf '{"timestamp":"%s","commit":"%s","mode":"%s-loadgen","results":' \
     "$STAMP" "$COMMIT" "$MODE"
   tr -d '\n' < BENCH_loadgen.json
+  printf '}\n'
+} >> BENCH_HISTORY.jsonl
+{
+  printf '{"timestamp":"%s","commit":"%s","mode":"%s-trilemma","results":' \
+    "$STAMP" "$COMMIT" "$MODE"
+  tr -d '\n' < BENCH_trilemma.json
   printf '}\n'
 } >> BENCH_HISTORY.jsonl
 echo "history appended to BENCH_HISTORY.jsonl ($STAMP, $COMMIT, $MODE)"
